@@ -1,0 +1,53 @@
+//! Substrate micro-benchmarks: the Roaring bitmap operations MVDCube leans
+//! on (union during propagation, iteration during measure computation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bitmap::Bitmap;
+
+fn sparse(n: u32, stride: u32) -> Bitmap {
+    Bitmap::from_iter((0..n).map(|i| i * stride))
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_union");
+    for &(n, stride) in &[(10_000u32, 1u32), (10_000, 64), (100_000, 7)] {
+        let a = sparse(n, stride);
+        let b = Bitmap::from_iter((0..n).map(|i| i * stride + stride / 2 + 1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{stride}")),
+            &(a, b),
+            |bencher, (a, b)| {
+                bencher.iter(|| {
+                    let mut x = a.clone();
+                    x.union_with(black_box(b));
+                    x.cardinality()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let bm = sparse(100_000, 3);
+    c.bench_function("bitmap_iterate_100k", |b| {
+        b.iter(|| black_box(&bm).iter().map(|v| v as u64).sum::<u64>())
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("bitmap_insert_50k_random", |b| {
+        b.iter(|| {
+            let mut bm = Bitmap::new();
+            let mut x = 12345u32;
+            for _ in 0..50_000 {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                bm.insert(x % 1_000_000);
+            }
+            bm.cardinality()
+        })
+    });
+}
+
+criterion_group!(benches, bench_union, bench_iterate, bench_insert);
+criterion_main!(benches);

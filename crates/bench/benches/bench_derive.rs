@@ -1,0 +1,24 @@
+//! Offline phase: property statistics and derived-property enumeration
+//! (the Experiment 1 / Table 2 workload at micro-benchmark granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_core::{offline, SpadeConfig};
+use spade_datagen::{realistic, RealisticConfig};
+
+fn bench_offline(c: &mut Criterion) {
+    let g = realistic::ceos(&RealisticConfig { scale: 2_000, seed: 1 });
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("analyze_ceos_2k", |b| {
+        b.iter(|| offline::analyze(&g).property_count())
+    });
+    let stats = offline::analyze(&g);
+    let config = SpadeConfig::default();
+    group.bench_function("derive_ceos_2k", |b| {
+        b.iter(|| offline::enumerate_derivations(&g, &stats, &config).1.total())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

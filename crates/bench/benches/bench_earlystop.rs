@@ -1,0 +1,43 @@
+//! Early-stop pruning: MVDCube with vs without ES (Table 4's comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_cube::{mvd_cube, mvd_cube_with_earlystop, CubeSpec, EarlyStopConfig, MeasureSpec,
+    MvdCubeOptions};
+use spade_datagen::{synthetic, SyntheticConfig};
+use spade_storage::AggFn;
+
+fn bench_es(c: &mut Criterion) {
+    let cols = synthetic::generate_columns(&SyntheticConfig {
+        n_facts: 50_000,
+        dim_values: vec![100, 50, 20],
+        n_measures: 10,
+        sparsity: 0.1,
+        ..Default::default()
+    });
+    let dims: Vec<_> = cols.dims.iter().collect();
+    let measures: Vec<_> = cols
+        .measures
+        .iter()
+        .map(|m| MeasureSpec { preagg: m, fns: vec![AggFn::Sum, AggFn::Avg] })
+        .collect();
+    let spec = CubeSpec::new(dims, measures, cols.n_facts);
+    let opts = MvdCubeOptions::default();
+
+    let mut group = c.benchmark_group("earlystop");
+    group.sample_size(10);
+    group.bench_function("mvd_plain", |b| {
+        b.iter(|| mvd_cube(&spec, &opts).total_groups())
+    });
+    group.bench_function("mvd_es_k10", |b| {
+        let es = EarlyStopConfig { k: 10, ..Default::default() };
+        b.iter(|| mvd_cube_with_earlystop(&spec, &opts, &es).0.total_groups())
+    });
+    group.bench_function("mvd_es_k3", |b| {
+        let es = EarlyStopConfig { k: 3, ..Default::default() };
+        b.iter(|| mvd_cube_with_earlystop(&spec, &opts, &es).0.total_groups())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_es);
+criterion_main!(benches);

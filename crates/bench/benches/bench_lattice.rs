@@ -1,0 +1,35 @@
+//! Lattice machinery: MMST construction and maximal-frequent-set mining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bitmap::Bitmap;
+use spade_core::mfs::{maximal_frequent_sets, Item};
+use spade_cube::Lattice;
+
+fn bench_mmst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmst");
+    for &n in &[4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let l = Lattice::new(vec![100; n], vec![25; n]);
+            b.iter(|| l.mmst().total_memory())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mfs(c: &mut Criterion) {
+    let n_facts = 20_000u32;
+    let items: Vec<Item> = (0..12usize)
+        .map(|a| Item {
+            attr: a,
+            tidset: Bitmap::from_iter(
+                (0..n_facts).filter(move |f| !(*f as usize + a).is_multiple_of(a + 2)),
+            ),
+        })
+        .collect();
+    c.bench_function("mfs_12_items_20k_facts", |b| {
+        b.iter(|| maximal_frequent_sets(&items, n_facts as u64 / 3, 4, |_, _| true).len())
+    });
+}
+
+criterion_group!(benches, bench_mmst, bench_mfs);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! MVDCube evaluation cost on the synthetic benchmark (Figure 12's
+//! workload): scaling in facts and dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_cube::{mvd_cube, CubeSpec, MeasureSpec, MvdCubeOptions};
+use spade_datagen::{synthetic, SyntheticConfig};
+use spade_storage::AggFn;
+
+fn bench_facts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvdcube_facts");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000, 100_000] {
+        let cols = synthetic::generate_columns(&SyntheticConfig {
+            n_facts: n,
+            dim_values: vec![100, 100, 100],
+            n_measures: 5,
+            sparsity: 0.1,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cols, |b, cols| {
+            let dims: Vec<_> = cols.dims.iter().collect();
+            let measures: Vec<_> = cols
+                .measures
+                .iter()
+                .map(|m| MeasureSpec { preagg: m, fns: vec![AggFn::Sum, AggFn::Avg] })
+                .collect();
+            let spec = CubeSpec::new(dims, measures, cols.n_facts);
+            b.iter(|| mvd_cube(&spec, &MvdCubeOptions::default()).total_groups())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvdcube_dims");
+    group.sample_size(10);
+    for &n_dims in &[1usize, 2, 3, 4] {
+        let cols = synthetic::generate_columns(&SyntheticConfig {
+            n_facts: 20_000,
+            dim_values: vec![50; n_dims],
+            n_measures: 5,
+            sparsity: 0.2,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n_dims), &cols, |b, cols| {
+            let dims: Vec<_> = cols.dims.iter().collect();
+            let measures: Vec<_> = cols
+                .measures
+                .iter()
+                .map(|m| MeasureSpec { preagg: m, fns: vec![AggFn::Sum] })
+                .collect();
+            let spec = CubeSpec::new(dims, measures, cols.n_facts);
+            b.iter(|| mvd_cube(&spec, &MvdCubeOptions::default()).total_groups())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_facts, bench_dims);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! PGCube baseline cost on the same workload as `bench_mvdcube` — the
+//! Figure 9 / Figure 12 comparison at micro-benchmark granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_cube::{pg_cube, CubeSpec, MeasureSpec, MvdCubeOptions, PgCubeVariant};
+use spade_datagen::{synthetic, SyntheticConfig};
+use spade_storage::AggFn;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgcube_facts");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000, 100_000] {
+        let cols = synthetic::generate_columns(&SyntheticConfig {
+            n_facts: n,
+            dim_values: vec![100, 100, 100],
+            n_measures: 5,
+            sparsity: 0.1,
+            ..Default::default()
+        });
+        for (name, variant) in
+            [("star", PgCubeVariant::Star), ("distinct", PgCubeVariant::Distinct)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &cols,
+                |b, cols| {
+                    let dims: Vec<_> = cols.dims.iter().collect();
+                    let measures: Vec<_> = cols
+                        .measures
+                        .iter()
+                        .map(|m| MeasureSpec { preagg: m, fns: vec![AggFn::Sum, AggFn::Avg] })
+                        .collect();
+                    let spec = CubeSpec::new(dims, measures, cols.n_facts);
+                    b.iter(|| {
+                        pg_cube(&spec, variant, &MvdCubeOptions::default()).total_groups()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! RDF substrate: N-Triples parsing and triple-store ingestion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spade_datagen::{realistic, RealisticConfig};
+use spade_rdf::{parse_ntriples, write_ntriples};
+
+fn bench_parse(c: &mut Criterion) {
+    let g = realistic::ceos(&RealisticConfig { scale: 2_000, seed: 1 });
+    let nt = write_ntriples(&g);
+    let mut group = c.benchmark_group("ntriples");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(nt.len() as u64));
+    group.bench_function("parse_ceos_2k", |b| {
+        b.iter(|| parse_ntriples(&nt).unwrap().len())
+    });
+    group.bench_function("write_ceos_2k", |b| b.iter(|| write_ntriples(&g).len()));
+    group.finish();
+}
+
+fn bench_saturate(c: &mut Criterion) {
+    use spade_rdf::{vocab, Graph, Term};
+    c.bench_function("saturate_class_chain", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            for i in 0..20 {
+                g.insert(
+                    Term::iri(format!("http://x/C{i}")),
+                    Term::iri(vocab::RDFS_SUBCLASSOF),
+                    Term::iri(format!("http://x/C{}", i + 1)),
+                );
+            }
+            for n in 0..500 {
+                g.insert(
+                    Term::iri(format!("http://x/n{n}")),
+                    Term::iri(vocab::RDF_TYPE),
+                    Term::iri(format!("http://x/C{}", n % 5)),
+                );
+            }
+            spade_rdf::saturate(&mut g)
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_saturate);
+criterion_main!(benches);

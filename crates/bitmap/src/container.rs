@@ -1,0 +1,463 @@
+//! The two Roaring container kinds for one 16-bit chunk.
+//!
+//! A chunk switches from the sorted-array representation to the 8 KiB bitset
+//! once it holds more than [`ARRAY_TO_BITSET_THRESHOLD`] values, and back when
+//! it shrinks below it — the break-even point where 2 bytes/value equals the
+//! fixed bitset cost (65536 bits).
+
+/// Canonical Roaring threshold: 4096 values × 2 bytes = 8 KiB = bitset size.
+pub const ARRAY_TO_BITSET_THRESHOLD: usize = 4096;
+
+const BITSET_WORDS: usize = 1024;
+
+/// One chunk's worth (low 16 bits) of values.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Container {
+    /// Sorted array of low values; used while sparse.
+    Array(Vec<u16>),
+    /// 65536-bit set with an explicit cardinality; used while dense.
+    Bitset(Box<BitsetContainer>),
+}
+
+/// Fixed 8 KiB bit set plus cached cardinality.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitsetContainer {
+    words: [u64; BITSET_WORDS],
+    cardinality: u32,
+}
+
+impl Default for Container {
+    fn default() -> Self {
+        Container::Array(Vec::new())
+    }
+}
+
+impl BitsetContainer {
+    fn new() -> Self {
+        BitsetContainer { words: [0; BITSET_WORDS], cardinality: 0 }
+    }
+
+    #[inline]
+    fn set(&mut self, low: u16) -> bool {
+        let (w, b) = (low as usize / 64, low as usize % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        if !was {
+            self.cardinality += 1;
+        }
+        !was
+    }
+
+    #[inline]
+    fn unset(&mut self, low: u16) -> bool {
+        let (w, b) = (low as usize / 64, low as usize % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        if was {
+            self.cardinality -= 1;
+        }
+        was
+    }
+
+    #[inline]
+    fn get(&self, low: u16) -> bool {
+        let (w, b) = (low as usize / 64, low as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    fn to_array(&self) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.cardinality as usize);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                out.push((wi * 64 + b as usize) as u16);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+impl Container {
+    pub fn singleton(low: u16) -> Self {
+        Container::Array(vec![low])
+    }
+
+    /// Builds from sorted, deduplicated low values.
+    pub fn from_sorted_lows(lows: &[u16]) -> Self {
+        if lows.len() > ARRAY_TO_BITSET_THRESHOLD {
+            let mut bs = BitsetContainer::new();
+            for &low in lows {
+                bs.set(low);
+            }
+            Container::Bitset(Box::new(bs))
+        } else {
+            Container::Array(lows.to_vec())
+        }
+    }
+
+    pub fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => match values.binary_search(&low) {
+                Ok(_) => false,
+                Err(pos) => {
+                    values.insert(pos, low);
+                    if values.len() > ARRAY_TO_BITSET_THRESHOLD {
+                        let mut bs = BitsetContainer::new();
+                        for &v in values.iter() {
+                            bs.set(v);
+                        }
+                        *self = Container::Bitset(Box::new(bs));
+                    }
+                    true
+                }
+            },
+            Container::Bitset(bs) => bs.set(low),
+        }
+    }
+
+    pub fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => match values.binary_search(&low) {
+                Ok(pos) => {
+                    values.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitset(bs) => {
+                let removed = bs.unset(low);
+                if removed && (bs.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
+                    *self = Container::Array(bs.to_array());
+                }
+                removed
+            }
+        }
+    }
+
+    pub fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => values.binary_search(&low).is_ok(),
+            Container::Bitset(bs) => bs.get(low),
+        }
+    }
+
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            Container::Array(values) => values.len() as u32,
+            Container::Bitset(bs) => bs.cardinality,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cardinality() == 0
+    }
+
+    pub fn min(&self) -> Option<u16> {
+        match self {
+            Container::Array(values) => values.first().copied(),
+            Container::Bitset(bs) => bs.to_array().first().copied(),
+        }
+    }
+
+    pub fn max(&self) -> Option<u16> {
+        match self {
+            Container::Array(values) => values.last().copied(),
+            Container::Bitset(bs) => bs.to_array().last().copied(),
+        }
+    }
+
+    pub fn union_with(&mut self, other: &Container) {
+        match (&mut *self, other) {
+            (Container::Bitset(a), Container::Bitset(b)) => {
+                let mut card = 0u32;
+                for (wa, wb) in a.words.iter_mut().zip(b.words.iter()) {
+                    *wa |= *wb;
+                    card += wa.count_ones();
+                }
+                a.cardinality = card;
+            }
+            (Container::Bitset(a), Container::Array(b)) => {
+                for &low in b {
+                    a.set(low);
+                }
+            }
+            (Container::Array(_), Container::Bitset(b)) => {
+                let mut bs = (**b).clone();
+                if let Container::Array(a) = self {
+                    for &low in a.iter() {
+                        bs.set(low);
+                    }
+                }
+                *self = Container::Bitset(Box::new(bs));
+            }
+            (Container::Array(a), Container::Array(b)) => {
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                if merged.len() > ARRAY_TO_BITSET_THRESHOLD {
+                    let mut bs = BitsetContainer::new();
+                    for &v in &merged {
+                        bs.set(v);
+                    }
+                    *self = Container::Bitset(Box::new(bs));
+                } else {
+                    *a = merged;
+                }
+            }
+        }
+    }
+
+    pub fn intersect(&self, other: &Container) -> Container {
+        match (self, other) {
+            (Container::Bitset(a), Container::Bitset(b)) => {
+                let mut out = BitsetContainer::new();
+                let mut card = 0u32;
+                for (wo, (wa, wb)) in
+                    out.words.iter_mut().zip(a.words.iter().zip(b.words.iter()))
+                {
+                    *wo = wa & wb;
+                    card += wo.count_ones();
+                }
+                out.cardinality = card;
+                if (card as usize) <= ARRAY_TO_BITSET_THRESHOLD {
+                    Container::Array(out.to_array())
+                } else {
+                    Container::Bitset(Box::new(out))
+                }
+            }
+            (Container::Array(a), b @ Container::Bitset(_)) => {
+                Container::Array(a.iter().copied().filter(|&v| b.contains(v)).collect())
+            }
+            (a @ Container::Bitset(_), Container::Array(b)) => {
+                Container::Array(b.iter().copied().filter(|&v| a.contains(v)).collect())
+            }
+            (Container::Array(a), Container::Array(b)) => {
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                Container::Array(out)
+            }
+        }
+    }
+
+    pub fn intersect_len(&self, other: &Container) -> u32 {
+        match (self, other) {
+            (Container::Bitset(a), Container::Bitset(b)) => a
+                .words
+                .iter()
+                .zip(b.words.iter())
+                .map(|(x, y)| (x & y).count_ones())
+                .sum(),
+            (Container::Array(a), b @ Container::Bitset(_)) => {
+                a.iter().filter(|&&v| b.contains(v)).count() as u32
+            }
+            (a @ Container::Bitset(_), Container::Array(b)) => {
+                b.iter().filter(|&&v| a.contains(v)).count() as u32
+            }
+            (Container::Array(_), Container::Array(_)) => {
+                self.intersect(other).cardinality()
+            }
+        }
+    }
+
+    pub fn and_not(&self, other: &Container) -> Container {
+        match self {
+            Container::Array(a) => {
+                Container::Array(a.iter().copied().filter(|&v| !other.contains(v)).collect())
+            }
+            Container::Bitset(a) => {
+                let mut out = BitsetContainer::new();
+                match other {
+                    Container::Bitset(b) => {
+                        let mut card = 0u32;
+                        for (wo, (wa, wb)) in
+                            out.words.iter_mut().zip(a.words.iter().zip(b.words.iter()))
+                        {
+                            *wo = wa & !wb;
+                            card += wo.count_ones();
+                        }
+                        out.cardinality = card;
+                    }
+                    Container::Array(b) => {
+                        out.words = a.words;
+                        out.cardinality = a.cardinality;
+                        for &low in b {
+                            out.unset(low);
+                        }
+                    }
+                }
+                if (out.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
+                    Container::Array(out.to_array())
+                } else {
+                    Container::Bitset(Box::new(out))
+                }
+            }
+        }
+    }
+
+    /// Number of values strictly smaller than `low`.
+    pub fn rank(&self, low: u16) -> u32 {
+        match self {
+            Container::Array(values) => match values.binary_search(&low) {
+                Ok(pos) | Err(pos) => pos as u32,
+            },
+            Container::Bitset(bs) => {
+                let (w, b) = (low as usize / 64, low as usize % 64);
+                let mut total: u32 = bs.words[..w].iter().map(|x| x.count_ones()).sum();
+                if b > 0 {
+                    total += (bs.words[w] & ((1u64 << b) - 1)).count_ones();
+                }
+                total
+            }
+        }
+    }
+
+    /// The `n`-th smallest value within this container.
+    pub fn select(&self, n: u16) -> Option<u16> {
+        match self {
+            Container::Array(values) => values.get(n as usize).copied(),
+            Container::Bitset(bs) => {
+                let mut remaining = n as u32;
+                for (wi, &word) in bs.words.iter().enumerate() {
+                    let ones = word.count_ones();
+                    if remaining < ones {
+                        let mut w = word;
+                        for _ in 0..remaining {
+                            w &= w - 1;
+                        }
+                        return Some((wi * 64 + w.trailing_zeros() as usize) as u16);
+                    }
+                    remaining -= ones;
+                }
+                None
+            }
+        }
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(values) => values.len() * 2,
+            Container::Bitset(_) => BITSET_WORDS * 8 + 4,
+        }
+    }
+
+    pub fn iter(&self) -> ContainerIter<'_> {
+        match self {
+            Container::Array(values) => ContainerIter::Array(values.iter()),
+            Container::Bitset(bs) => ContainerIter::Bitset { bs, word: 0, bits: bs.words[0] },
+        }
+    }
+}
+
+/// Ascending iterator over one container's low values.
+pub enum ContainerIter<'a> {
+    Array(std::slice::Iter<'a, u16>),
+    Bitset { bs: &'a BitsetContainer, word: usize, bits: u64 },
+}
+
+impl<'a> Iterator for ContainerIter<'a> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        match self {
+            ContainerIter::Array(iter) => iter.next().copied(),
+            ContainerIter::Bitset { bs, word, bits } => loop {
+                if *bits != 0 {
+                    let b = bits.trailing_zeros();
+                    *bits &= *bits - 1;
+                    return Some((*word * 64 + b as usize) as u16);
+                }
+                if *word + 1 >= BITSET_WORDS {
+                    return None;
+                }
+                *word += 1;
+                *bits = bs.words[*word];
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_conversion_both_ways() {
+        let mut c = Container::default();
+        for v in 0..=ARRAY_TO_BITSET_THRESHOLD as u16 {
+            c.insert(v);
+        }
+        assert!(matches!(c, Container::Bitset(_)));
+        c.remove(0);
+        assert!(matches!(c, Container::Array(_)));
+        assert_eq!(c.cardinality(), ARRAY_TO_BITSET_THRESHOLD as u32);
+    }
+
+    #[test]
+    fn bitset_rank_select() {
+        let lows: Vec<u16> = (0..6000).map(|i| i as u16).collect();
+        let c = Container::from_sorted_lows(&lows);
+        assert!(matches!(c, Container::Bitset(_)));
+        assert_eq!(c.rank(100), 100);
+        assert_eq!(c.select(100), Some(100));
+        assert_eq!(c.select(5999), Some(5999));
+        assert_eq!(c.select(6000), None);
+    }
+
+    #[test]
+    fn mixed_representation_union() {
+        let sparse = Container::from_sorted_lows(&[1, 3, 5]);
+        let dense_lows: Vec<u16> = (1000..6000).collect();
+        let dense = Container::from_sorted_lows(&dense_lows);
+        let mut a = sparse.clone();
+        a.union_with(&dense);
+        assert_eq!(a.cardinality(), 3 + 5000);
+        let mut b = dense;
+        b.union_with(&sparse);
+        assert_eq!(b.cardinality(), 3 + 5000);
+        assert_eq!(a.intersect_len(&b), 5003);
+    }
+
+    #[test]
+    fn and_not_all_representations() {
+        let a = Container::from_sorted_lows(&(0..5000).collect::<Vec<u16>>());
+        let b = Container::from_sorted_lows(&(2500..7500).collect::<Vec<u16>>());
+        assert_eq!(a.and_not(&b).cardinality(), 2500);
+        assert_eq!(b.and_not(&a).cardinality(), 2500);
+        let s = Container::from_sorted_lows(&[0, 1, 2]);
+        assert_eq!(a.and_not(&s).cardinality(), 4997);
+        assert_eq!(s.and_not(&a).cardinality(), 0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Roaring-style compressed bitmaps.
+//!
+//! MVDCube (the paper's Section 4.3) stores, in every cube cell, the *set of
+//! candidate facts* that fall into that cell, encoded as a Roaring Bitmap
+//! [Lemire et al., 2016]. Bitmaps are unioned (`OR`) as dimensions are
+//! projected away down the MMST, which is exactly what consolidates a fact
+//! that occupies several parent cells into a single child-cell membership —
+//! the correctness core of the algorithm.
+//!
+//! This crate is a from-scratch implementation of the two classic Roaring
+//! container kinds:
+//!
+//! * an **array container** (sorted `Vec<u16>`) for sparse chunks, and
+//! * a **bitset container** (`[u64; 1024]`) for dense chunks,
+//!
+//! keyed by the high 16 bits of the 32-bit value. Containers convert between
+//! representations at the canonical 4096-element threshold. The public type
+//! [`Bitmap`] offers the operations Spade needs: insert, contains, union,
+//! intersection, difference, iteration in increasing order, cardinality, and
+//! the worst-case size bound used in the paper's memory analysis.
+
+mod container;
+
+pub use container::Container;
+
+use container::ARRAY_TO_BITSET_THRESHOLD;
+
+/// A compressed bitmap over `u32` values.
+///
+/// Chunks (keyed by the high 16 bits) are kept sorted, each holding a
+/// [`Container`] for the low 16 bits.
+///
+/// ```
+/// use spade_bitmap::Bitmap;
+/// let mut bm = Bitmap::new();
+/// bm.insert(3);
+/// bm.insert(100_000);
+/// assert!(bm.contains(3));
+/// assert_eq!(bm.cardinality(), 2);
+/// assert_eq!(bm.iter().collect::<Vec<_>>(), vec![3, 100_000]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    /// Sorted high-16-bit keys, parallel to `containers`.
+    keys: Vec<u16>,
+    containers: Vec<Container>,
+}
+
+#[inline]
+fn split(value: u32) -> (u16, u16) {
+    ((value >> 16) as u16, (value & 0xFFFF) as u16)
+}
+
+#[inline]
+fn join(key: u16, low: u16) -> u32 {
+    ((key as u32) << 16) | low as u32
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitmap holding `0..n`, the common "all facts" set.
+    pub fn full(n: u32) -> Self {
+        let mut bm = Self::new();
+        for v in 0..n {
+            bm.insert(v);
+        }
+        bm
+    }
+
+    /// Builds a bitmap from an iterator of values (any order, duplicates ok).
+    /// Also available through the `FromIterator` trait; the inherent method
+    /// keeps call sites short (`Bitmap::from_iter(..)`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        let mut bm = Self::new();
+        for v in values {
+            bm.insert(v);
+        }
+        bm
+    }
+
+    /// Builds from a sorted, deduplicated slice. Faster than repeated insert.
+    pub fn from_sorted(values: &[u32]) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly sorted");
+        let mut bm = Self::new();
+        let mut i = 0;
+        while i < values.len() {
+            let (key, _) = split(values[i]);
+            let mut j = i;
+            while j < values.len() && split(values[j]).0 == key {
+                j += 1;
+            }
+            let lows: Vec<u16> = values[i..j].iter().map(|&v| split(v).1).collect();
+            bm.keys.push(key);
+            bm.containers.push(Container::from_sorted_lows(&lows));
+            i = j;
+        }
+        bm
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.keys.binary_search(&key) {
+            Ok(pos) => self.containers[pos].insert(low),
+            Err(pos) => {
+                self.keys.insert(pos, key);
+                self.containers.insert(pos, Container::singleton(low));
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                let removed = self.containers[pos].remove(low);
+                if removed && self.containers[pos].is_empty() {
+                    self.keys.remove(pos);
+                    self.containers.remove(pos);
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.keys.binary_search(&key) {
+            Ok(pos) => self.containers[pos].contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of set values.
+    pub fn cardinality(&self) -> u64 {
+        self.containers.iter().map(|c| c.cardinality() as u64).sum()
+    }
+
+    /// `true` when no value is set.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Removes all values, keeping allocations in the chunk index.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.containers.clear();
+    }
+
+    /// Smallest set value, if any.
+    pub fn min(&self) -> Option<u32> {
+        let key = *self.keys.first()?;
+        Some(join(key, self.containers.first()?.min()?))
+    }
+
+    /// Largest set value, if any.
+    pub fn max(&self) -> Option<u32> {
+        let key = *self.keys.last()?;
+        Some(join(key, self.containers.last()?.max()?))
+    }
+
+    /// In-place union: `self |= other`. This is the hot operation of
+    /// MVDCube's bitmap propagation (Algorithm 1, line 9).
+    pub fn union_with(&mut self, other: &Bitmap) {
+        let mut out_keys = Vec::with_capacity(self.keys.len() + other.keys.len());
+        let mut out_containers = Vec::with_capacity(out_keys.capacity());
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => {
+                    out_keys.push(self.keys[i]);
+                    out_containers.push(std::mem::take(&mut self.containers[i]));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out_keys.push(other.keys[j]);
+                    out_containers.push(other.containers[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut c = std::mem::take(&mut self.containers[i]);
+                    c.union_with(&other.containers[j]);
+                    out_keys.push(self.keys[i]);
+                    out_containers.push(c);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.keys.len() {
+            out_keys.push(self.keys[i]);
+            out_containers.push(std::mem::take(&mut self.containers[i]));
+            i += 1;
+        }
+        while j < other.keys.len() {
+            out_keys.push(other.keys[j]);
+            out_containers.push(other.containers[j].clone());
+            j += 1;
+        }
+        self.keys = out_keys;
+        self.containers = out_containers;
+    }
+
+    /// Owned union.
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Owned intersection.
+    pub fn intersect(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = self.containers[i].intersect(&other.containers[j]);
+                    if !c.is_empty() {
+                        out.keys.push(self.keys[i]);
+                        out.containers.push(c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Cardinality of the intersection without materializing it. Used by the
+    /// maximal-frequent-itemset miner for support counting.
+    pub fn intersect_len(&self, other: &Bitmap) -> u64 {
+        let mut total = 0u64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    total += self.containers[i].intersect_len(&other.containers[j]) as u64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Owned difference `self \ other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let mut j = 0;
+        for (i, &key) in self.keys.iter().enumerate() {
+            while j < other.keys.len() && other.keys[j] < key {
+                j += 1;
+            }
+            if j < other.keys.len() && other.keys[j] == key {
+                let c = self.containers[i].and_not(&other.containers[j]);
+                if !c.is_empty() {
+                    out.keys.push(key);
+                    out.containers.push(c);
+                }
+            } else {
+                out.keys.push(key);
+                out.containers.push(self.containers[i].clone());
+            }
+        }
+        out
+    }
+
+    /// `true` if the two bitmaps share no value.
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        self.intersect_len(other) == 0
+    }
+
+    /// `true` if every value of `self` is in `other`.
+    pub fn is_subset(&self, other: &Bitmap) -> bool {
+        self.intersect_len(other) == self.cardinality()
+    }
+
+    /// Iterates the set values in increasing order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter { bm: self, chunk: 0, inner: None }
+    }
+
+    /// Number of values strictly smaller than `value`.
+    pub fn rank(&self, value: u32) -> u64 {
+        let (key, low) = split(value);
+        let mut total = 0u64;
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k < key {
+                total += self.containers[i].cardinality() as u64;
+            } else if k == key {
+                total += self.containers[i].rank(low) as u64;
+                break;
+            } else {
+                break;
+            }
+        }
+        total
+    }
+
+    /// The `n`-th smallest value (0-based), if cardinality > n.
+    pub fn select(&self, mut n: u64) -> Option<u32> {
+        for (i, c) in self.containers.iter().enumerate() {
+            let card = c.cardinality() as u64;
+            if n < card {
+                return Some(join(self.keys[i], c.select(n as u16)?));
+            }
+            n -= card;
+        }
+        None
+    }
+
+    /// Worst-case byte size bound from the paper's memory analysis (Sec. 4.3):
+    /// `M_RB = 2·Z + 9·(u/65535 + 1) + 8` for `Z` integers in `[0, u)`.
+    pub fn size_bound_bytes(cardinality: u64, universe: u64) -> u64 {
+        2 * cardinality + 9 * (universe / 65535 + 1) + 8
+    }
+
+    /// Actual heap bytes used by container payloads (diagnostic).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * 2 + self.containers.iter().map(|c| c.heap_bytes()).sum::<usize>()
+    }
+
+    /// Number of chunks currently using the dense bitset representation.
+    pub fn bitset_containers(&self) -> usize {
+        self.containers.iter().filter(|c| matches!(c, Container::Bitset(_))).count()
+    }
+
+    /// The canonical sparse→dense conversion threshold (4096).
+    pub const fn dense_threshold() -> usize {
+        ARRAY_TO_BITSET_THRESHOLD
+    }
+
+    /// Collects the values into a `Vec` (ascending).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let card = self.cardinality();
+        if card <= 16 {
+            write!(f, "Bitmap{:?}", self.to_vec())
+        } else {
+            write!(
+                f,
+                "Bitmap{{card={}, min={:?}, max={:?}}}",
+                card,
+                self.min(),
+                self.max()
+            )
+        }
+    }
+}
+
+impl FromIterator<u32> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Bitmap::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = u32;
+    type IntoIter = BitmapIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over a [`Bitmap`].
+pub struct BitmapIter<'a> {
+    bm: &'a Bitmap,
+    chunk: usize,
+    inner: Option<container::ContainerIter<'a>>,
+}
+
+impl<'a> Iterator for BitmapIter<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some(inner) = &mut self.inner {
+                if let Some(low) = inner.next() {
+                    return Some(join(self.bm.keys[self.chunk - 1], low));
+                }
+                self.inner = None;
+            }
+            if self.chunk >= self.bm.containers.len() {
+                return None;
+            }
+            self.inner = Some(self.bm.containers[self.chunk].iter());
+            self.chunk += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bm = Bitmap::new();
+        assert!(bm.insert(42));
+        assert!(!bm.insert(42));
+        assert!(bm.contains(42));
+        assert!(!bm.contains(41));
+        assert!(bm.remove(42));
+        assert!(!bm.remove(42));
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn cross_chunk_values() {
+        let mut bm = Bitmap::new();
+        for v in [0u32, 65_535, 65_536, 1 << 20, u32::MAX] {
+            bm.insert(v);
+        }
+        assert_eq!(bm.cardinality(), 5);
+        assert_eq!(bm.to_vec(), vec![0, 65_535, 65_536, 1 << 20, u32::MAX]);
+        assert_eq!(bm.min(), Some(0));
+        assert_eq!(bm.max(), Some(u32::MAX));
+    }
+
+    #[test]
+    fn dense_conversion_roundtrip() {
+        let mut bm = Bitmap::new();
+        for v in 0..10_000u32 {
+            bm.insert(v);
+        }
+        assert_eq!(bm.bitset_containers(), 1);
+        assert_eq!(bm.cardinality(), 10_000);
+        for v in (0..10_000).step_by(7) {
+            assert!(bm.contains(v));
+        }
+        // Shrink below threshold again: representation converts back.
+        for v in 100..10_000u32 {
+            bm.remove(v);
+        }
+        assert_eq!(bm.cardinality(), 100);
+        assert_eq!(bm.bitset_containers(), 0);
+    }
+
+    #[test]
+    fn union_models_fact_consolidation() {
+        // The Lemma-1 scenario: one fact (id 7) sits in two parent cells;
+        // OR-ing the parent bitmaps into the child keeps it a single member.
+        let a = Bitmap::from_iter([7u32]);
+        let b = Bitmap::from_iter([7u32]);
+        let child = a.union(&b);
+        assert_eq!(child.cardinality(), 1);
+    }
+
+    #[test]
+    fn union_disjoint_and_overlapping() {
+        let a = Bitmap::from_iter([1u32, 5, 100_000]);
+        let b = Bitmap::from_iter([2u32, 5, 200_000]);
+        let u = a.union(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 5, 100_000, 200_000]);
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let a = Bitmap::from_iter(0..100u32);
+        let b = Bitmap::from_iter(50..150u32);
+        assert_eq!(a.intersect(&b).cardinality(), 50);
+        assert_eq!(a.intersect_len(&b), 50);
+        assert_eq!(a.and_not(&b).to_vec(), (0..50).collect::<Vec<_>>());
+        assert!(a.intersect(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn rank_select_are_inverse() {
+        let values = [3u32, 17, 65_536, 65_540, 1_000_000];
+        let bm = Bitmap::from_sorted(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(bm.rank(v), i as u64);
+            assert_eq!(bm.select(i as u64), Some(v));
+        }
+        assert_eq!(bm.select(5), None);
+        assert_eq!(bm.rank(u32::MAX), 5);
+    }
+
+    #[test]
+    fn from_sorted_matches_inserts() {
+        let values: Vec<u32> = (0..5000).map(|i| i * 13).collect();
+        let a = Bitmap::from_sorted(&values);
+        let b = Bitmap::from_iter(values.iter().copied());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_size_bound_formula() {
+        // Beyond a fixed overhead for the universe size, RBs never use more
+        // than 2 bytes per integer (Sec. 4.3).
+        assert_eq!(Bitmap::size_bound_bytes(0, 65_534), 17);
+        assert_eq!(Bitmap::size_bound_bytes(1000, 65_534), 2017);
+        let b = Bitmap::size_bound_bytes(1_000_000, 1 << 30);
+        assert!(b < 2 * 1_000_000 + 9 * ((1u64 << 30) / 65_535 + 2) + 8);
+    }
+
+    #[test]
+    fn full_covers_range() {
+        let bm = Bitmap::full(70_000);
+        assert_eq!(bm.cardinality(), 70_000);
+        assert!(bm.contains(0) && bm.contains(69_999) && !bm.contains(70_000));
+    }
+
+    #[test]
+    fn iterator_is_sorted_across_chunks() {
+        let mut bm = Bitmap::new();
+        let mut values = vec![];
+        for i in 0..2000u32 {
+            let v = i.wrapping_mul(2_654_435_761) % 500_000;
+            bm.insert(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(bm.to_vec(), values);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: the bitmap must agree with a `BTreeSet<u32>` reference
+//! model under every supported operation.
+
+use proptest::prelude::*;
+use spade_bitmap::Bitmap;
+use std::collections::BTreeSet;
+
+fn values() -> impl Strategy<Value = Vec<u32>> {
+    // Mix of small dense values (exercising bitset containers via clustering)
+    // and scattered large values (exercising many chunks).
+    prop::collection::vec(
+        prop_oneof![0u32..10_000, 60_000u32..70_000, any::<u32>()],
+        0..600,
+    )
+}
+
+proptest! {
+    #[test]
+    fn matches_btreeset_model(a in values(), b in values()) {
+        let set_a: BTreeSet<u32> = a.iter().copied().collect();
+        let set_b: BTreeSet<u32> = b.iter().copied().collect();
+        let bm_a = Bitmap::from_iter(a.iter().copied());
+        let bm_b = Bitmap::from_iter(b.iter().copied());
+
+        prop_assert_eq!(bm_a.cardinality(), set_a.len() as u64);
+        prop_assert_eq!(bm_a.to_vec(), set_a.iter().copied().collect::<Vec<_>>());
+
+        let union: Vec<u32> = set_a.union(&set_b).copied().collect();
+        prop_assert_eq!(bm_a.union(&bm_b).to_vec(), union);
+
+        let inter: Vec<u32> = set_a.intersection(&set_b).copied().collect();
+        prop_assert_eq!(bm_a.intersect(&bm_b).to_vec(), inter.clone());
+        prop_assert_eq!(bm_a.intersect_len(&bm_b), inter.len() as u64);
+
+        let diff: Vec<u32> = set_a.difference(&set_b).copied().collect();
+        prop_assert_eq!(bm_a.and_not(&bm_b).to_vec(), diff);
+
+        prop_assert_eq!(bm_a.is_disjoint(&bm_b), set_a.is_disjoint(&set_b));
+        prop_assert_eq!(bm_a.is_subset(&bm_b), set_a.is_subset(&set_b));
+        prop_assert_eq!(bm_a.min(), set_a.iter().next().copied());
+        prop_assert_eq!(bm_a.max(), set_a.iter().next_back().copied());
+    }
+
+    #[test]
+    fn insert_remove_sequences(ops in prop::collection::vec((any::<bool>(), 0u32..50_000), 0..800)) {
+        let mut bm = Bitmap::new();
+        let mut model = BTreeSet::new();
+        for (is_insert, v) in ops {
+            if is_insert {
+                prop_assert_eq!(bm.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(bm.remove(v), model.remove(&v));
+            }
+        }
+        prop_assert_eq!(bm.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_select_consistency(vals in values()) {
+        let bm = Bitmap::from_iter(vals.iter().copied());
+        let sorted = bm.to_vec();
+        for (i, &v) in sorted.iter().enumerate() {
+            prop_assert_eq!(bm.rank(v), i as u64);
+            prop_assert_eq!(bm.select(i as u64), Some(v));
+        }
+        prop_assert_eq!(bm.select(sorted.len() as u64), None);
+    }
+
+    #[test]
+    fn union_is_commutative_associative(a in values(), b in values(), c in values()) {
+        let (ba, bb, bc) = (
+            Bitmap::from_iter(a.iter().copied()),
+            Bitmap::from_iter(b.iter().copied()),
+            Bitmap::from_iter(c.iter().copied()),
+        );
+        prop_assert_eq!(ba.union(&bb), bb.union(&ba));
+        prop_assert_eq!(ba.union(&bb).union(&bc), ba.union(&bb.union(&bc)));
+        // Idempotence — unioning a parent cell into a child twice must not
+        // change the member set (fact consolidation safety).
+        prop_assert_eq!(ba.union(&ba), ba);
+    }
+}

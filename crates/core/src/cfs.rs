@@ -1,0 +1,214 @@
+//! Candidate Fact Set Selection (Section 3, Step 1).
+//!
+//! "Spade identifies CFSs in three ways: (i) type-based: for each type T in
+//! the graph, the set of RDF nodes of type T; (ii) property-based: for a
+//! (user-specified) set of properties, all the RDF nodes having those
+//! outgoing properties; (iii) summary-based: each set of RDF nodes
+//! identified as equivalent by the RDFQuotient summary."
+
+use crate::config::SpadeConfig;
+use spade_rdf::{Graph, TermId};
+use spade_summary::weak_summary;
+use std::collections::HashSet;
+
+/// Which selection strategies to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfsStrategy {
+    /// One CFS per `rdf:type` class.
+    TypeBased,
+    /// One CFS for the nodes having *all* the named outgoing properties.
+    PropertyBased(Vec<String>),
+    /// One CFS per weak-summary equivalence class.
+    SummaryBased,
+}
+
+/// A candidate fact set: a named set of RDF nodes to aggregate over.
+#[derive(Clone, Debug)]
+pub struct CandidateFactSet {
+    /// Human-readable origin, e.g. `type:CEO` or `summary:3`.
+    pub name: String,
+    /// The member nodes, sorted (fact ids follow this order).
+    pub members: Vec<TermId>,
+}
+
+impl CandidateFactSet {
+    /// `|CFS|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no member.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Runs the given strategies and returns deduplicated CFSs, largest first,
+/// filtered by `min_cfs_size` and capped at `max_cfs`.
+pub fn select(
+    graph: &mut Graph,
+    strategies: &[CfsStrategy],
+    config: &SpadeConfig,
+) -> Vec<CandidateFactSet> {
+    let mut out: Vec<CandidateFactSet> = Vec::new();
+    let mut seen_member_sets: HashSet<Vec<TermId>> = HashSet::new();
+
+    for strategy in strategies {
+        match strategy {
+            CfsStrategy::TypeBased => {
+                let classes: Vec<TermId> = graph.classes().collect();
+                for class in classes {
+                    let members = graph.nodes_of_type(class);
+                    push_unique(
+                        &mut out,
+                        &mut seen_member_sets,
+                        format!("type:{}", graph.dict.display(class)),
+                        members,
+                    );
+                }
+            }
+            CfsStrategy::PropertyBased(names) => {
+                let props: Vec<TermId> = names
+                    .iter()
+                    .filter_map(|n| {
+                        graph
+                            .properties()
+                            .find(|&p| graph.dict.display(p) == *n)
+                    })
+                    .collect();
+                if props.len() == names.len() && !props.is_empty() {
+                    let members = graph.subjects_with_properties(&props);
+                    push_unique(
+                        &mut out,
+                        &mut seen_member_sets,
+                        format!("props:{}", names.join("+")),
+                        members,
+                    );
+                }
+            }
+            CfsStrategy::SummaryBased => {
+                let summary = weak_summary(graph);
+                for class in &summary.classes {
+                    push_unique(
+                        &mut out,
+                        &mut seen_member_sets,
+                        format!("summary:{}", class.id),
+                        class.members.clone(),
+                    );
+                }
+            }
+        }
+    }
+
+    out.retain(|c| c.len() >= config.min_cfs_size);
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.name.cmp(&b.name)));
+    out.truncate(config.max_cfs);
+    out
+}
+
+fn push_unique(
+    out: &mut Vec<CandidateFactSet>,
+    seen: &mut HashSet<Vec<TermId>>,
+    name: String,
+    mut members: Vec<TermId>,
+) {
+    members.sort_unstable();
+    members.dedup();
+    if members.is_empty() || !seen.insert(members.clone()) {
+        return;
+    }
+    out.push(CandidateFactSet { name, members });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_datagen::ceos_figure1;
+
+    fn small_config() -> SpadeConfig {
+        SpadeConfig { min_cfs_size: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn type_based_finds_classes() {
+        let mut g = ceos_figure1();
+        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &small_config());
+        let names: Vec<&str> = cfs.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"type:CEO"));
+        assert!(names.contains(&"type:Company"));
+        assert!(names.contains(&"type:Politician"));
+        let ceo = cfs.iter().find(|c| c.name == "type:CEO").unwrap();
+        assert_eq!(ceo.len(), 2);
+    }
+
+    #[test]
+    fn property_based_intersects() {
+        let mut g = ceos_figure1();
+        let cfs = select(
+            &mut g,
+            &[CfsStrategy::PropertyBased(vec!["netWorth".into(), "nationality".into()])],
+            &small_config(),
+        );
+        assert_eq!(cfs.len(), 1);
+        assert_eq!(cfs[0].len(), 2); // both CEOs
+        assert!(cfs[0].name.starts_with("props:"));
+    }
+
+    #[test]
+    fn unknown_property_yields_nothing() {
+        let mut g = ceos_figure1();
+        let cfs = select(
+            &mut g,
+            &[CfsStrategy::PropertyBased(vec!["noSuchProperty".into()])],
+            &small_config(),
+        );
+        assert!(cfs.is_empty());
+    }
+
+    #[test]
+    fn summary_based_groups_structurally() {
+        let mut g = ceos_figure1();
+        let cfs = select(&mut g, &[CfsStrategy::SummaryBased], &small_config());
+        assert!(!cfs.is_empty());
+        for c in &cfs {
+            assert!(c.name.starts_with("summary:"));
+            assert!(c.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn duplicates_across_strategies_removed() {
+        let mut g = ceos_figure1();
+        let both = select(
+            &mut g,
+            &[CfsStrategy::TypeBased, CfsStrategy::SummaryBased],
+            &small_config(),
+        );
+        // No two CFSs may have identical member sets.
+        let mut sets: Vec<&[TermId]> = both.iter().map(|c| c.members.as_slice()).collect();
+        sets.sort();
+        let before = sets.len();
+        sets.dedup();
+        assert_eq!(sets.len(), before);
+    }
+
+    #[test]
+    fn min_size_and_cap_apply() {
+        let mut g = ceos_figure1();
+        let cfg = SpadeConfig { min_cfs_size: 3, max_cfs: 1, ..Default::default() };
+        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &cfg);
+        assert!(cfs.len() <= 1);
+        for c in &cfs {
+            assert!(c.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn sorted_largest_first() {
+        let mut g = ceos_figure1();
+        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &small_config());
+        for w in cfs.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Spade's tunable parameters — the thresholds Section 3's rule-based
+//! pruning refers to, plus evaluation knobs.
+
+use spade_cube::EarlyStopConfig;
+use spade_stats::Interestingness;
+use spade_storage::AggFn;
+
+/// End-to-end configuration of a Spade run.
+#[derive(Clone, Debug)]
+pub struct SpadeConfig {
+    /// How many aggregates to return (`k`).
+    pub k: usize,
+    /// The interestingness function `h` the user chose.
+    pub interestingness: Interestingness,
+
+    // —— CFS selection (Step 1) ——
+    /// Smallest CFS worth analyzing.
+    pub min_cfs_size: usize,
+    /// Largest number of CFSs to analyze (biggest first); caps run time on
+    /// very heterogeneous graphs.
+    pub max_cfs: usize,
+
+    // —— attribute rules (Steps 2–3) ——
+    /// "Dimensions and measures must be frequent": minimum support as a
+    /// fraction of `|CFS|`.
+    pub min_support: f64,
+    /// "Dimensions should not have too many distinct values when compared
+    /// to the number of facts": cap on `distinct/|CFS|`.
+    pub max_distinct_ratio: f64,
+    /// Absolute distinct-value cap for dimensions (the synthetic benchmark
+    /// uses ≤ 100 "so that they are considered good dimensions").
+    pub max_distinct_values: usize,
+    /// Maximum lattice dimensionality `N` ("readability … is maximized at
+    /// … N ∈ {1, 2, 3, 4}").
+    pub max_lattice_dims: usize,
+    /// Dimension stop list (attribute names the user excluded — the
+    /// Section 6.1 "human-in-the-loop" hook, e.g. `nationality/image`).
+    pub dimension_stop_list: Vec<String>,
+
+    // —— derivations (offline phase) ——
+    /// Generate derived properties at all (Experiment 1's woD/wD switch).
+    pub enable_derivations: bool,
+    /// Minimum keyword length for the keyword derivation.
+    pub keyword_min_len: usize,
+    /// Maximum number of path derivations (`p/q`) to enumerate per graph.
+    pub max_path_derivations: usize,
+
+    // —— evaluation (Step 4) ——
+    /// Aggregate functions assigned to every measure (the statistics-guided
+    /// assignment of Step 2; the default covers the common cases).
+    pub agg_fns: Vec<AggFn>,
+    /// Early-stop pruning on/off plus its parameters.
+    pub early_stop: Option<EarlyStopConfig>,
+}
+
+impl Default for SpadeConfig {
+    fn default() -> Self {
+        SpadeConfig {
+            k: 10,
+            interestingness: Interestingness::Variance,
+            min_cfs_size: 10,
+            max_cfs: 50,
+            min_support: 0.1,
+            max_distinct_ratio: 0.5,
+            max_distinct_values: 100,
+            max_lattice_dims: 3,
+            dimension_stop_list: Vec::new(),
+            enable_derivations: true,
+            keyword_min_len: 4,
+            max_path_derivations: 200,
+            agg_fns: vec![AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max],
+            early_stop: None,
+        }
+    }
+}
+
+impl SpadeConfig {
+    /// Enables early-stop with the paper's empirically good settings
+    /// (sample size 60, 2 batches) for this config's `k` and `h`.
+    pub fn with_early_stop(mut self) -> Self {
+        self.early_stop = Some(EarlyStopConfig {
+            k: self.k,
+            h: self.interestingness,
+            ..EarlyStopConfig::default()
+        });
+        self
+    }
+
+    /// Disables derivations (Experiment 1's `woD` setting).
+    pub fn without_derivations(mut self) -> Self {
+        self.enable_derivations = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SpadeConfig::default();
+        assert!(c.min_support > 0.0 && c.min_support < 1.0);
+        assert!(c.max_lattice_dims >= 1 && c.max_lattice_dims <= 4);
+        assert!(c.early_stop.is_none());
+    }
+
+    #[test]
+    fn with_early_stop_propagates_k_and_h() {
+        let c = SpadeConfig { k: 3, interestingness: Interestingness::Skewness, ..Default::default() }
+            .with_early_stop();
+        let es = c.early_stop.unwrap();
+        assert_eq!(es.k, 3);
+        assert_eq!(es.h, Interestingness::Skewness);
+    }
+
+    #[test]
+    fn without_derivations_switch() {
+        assert!(!SpadeConfig::default().without_derivations().enable_derivations);
+    }
+}

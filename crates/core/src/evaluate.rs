@@ -1,0 +1,181 @@
+//! Aggregate Evaluation (Section 3, Step 4).
+//!
+//! Wires the enumerated lattices into MVDCube, with two cost savers:
+//!
+//! * **cross-lattice sharing** — "Spade ensures that the results of
+//!   evaluated MDAs are reused (not recomputed) in the other lattices where
+//!   they appear": a `(dimension set, MDA)` pair evaluated by one lattice is
+//!   marked dead in every later lattice of the same CFS;
+//! * **early-stop** — when enabled, the Section 5 pruning runs on the
+//!   stratified samples collected during data translation, and only the
+//!   surviving MDAs are computed.
+
+use crate::analysis::CfsAnalysis;
+use crate::config::SpadeConfig;
+use crate::enumeration::LatticeSpec;
+use spade_cube::earlystop;
+use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
+use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
+use std::collections::{HashMap, HashSet};
+
+/// The evaluation output for one CFS.
+#[derive(Debug, Default)]
+pub struct CfsEvaluation {
+    /// One result per lattice (parallel to the input specs).
+    pub results: Vec<CubeResult>,
+    /// `(node, MDA)` aggregates actually computed (after sharing + ES).
+    pub evaluated_aggregates: usize,
+    /// Aggregates enumerated for this CFS (after cross-lattice sharing,
+    /// before early-stop) — the Table 2 `#A` contribution.
+    pub enumerated_aggregates: usize,
+    /// Aggregates removed by early-stop.
+    pub pruned_by_es: usize,
+}
+
+/// Evaluates all lattices of one CFS.
+pub fn evaluate_cfs(
+    analysis: &CfsAnalysis,
+    lattices: &[LatticeSpec],
+    config: &SpadeConfig,
+) -> CfsEvaluation {
+    let mut evaluation = CfsEvaluation::default();
+    // `(sorted dim attribute ids, MDA label)` pairs already evaluated in an
+    // earlier lattice of this CFS.
+    let mut shared: HashSet<(Vec<usize>, String)> = HashSet::new();
+    let options = MvdCubeOptions::default();
+
+    for lattice_spec in lattices {
+        let dims: Vec<_> = lattice_spec
+            .dims
+            .iter()
+            .map(|&d| analysis.attributes[d].categorical.as_ref().expect("dimension column"))
+            .collect();
+        let measures: Vec<MeasureSpec<'_>> = lattice_spec
+            .measures
+            .iter()
+            .map(|&m| MeasureSpec {
+                preagg: analysis.attributes[m].numeric.as_ref().expect("measure column"),
+                fns: config.agg_fns.clone(),
+            })
+            .collect();
+        let spec = CubeSpec::new(dims, measures, analysis.n_facts());
+        let mdas = spec.mdas();
+
+        // Cross-lattice sharing: mark duplicated (dim set, MDA) pairs dead.
+        let n_dims = lattice_spec.dims.len();
+        let mut alive: HashMap<u32, Vec<bool>> = HashMap::new();
+        for mask in 0u32..(1 << n_dims) {
+            let dim_attrs: Vec<usize> = (0..n_dims)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| lattice_spec.dims[i])
+                .collect();
+            let flags: Vec<bool> = mdas
+                .iter()
+                .map(|mda| shared.insert((dim_attrs.clone(), mda.label.clone())))
+                .collect();
+            evaluation.enumerated_aggregates += flags.iter().filter(|&&f| f).count();
+            alive.insert(mask, flags);
+        }
+
+        // Early-stop pruning on top of sharing.
+        let sample_cap = config.early_stop.map(|es| es.sample_size);
+        let (lattice, translation) = prepare(&spec, &options, sample_cap);
+        if let Some(es_config) = &config.early_stop {
+            let samples = translation.samples.clone().expect("sampling enabled");
+            let outcome = earlystop::prune(&spec, &lattice, &samples, es_config);
+            for (mask, flags) in &mut alive {
+                let es_flags = &outcome.alive[mask];
+                for (i, f) in flags.iter_mut().enumerate() {
+                    if *f && !es_flags[i] {
+                        *f = false;
+                        evaluation.pruned_by_es += 1;
+                    }
+                }
+            }
+        }
+
+        evaluation.evaluated_aggregates +=
+            alive.values().map(|f| f.iter().filter(|&&x| x).count()).sum::<usize>();
+        let result = mvd_cube_pruned(&spec, &options, &lattice, &translation, &alive);
+        evaluation.results.push(result);
+    }
+    evaluation
+}
+
+#[cfg(test)]
+impl SpadeConfig {
+    /// Test helper: same config with early-stop off.
+    fn clone_without_es(&self) -> SpadeConfig {
+        SpadeConfig { early_stop: None, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_cfs;
+    use crate::cfs::{select, CfsStrategy};
+    use crate::enumeration::enumerate;
+    use crate::offline;
+    use spade_datagen::{realistic, RealisticConfig};
+
+    fn setup() -> (CfsAnalysis, Vec<LatticeSpec>, SpadeConfig) {
+        let mut g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
+        let config = SpadeConfig { min_support: 0.3, ..Default::default() };
+        let stats = offline::analyze(&g);
+        let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
+        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
+        let analysis = analyze_cfs(&g, ceo, &derived, &config);
+        let lattices = enumerate(&analysis, &config);
+        (analysis, lattices, config)
+    }
+
+    #[test]
+    fn evaluates_every_lattice() {
+        let (analysis, lattices, config) = setup();
+        assert!(!lattices.is_empty());
+        let eval = evaluate_cfs(&analysis, &lattices, &config);
+        assert_eq!(eval.results.len(), lattices.len());
+        assert!(eval.evaluated_aggregates > 0);
+        assert_eq!(eval.evaluated_aggregates, eval.enumerated_aggregates);
+        // Every result has a populated root node.
+        for (r, l) in eval.results.iter().zip(&lattices) {
+            let root = (1u32 << l.dims.len()) - 1;
+            assert!(r.node(root).is_some());
+        }
+    }
+
+    #[test]
+    fn sharing_avoids_recomputation_across_lattices() {
+        let (analysis, lattices, config) = setup();
+        if lattices.len() < 2 {
+            // The sharing path is still exercised inside one lattice run;
+            // nothing to assert across lattices.
+            return;
+        }
+        let eval = evaluate_cfs(&analysis, &lattices, &config);
+        let independent: usize = lattices
+            .iter()
+            .map(|l| l.mda_count(config.agg_fns.len()))
+            .sum();
+        assert!(
+            eval.enumerated_aggregates <= independent,
+            "sharing cannot increase the aggregate count"
+        );
+    }
+
+    #[test]
+    fn early_stop_reduces_computed_aggregates() {
+        let (analysis, lattices, config) = setup();
+        let es_config = SpadeConfig { k: 3, ..config }.with_early_stop();
+        let plain = evaluate_cfs(&analysis, &lattices, &es_config.clone_without_es());
+        let pruned = evaluate_cfs(&analysis, &lattices, &es_config);
+        assert!(pruned.pruned_by_es > 0, "expected pruning on a 250-fact CFS");
+        assert!(pruned.evaluated_aggregates < plain.evaluated_aggregates);
+        assert_eq!(
+            pruned.evaluated_aggregates + pruned.pruned_by_es,
+            plain.evaluated_aggregates
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Spade — automatic discovery of the k most interesting aggregates in an
+//! RDF graph (the paper's end-to-end system, Figure 2).
+//!
+//! The pipeline has an **offline** phase — summary construction, offline
+//! attribute analysis, derived-property enumeration, pre-aggregation — and
+//! an **online** phase with five steps:
+//!
+//! 1. Candidate Fact Set Selection ([`cfs`]): type-based, property-based,
+//!    and summary-based strategies;
+//! 2. Online Attribute Analysis ([`analysis`]): per-CFS statistics over
+//!    direct and derived attributes, materialized as dimension/measure
+//!    columns;
+//! 3. Aggregate Enumeration ([`enumeration`] + [`mfs`]): maximal frequent
+//!    attribute sets become lattice roots; rule-based pruning removes
+//!    meaningless candidates;
+//! 4. Aggregate Evaluation ([`evaluate`]): MVDCube with optional early-stop
+//!    pruning, results shared across overlapping lattices;
+//! 5. Top-k Computation ([`pipeline`]): interestingness scoring through the
+//!    Aggregate Result Manager.
+//!
+//! [`Spade`] ties everything together; see `examples/quickstart.rs` for the
+//! three-line entry point.
+
+pub mod analysis;
+pub mod attr;
+pub mod cfs;
+pub mod config;
+pub mod enumeration;
+pub mod evaluate;
+pub mod mfs;
+pub mod offline;
+pub mod pipeline;
+pub mod sparql;
+pub mod text;
+pub mod viz;
+
+pub use analysis::{AnalyzedAttribute, CfsAnalysis};
+pub use attr::{AttrKind, AttributeDef};
+pub use cfs::{CandidateFactSet, CfsStrategy};
+pub use config::SpadeConfig;
+pub use enumeration::LatticeSpec;
+pub use offline::{OfflineStats, PropertyStats};
+pub use pipeline::{DatasetProfile, Spade, SpadeReport, StepTimings, TopAggregate};

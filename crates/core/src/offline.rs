@@ -1,0 +1,303 @@
+//! Offline Attribute Analysis and Derived Property Enumeration (Section 3,
+//! offline phase).
+//!
+//! "we perform Offline Attribute Analysis with three main purposes: (i) to
+//! gather a set of statistics for each property in the graph, (ii) to
+//! determine if derivations should be generated for a given property, and
+//! (iii) to decide if pre-aggregated values of some properties should be
+//! computed and stored in the database."
+
+use crate::attr::{AttrKind, AttributeDef};
+use crate::config::SpadeConfig;
+use crate::text;
+use spade_rdf::{vocab, Graph, Term, TermId, ValueKind};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics of one property over the whole graph.
+#[derive(Clone, Debug)]
+pub struct PropertyStats {
+    /// The property.
+    pub property: TermId,
+    /// Display name.
+    pub name: String,
+    /// Number of `(s, o)` pairs.
+    pub triples: usize,
+    /// Distinct subjects carrying the property.
+    pub subjects: usize,
+    /// Distinct object values.
+    pub distinct_values: usize,
+    /// Subjects with more than one value (multi-valued property carrier).
+    pub multi_valued_subjects: usize,
+    /// Values with a numeric interpretation.
+    pub numeric_values: usize,
+    /// Object values that are resources with outgoing edges (link ends).
+    pub link_values: usize,
+    /// Values that look like free text (≥ 3 words).
+    pub text_values: usize,
+    /// Min/max over numeric values, if any.
+    pub numeric_bounds: Option<(f64, f64)>,
+}
+
+impl PropertyStats {
+    /// `true` when some subject carries several values.
+    pub fn is_multi_valued(&self) -> bool {
+        self.multi_valued_subjects > 0
+    }
+
+    /// `true` when the property mostly links to other described nodes —
+    /// a path-derivation source.
+    pub fn is_link(&self) -> bool {
+        self.link_values * 2 > self.triples
+    }
+
+    /// `true` when the property mostly carries free text — a keyword /
+    /// language derivation source.
+    pub fn is_text(&self) -> bool {
+        self.text_values * 2 > self.triples
+    }
+
+    /// `true` when the property mostly carries numbers.
+    pub fn is_numeric(&self) -> bool {
+        self.numeric_values * 2 > self.triples
+    }
+}
+
+/// The offline statistics of all data properties.
+#[derive(Clone, Debug, Default)]
+pub struct OfflineStats {
+    /// Per-property statistics, most frequent first.
+    pub properties: Vec<PropertyStats>,
+    by_id: HashMap<TermId, usize>,
+}
+
+impl OfflineStats {
+    /// Looks a property's statistics up.
+    pub fn get(&self, p: TermId) -> Option<&PropertyStats> {
+        self.by_id.get(&p).map(|&i| &self.properties[i])
+    }
+
+    /// Number of (data) properties — Table 2's `#P`.
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+}
+
+/// Properties that are RDF(S) machinery rather than data.
+fn is_schema_property(graph: &Graph, p: TermId) -> bool {
+    match graph.dict.term(p) {
+        Term::Iri(iri) => {
+            iri == vocab::RDF_TYPE
+                || iri == vocab::RDFS_SUBCLASSOF
+                || iri == vocab::RDFS_SUBPROPERTYOF
+                || iri == vocab::RDFS_DOMAIN
+                || iri == vocab::RDFS_RANGE
+        }
+        _ => false,
+    }
+}
+
+/// Gathers per-property statistics over the whole graph.
+pub fn analyze(graph: &Graph) -> OfflineStats {
+    let mut stats = OfflineStats::default();
+    let props: Vec<TermId> = graph.properties().collect();
+    for p in props {
+        if is_schema_property(graph, p) {
+            continue;
+        }
+        let pairs = graph.property_pairs(p);
+        let mut subjects: HashMap<TermId, usize> = HashMap::new();
+        let mut values: HashSet<TermId> = HashSet::new();
+        let mut numeric = 0usize;
+        let mut link = 0usize;
+        let mut textv = 0usize;
+        let mut bounds: Option<(f64, f64)> = None;
+        for &(s, o) in pairs {
+            *subjects.entry(s).or_default() += 1;
+            values.insert(o);
+            let term = graph.dict.term(o);
+            if let Some(v) = term.numeric_value() {
+                numeric += 1;
+                bounds = Some(match bounds {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+            if term.is_resource() && !graph.outgoing(o).is_empty() {
+                link += 1;
+            }
+            if let Some(l) = term.as_literal() {
+                if term.value_kind() == ValueKind::String && text::is_texty(&l.lexical) {
+                    textv += 1;
+                }
+            }
+        }
+        let multi = subjects.values().filter(|&&c| c > 1).count();
+        stats.properties.push(PropertyStats {
+            property: p,
+            name: graph.dict.display(p),
+            triples: pairs.len(),
+            subjects: subjects.len(),
+            distinct_values: values.len(),
+            multi_valued_subjects: multi,
+            numeric_values: numeric,
+            link_values: link,
+            text_values: textv,
+            numeric_bounds: bounds,
+        });
+    }
+    stats.properties.sort_by(|a, b| b.triples.cmp(&a.triples).then(a.property.cmp(&b.property)));
+    stats.by_id =
+        stats.properties.iter().enumerate().map(|(i, s)| (s.property, i)).collect();
+    stats
+}
+
+/// How many derivations of each kind were enumerated (Table 2's `#DP`
+/// columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DerivationCounts {
+    /// Keyword derivations.
+    pub kw: usize,
+    /// Language derivations.
+    pub lang: usize,
+    /// Count derivations.
+    pub count: usize,
+    /// Path derivations (length 1).
+    pub path: usize,
+}
+
+impl DerivationCounts {
+    /// Total derived properties.
+    pub fn total(&self) -> usize {
+        self.kw + self.lang + self.count + self.path
+    }
+}
+
+/// Enumerates the graph-wide derived properties guided by the offline
+/// statistics (Derived Property Enumeration).
+pub fn enumerate_derivations(
+    graph: &Graph,
+    stats: &OfflineStats,
+    config: &SpadeConfig,
+) -> (Vec<AttributeDef>, DerivationCounts) {
+    let mut out = Vec::new();
+    let mut counts = DerivationCounts::default();
+    if !config.enable_derivations {
+        return (out, counts);
+    }
+    for ps in &stats.properties {
+        // (i) property counts for multi-valued properties.
+        if ps.is_multi_valued() {
+            out.push(AttributeDef::new(AttrKind::Count(ps.property), graph));
+            counts.count += 1;
+        }
+        // (ii)/(iii) keywords and language of text properties.
+        if ps.is_text() {
+            out.push(AttributeDef::new(AttrKind::Keywords(ps.property), graph));
+            counts.kw += 1;
+            out.push(AttributeDef::new(AttrKind::Language(ps.property), graph));
+            counts.lang += 1;
+        }
+    }
+    // (iv) paths p/q: p links to nodes carrying q.
+    'outer: for ps in &stats.properties {
+        if !ps.is_link() {
+            continue;
+        }
+        // The properties observed on p's targets, by frequency.
+        let mut target_props: HashMap<TermId, usize> = HashMap::new();
+        for &(_, o) in graph.property_pairs(ps.property) {
+            for &(q, _) in graph.outgoing(o) {
+                if !is_schema_property(graph, q) {
+                    *target_props.entry(q).or_default() += 1;
+                }
+            }
+        }
+        let mut qs: Vec<(TermId, usize)> = target_props.into_iter().collect();
+        qs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (q, _) in qs {
+            if counts.path >= config.max_path_derivations {
+                break 'outer;
+            }
+            out.push(AttributeDef::new(AttrKind::Path(ps.property, q), graph));
+            counts.path += 1;
+        }
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_datagen::ceos_figure1;
+
+    fn stats_for_figure1() -> (Graph, OfflineStats) {
+        let g = ceos_figure1();
+        let s = analyze(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn schema_properties_excluded() {
+        let (_, s) = stats_for_figure1();
+        assert!(s.properties.iter().all(|p| p.name != "type"));
+        assert!(s.property_count() > 5);
+    }
+
+    #[test]
+    fn nationality_is_multi_valued() {
+        let (g, s) = stats_for_figure1();
+        let nat = g.dict.id_of(&Term::iri("http://ceos.example.org/nationality")).unwrap();
+        let ps = s.get(nat).unwrap();
+        assert_eq!(ps.triples, 5); // Angola + Ghosn's four
+        assert_eq!(ps.subjects, 2);
+        assert_eq!(ps.multi_valued_subjects, 1);
+        assert!(ps.is_multi_valued());
+        assert!(!ps.is_link());
+    }
+
+    #[test]
+    fn company_is_a_link_property() {
+        let (g, s) = stats_for_figure1();
+        let company = g.dict.id_of(&Term::iri("http://ceos.example.org/company")).unwrap();
+        assert!(s.get(company).unwrap().is_link());
+    }
+
+    #[test]
+    fn net_worth_is_numeric_with_bounds() {
+        let (g, s) = stats_for_figure1();
+        let nw = g.dict.id_of(&Term::iri("http://ceos.example.org/netWorth")).unwrap();
+        let ps = s.get(nw).unwrap();
+        assert!(ps.is_numeric());
+        assert_eq!(ps.numeric_bounds, Some((1.2e8, 2.8e9)));
+    }
+
+    #[test]
+    fn derivations_cover_all_four_kinds() {
+        let (g, s) = stats_for_figure1();
+        let (defs, counts) = enumerate_derivations(&g, &s, &SpadeConfig::default());
+        assert!(counts.count >= 2, "nationality, company, area are multi-valued");
+        assert!(counts.kw >= 1 && counts.lang >= 1, "description is texty");
+        assert!(counts.path >= 3, "company/area, company/name, politicalConnection/role…");
+        assert_eq!(defs.len(), counts.total());
+        // The famous Example 3 derivation exists.
+        assert!(defs.iter().any(|d| d.name == "company/area"));
+        assert!(defs.iter().any(|d| d.name == "politicalConnection/role"));
+    }
+
+    #[test]
+    fn derivations_disabled_by_config() {
+        let (g, s) = stats_for_figure1();
+        let cfg = SpadeConfig::default().without_derivations();
+        let (defs, counts) = enumerate_derivations(&g, &s, &cfg);
+        assert!(defs.is_empty());
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn path_budget_respected() {
+        let (g, s) = stats_for_figure1();
+        let cfg = SpadeConfig { max_path_derivations: 2, ..Default::default() };
+        let (_, counts) = enumerate_derivations(&g, &s, &cfg);
+        assert_eq!(counts.path, 2);
+    }
+}

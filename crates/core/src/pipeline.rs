@@ -1,0 +1,374 @@
+//! The end-to-end Spade pipeline (Figure 2).
+//!
+//! [`Spade::run`] executes the offline phase (RDFS saturation, offline
+//! attribute analysis, derived-property enumeration) followed by the five
+//! online steps, timing each one — the instrumentation behind Figure 11 —
+//! and returns a [`SpadeReport`] with the dataset profile (Table 2's
+//! columns), the per-step timings, and the global top-k aggregates.
+
+use crate::analysis::{analyze_cfs, CfsAnalysis};
+use crate::cfs::{select, CfsStrategy};
+use crate::config::SpadeConfig;
+use crate::enumeration::{enumerate, LatticeSpec};
+use crate::evaluate::evaluate_cfs;
+use crate::offline::{self, DerivationCounts};
+use spade_cube::arm::top_k_of_result;
+use spade_cube::result::NULL_CODE;
+use spade_rdf::Graph;
+use std::time::{Duration, Instant};
+
+/// Wall-clock duration of each pipeline step (Figure 11's bar segments).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimings {
+    /// Offline phase: saturation, statistics, derivation enumeration.
+    pub offline: Duration,
+    /// Step 1 — Candidate Fact Set Selection.
+    pub cfs_selection: Duration,
+    /// Step 2 — Online Attribute Analysis.
+    pub attribute_analysis: Duration,
+    /// Step 3 — Aggregate Enumeration.
+    pub enumeration: Duration,
+    /// Step 4 — Aggregate Evaluation.
+    pub evaluation: Duration,
+    /// Step 5 — Top-k Computation.
+    pub topk: Duration,
+}
+
+impl StepTimings {
+    /// Total online time (offline excluded, as in Figure 11).
+    pub fn online_total(&self) -> Duration {
+        self.cfs_selection + self.attribute_analysis + self.enumeration + self.evaluation
+            + self.topk
+    }
+}
+
+/// The dataset profile — Table 2's columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DatasetProfile {
+    /// `#triples`.
+    pub triples: usize,
+    /// `#CFSs` analyzed.
+    pub cfs_count: usize,
+    /// `#P` — direct (data) properties in the graph.
+    pub direct_properties: usize,
+    /// `#DP` — derived properties by kind (kw, lang, count, path).
+    pub derivations: DerivationCounts,
+    /// `#A` — aggregates enumerated (after cross-lattice sharing).
+    pub aggregates: usize,
+}
+
+/// One aggregate in the top-k list.
+#[derive(Clone, Debug)]
+pub struct TopAggregate {
+    /// Which CFS it analyzes.
+    pub cfs: String,
+    /// Dimension attribute names.
+    pub dims: Vec<String>,
+    /// The measure/function label, e.g. `sum(netWorth)`.
+    pub mda: String,
+    /// Interestingness score.
+    pub score: f64,
+    /// Number of (visible) groups.
+    pub groups: usize,
+    /// Up to twelve `(group label, value)` pairs for display (Figure 6).
+    pub sample_groups: Vec<(String, f64)>,
+}
+
+impl TopAggregate {
+    /// `sum(netWorth) of type:CEO by nationality, gender`-style description.
+    pub fn description(&self) -> String {
+        if self.dims.is_empty() {
+            format!("{} of {}", self.mda, self.cfs)
+        } else {
+            format!("{} of {} by {}", self.mda, self.cfs, self.dims.join(", "))
+        }
+    }
+}
+
+/// Everything a Spade run produces.
+#[derive(Clone, Debug, Default)]
+pub struct SpadeReport {
+    /// Table 2 columns for the input graph.
+    pub profile: DatasetProfile,
+    /// Per-step wall-clock times.
+    pub timings: StepTimings,
+    /// The k most interesting aggregates, best first.
+    pub top: Vec<TopAggregate>,
+    /// Aggregates evaluated (after sharing and early-stop).
+    pub evaluated_aggregates: usize,
+    /// Aggregates pruned by early-stop.
+    pub pruned_by_es: usize,
+}
+
+/// The Spade engine.
+pub struct Spade {
+    config: SpadeConfig,
+    strategies: Vec<CfsStrategy>,
+}
+
+impl Spade {
+    /// Creates an engine with the default CFS strategies (type-based +
+    /// summary-based; property-based is opt-in since it needs user input).
+    pub fn new(config: SpadeConfig) -> Self {
+        Spade { config, strategies: vec![CfsStrategy::TypeBased, CfsStrategy::SummaryBased] }
+    }
+
+    /// Overrides the CFS selection strategies.
+    pub fn with_strategies(mut self, strategies: Vec<CfsStrategy>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SpadeConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `graph` (saturated in place).
+    pub fn run(&self, graph: &mut Graph) -> SpadeReport {
+        let mut report = SpadeReport::default();
+
+        // —— offline phase ——
+        let t = Instant::now();
+        spade_rdf::saturate(graph);
+        let stats = offline::analyze(graph);
+        let (derived, derivation_counts) =
+            offline::enumerate_derivations(graph, &stats, &self.config);
+        report.timings.offline = t.elapsed();
+        report.profile.triples = graph.len();
+        report.profile.direct_properties = stats.property_count();
+        report.profile.derivations = derivation_counts;
+
+        // —— Step 1: CFS selection ——
+        let t = Instant::now();
+        let cfs_list = select(graph, &self.strategies, &self.config);
+        report.timings.cfs_selection = t.elapsed();
+        report.profile.cfs_count = cfs_list.len();
+
+        // —— Step 2: online attribute analysis ——
+        let t = Instant::now();
+        let analyses: Vec<CfsAnalysis> = cfs_list
+            .iter()
+            .map(|cfs| analyze_cfs(graph, cfs, &derived, &self.config))
+            .collect();
+        report.timings.attribute_analysis = t.elapsed();
+
+        // —— Step 3: aggregate enumeration ——
+        let t = Instant::now();
+        let lattice_specs: Vec<Vec<LatticeSpec>> =
+            analyses.iter().map(|a| enumerate(a, &self.config)).collect();
+        report.timings.enumeration = t.elapsed();
+
+        // —— Step 4: aggregate evaluation ——
+        let t = Instant::now();
+        let evaluations: Vec<_> = analyses
+            .iter()
+            .zip(&lattice_specs)
+            .map(|(analysis, lattices)| evaluate_cfs(analysis, lattices, &self.config))
+            .collect();
+        report.timings.evaluation = t.elapsed();
+        for e in &evaluations {
+            report.profile.aggregates += e.enumerated_aggregates;
+            report.evaluated_aggregates += e.evaluated_aggregates;
+            report.pruned_by_es += e.pruned_by_es;
+        }
+
+        // —— Step 5: top-k ——
+        let t = Instant::now();
+        // Score first with a light record; only the k winners get their
+        // display details (dimension names, group samples) materialized.
+        struct Scored {
+            cfs_idx: usize,
+            lattice_idx: usize,
+            id: spade_cube::arm::AggregateId,
+            label: String,
+            score: f64,
+            groups: usize,
+        }
+        let mut scored: Vec<Scored> = Vec::new();
+        for (cfs_idx, evaluation) in evaluations.iter().enumerate() {
+            for (lattice_idx, result) in evaluation.results.iter().enumerate() {
+                for s in top_k_of_result(result, self.config.interestingness, usize::MAX) {
+                    if s.score > 0.0 {
+                        scored.push(Scored {
+                            cfs_idx,
+                            lattice_idx,
+                            id: s.id,
+                            label: s.mda_label,
+                            score: s.score,
+                            groups: s.group_count,
+                        });
+                    }
+                }
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.cfs_idx.cmp(&b.cfs_idx))
+                .then_with(|| a.label.cmp(&b.label))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        scored.truncate(self.config.k);
+        report.top = scored
+            .into_iter()
+            .map(|s| {
+                let analysis = &analyses[s.cfs_idx];
+                let lattice_spec = &lattice_specs[s.cfs_idx][s.lattice_idx];
+                let result = &evaluations[s.cfs_idx].results[s.lattice_idx];
+                let node = result.node(s.id.node_mask).expect("scored node exists");
+                TopAggregate {
+                    cfs: analysis.name.clone(),
+                    dims: node
+                        .dims
+                        .iter()
+                        .map(|&pos| {
+                            analysis.attributes[lattice_spec.dims[pos]].def.name.clone()
+                        })
+                        .collect(),
+                    mda: s.label,
+                    score: s.score,
+                    groups: s.groups,
+                    sample_groups: sample_groups(analysis, lattice_spec, node, s.id.mda),
+                }
+            })
+            .collect();
+        report.timings.topk = t.elapsed();
+        report
+    }
+}
+
+/// Renders up to twelve groups of a node's MDA for display.
+fn sample_groups(
+    analysis: &CfsAnalysis,
+    lattice_spec: &LatticeSpec,
+    node: &spade_cube::NodeResult,
+    mda: usize,
+) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = node
+        .visible_groups()
+        .filter_map(|(key, values)| {
+            let v = values[mda]?;
+            let label = key
+                .iter()
+                .enumerate()
+                .map(|(pos, &code)| {
+                    if code == NULL_CODE {
+                        "null".to_owned()
+                    } else {
+                        let attr = lattice_spec.dims[node.dims[pos]];
+                        analysis.attributes[attr]
+                            .categorical
+                            .as_ref()
+                            .map(|c| c.label(code).to_owned())
+                            .unwrap_or_else(|| code.to_string())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            Some((label, v))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.truncate(12);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_datagen::{ceos_figure1, realistic, RealisticConfig};
+
+    #[test]
+    fn end_to_end_on_simulated_ceos() {
+        let mut g = realistic::ceos(&RealisticConfig { scale: 300, seed: 2 });
+        let config = SpadeConfig { k: 5, min_support: 0.3, ..Default::default() };
+        let report = Spade::new(config).run(&mut g);
+        assert!(report.profile.cfs_count > 0);
+        assert!(report.profile.direct_properties >= 8);
+        assert!(report.profile.derivations.total() > 0);
+        assert!(report.profile.aggregates > 10);
+        assert_eq!(report.top.len(), 5);
+        for w in report.top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // The Angolan netWorth outlier story must rank at the very top for
+        // variance on this graph.
+        assert!(
+            report.top.iter().take(3).any(|t| t.mda.contains("netWorth")),
+            "top-3: {:?}",
+            report.top.iter().map(TopAggregate::description).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn early_stop_preserves_strong_winners() {
+        let mut g1 = realistic::ceos(&RealisticConfig { scale: 300, seed: 2 });
+        let mut g2 = realistic::ceos(&RealisticConfig { scale: 300, seed: 2 });
+        let base = SpadeConfig { k: 3, min_support: 0.3, ..Default::default() };
+        let full = Spade::new(base.clone()).run(&mut g1);
+        let es = Spade::new(base.with_early_stop()).run(&mut g2);
+        assert!(es.pruned_by_es > 0);
+        assert!(es.evaluated_aggregates < full.evaluated_aggregates);
+        // Accuracy on the clear-cut winner: the top-1 aggregate survives.
+        assert_eq!(full.top[0].description(), es.top[0].description());
+    }
+
+    #[test]
+    fn figure1_graph_yields_example_aggregates() {
+        let mut g = ceos_figure1();
+        let config = SpadeConfig {
+            k: 20,
+            min_cfs_size: 2,
+            min_support: 0.4,
+            max_distinct_ratio: 5.0,
+            ..Default::default()
+        };
+        let report = Spade::new(config).run(&mut g);
+        // Derived dimensions (paths like politicalConnection/role, counts
+        // like numOf(company)) must appear among the top aggregates — the
+        // graph is tiny, so ties decide which specific one surfaces.
+        assert!(
+            report.top.iter().any(|t| t
+                .dims
+                .iter()
+                .any(|d| d.contains('/') || d.starts_with("numOf"))),
+            "top: {:?}",
+            report.top.iter().map(TopAggregate::description).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn derivations_increase_aggregate_count() {
+        // Experiment 1 (R1): derivations increase the number of MDAs.
+        let mut g1 = realistic::ceos(&RealisticConfig { scale: 200, seed: 4 });
+        let mut g2 = realistic::ceos(&RealisticConfig { scale: 200, seed: 4 });
+        let base = SpadeConfig { min_support: 0.3, ..Default::default() };
+        let wod = Spade::new(base.clone().without_derivations()).run(&mut g1);
+        let wd = Spade::new(base).run(&mut g2);
+        assert!(wd.profile.aggregates > wod.profile.aggregates);
+        assert_eq!(wod.profile.derivations.total(), 0);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut g = realistic::nasa(&RealisticConfig { scale: 150, seed: 3 });
+        let report = Spade::new(SpadeConfig { min_support: 0.3, ..Default::default() })
+            .run(&mut g);
+        assert!(report.timings.online_total() > Duration::ZERO);
+        assert!(report.timings.evaluation > Duration::ZERO);
+    }
+
+    #[test]
+    fn description_format() {
+        let t = TopAggregate {
+            cfs: "type:CEO".into(),
+            dims: vec!["nationality".into(), "gender".into()],
+            mda: "sum(netWorth)".into(),
+            score: 1.0,
+            groups: 4,
+            sample_groups: vec![],
+        };
+        assert_eq!(t.description(), "sum(netWorth) of type:CEO by nationality, gender");
+    }
+}

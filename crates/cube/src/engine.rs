@@ -1,0 +1,366 @@
+//! The shared one-pass lattice evaluation engine.
+//!
+//! MVDCube and the classical ArrayCube baseline differ only in what a cube
+//! cell *holds* and how parent cells combine into child cells:
+//!
+//! * MVDCube cells hold **fact sets** (Roaring bitmaps); combination is set
+//!   union, which consolidates a multi-valued fact that occupies several
+//!   parent cells into one child membership (the correctness fix);
+//! * ArrayCube cells hold **partial aggregates**; combination is algebraic
+//!   addition, which double-counts exactly as Lemma 1 describes.
+//!
+//! Everything else — partition iteration, MMST propagation, the
+//! write-to-disk check — is the same machinery, captured by [`CubeAlgebra`]
+//! and [`run_engine`].
+//!
+//! The ArrayCube flush check ("once a partition is evaluated, each node
+//! checks if it is time to store its memory content to disk", Section 4.1)
+//! is implemented with per-region partition counters: an MMST node's memory
+//! region — the projection of partition coordinates onto its dimensions —
+//! can be flushed when every base partition mapping to it has been
+//! processed. This is equivalent to the subarray-exhaustion check and
+//! independent of partition iteration order.
+
+use crate::lattice::Lattice;
+use crate::result::{CubeResult, NodeResult};
+use crate::spec::CubeSpec;
+use crate::translate::{strides_for, Translation};
+use spade_bitmap::Bitmap;
+use std::collections::HashMap;
+
+/// What a cube cell holds and how cells combine — the algorithm-specific
+/// part of lattice evaluation.
+pub(crate) trait CubeAlgebra {
+    /// Cell payload.
+    type Cell: Clone;
+
+    /// Builds a root cell from the facts of one array cell.
+    fn root_cell(&self, facts: &Bitmap) -> Self::Cell;
+
+    /// Combines a parent's cell into a child's cell (projection step).
+    fn merge(&self, into: &mut Self::Cell, from: &Self::Cell);
+
+    /// Computes the per-MDA values of a finished cell. `alive[i] == false`
+    /// means MDA `i` was pruned by early-stop and must not be computed.
+    fn emit(&self, cell: &Self::Cell, alive: &[bool]) -> Vec<Option<f64>>;
+}
+
+/// Per-node geometry: dims, their domains, cell strides, chunk geometry.
+struct NodeGeom {
+    dims: Vec<usize>,
+    /// Domain size of each of the node's dims.
+    domains: Vec<u64>,
+    /// Row-major strides over the node's own cell space.
+    strides: Vec<u64>,
+    /// Row-major strides over the node's own region (chunk) space.
+    region_strides: Vec<u64>,
+}
+
+impl NodeGeom {
+    /// Decodes a node cell index into its per-dim value codes (group key).
+    /// The internal null slot (last code of each domain) is remapped to
+    /// [`crate::result::NULL_CODE`].
+    fn decode(&self, cell_idx: u64) -> Vec<u32> {
+        self.strides
+            .iter()
+            .zip(&self.domains)
+            .map(|(&s, &d)| {
+                let code = (cell_idx / s) % d;
+                if code == d - 1 {
+                    crate::result::NULL_CODE
+                } else {
+                    code as u32
+                }
+            })
+            .collect()
+    }
+}
+
+/// Precomputed projection from a parent node to a child node (one dropped
+/// dimension): `child = (idx / (d·below)) · below + idx mod below`.
+struct Projection {
+    child_mask: u32,
+    cell_d: u64,
+    cell_below: u64,
+    region_d: u64,
+    region_below: u64,
+}
+
+fn node_geom(lattice: &Lattice, mask: u32) -> NodeGeom {
+    let dims = lattice.dims_of(mask);
+    let domains32: Vec<u32> = dims.iter().map(|&i| lattice.domains[i]).collect();
+    let n_chunks_all = lattice.n_chunks();
+    let chunks: Vec<u32> = dims.iter().map(|&i| n_chunks_all[i]).collect();
+    NodeGeom {
+        strides: strides_for(&domains32),
+        domains: domains32.iter().map(|&d| d as u64).collect(),
+        region_strides: strides_for(&chunks),
+        dims,
+    }
+}
+
+#[inline]
+fn project(idx: u64, d: u64, below: u64) -> u64 {
+    (idx / (d * below)) * below + idx % below
+}
+
+/// Engine state during one evaluation.
+struct Engine<'a, A: CubeAlgebra> {
+    algebra: &'a A,
+    geoms: HashMap<u32, NodeGeom>,
+    projections: HashMap<u32, Vec<Projection>>,
+    /// node → region → cell → payload.
+    memory: HashMap<u32, HashMap<u64, HashMap<u64, A::Cell>>>,
+    /// node → region → remaining base partitions before flush.
+    pending: HashMap<u32, HashMap<u64, u64>>,
+    /// node → region → number of *non-empty* base partitions mapping to it.
+    /// Initializes pending counters and sizes the decrement a parent flush
+    /// applies to its children (empty partitions never arrive, so the count
+    /// is over partitions that actually exist in the translation).
+    region_totals: HashMap<u32, HashMap<u64, u64>>,
+    /// node → per-MDA alive flags.
+    alive: HashMap<u32, Vec<bool>>,
+    /// node → whether it or any MMST descendant still emits.
+    keep: HashMap<u32, bool>,
+    result: CubeResult,
+}
+
+impl<'a, A: CubeAlgebra> Engine<'a, A> {
+    /// Emits the finished cells of `mask`'s `region` and propagates them to
+    /// the node's MMST children, recursively flushing children that
+    /// complete — Algorithm 1's `updateSubtree` +
+    /// `computeAndStoreAggregatedMeasures` + `emptyMemory`.
+    fn flush(&mut self, mask: u32, region: u64, cells: HashMap<u64, A::Cell>) {
+        // 1. Measure computation for this node (if it still has alive MDAs).
+        if self.alive[&mask].iter().any(|&a| a) {
+            let geom = &self.geoms[&mask];
+            let mut emitted: Vec<(Vec<u32>, Vec<Option<f64>>)> = Vec::with_capacity(cells.len());
+            for (&cell_idx, cell) in &cells {
+                let key = geom.decode(cell_idx);
+                let values = self.algebra.emit(cell, &self.alive[&mask]);
+                emitted.push((key, values));
+            }
+            let node =
+                self.result.nodes.entry(mask).or_insert_with(|| NodeResult::new(mask));
+            for (key, values) in emitted {
+                node.groups.insert(key, values);
+            }
+        }
+
+        // 2. Propagate to MMST children.
+        let coverage = self.region_totals[&mask][&region];
+        let n_projs = self.projections.get(&mask).map_or(0, Vec::len);
+        for pi in 0..n_projs {
+            let (child, cell_d, cell_below, region_d, region_below) = {
+                let p = &self.projections[&mask][pi];
+                (p.child_mask, p.cell_d, p.cell_below, p.region_d, p.region_below)
+            };
+            if !self.keep[&child] {
+                continue;
+            }
+            let child_region = project(region, region_d, region_below);
+            let child_mem =
+                self.memory.get_mut(&child).unwrap().entry(child_region).or_default();
+            for (&cell_idx, cell) in &cells {
+                let child_idx = project(cell_idx, cell_d, cell_below);
+                match child_mem.get_mut(&child_idx) {
+                    Some(existing) => self.algebra.merge(existing, cell),
+                    None => {
+                        child_mem.insert(child_idx, cell.clone());
+                    }
+                }
+            }
+            // Flush check (timeToStoreToDisk): every base partition of the
+            // child's region processed?
+            let total = self.region_totals[&child][&child_region];
+            let pending =
+                self.pending.get_mut(&child).unwrap().entry(child_region).or_insert(total);
+            *pending = pending.saturating_sub(coverage);
+            if *pending == 0 {
+                self.pending.get_mut(&child).unwrap().remove(&child_region);
+                let child_cells = self
+                    .memory
+                    .get_mut(&child)
+                    .unwrap()
+                    .remove(&child_region)
+                    .unwrap_or_default();
+                self.flush(child, child_region, child_cells);
+            }
+        }
+    }
+}
+
+/// Runs the shared engine over a translation.
+///
+/// `alive` gives per-node MDA liveness (from early-stop); pass `None` to
+/// evaluate everything.
+pub(crate) fn run_engine<A: CubeAlgebra>(
+    spec: &CubeSpec<'_>,
+    lattice: &Lattice,
+    translation: &Translation,
+    algebra: &A,
+    alive: Option<&HashMap<u32, Vec<bool>>>,
+) -> CubeResult {
+    let mmst = lattice.mmst();
+    let n_mdas = spec.mdas().len();
+    let labels = spec.mdas().into_iter().map(|m| m.label).collect();
+
+    let mut geoms = HashMap::new();
+    for mask in lattice.nodes() {
+        geoms.insert(mask, node_geom(lattice, mask));
+    }
+    let n_chunks = lattice.n_chunks();
+    let mut projections: HashMap<u32, Vec<Projection>> = HashMap::new();
+    for mask in lattice.nodes() {
+        let parent_dims = &geoms[&mask].dims;
+        let projs: Vec<Projection> = mmst
+            .children_of(mask)
+            .iter()
+            .map(|&child| {
+                let dropped = mmst.parent[&child].1;
+                let pos = parent_dims.iter().position(|&d| d == dropped).unwrap();
+                let cell_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| lattice.domains[i] as u64).product();
+                let region_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| n_chunks[i] as u64).product();
+                Projection {
+                    child_mask: child,
+                    cell_d: lattice.domains[dropped] as u64,
+                    cell_below,
+                    region_d: n_chunks[dropped] as u64,
+                    region_below,
+                }
+            })
+            .collect();
+        if !projs.is_empty() {
+            projections.insert(mask, projs);
+        }
+    }
+
+    // Liveness: default everything alive; keep = self or descendant alive.
+    let alive_map: HashMap<u32, Vec<bool>> = lattice
+        .nodes()
+        .iter()
+        .map(|&m| {
+            let flags = alive
+                .and_then(|a| a.get(&m).cloned())
+                .unwrap_or_else(|| vec![true; n_mdas]);
+            assert_eq!(flags.len(), n_mdas);
+            (m, flags)
+        })
+        .collect();
+    let mut keep: HashMap<u32, bool> = HashMap::new();
+    for &mask in mmst.topological().iter().rev() {
+        let self_alive = alive_map[&mask].iter().any(|&a| a);
+        let child_alive = mmst.children_of(mask).iter().any(|c| keep[c]);
+        keep.insert(mask, self_alive || child_alive);
+    }
+
+    let root = lattice.root_mask();
+    let region_strides = strides_for(&n_chunks);
+    // Count, per node region, how many non-empty partitions map to it.
+    let mut region_totals: HashMap<u32, HashMap<u64, u64>> =
+        lattice.nodes().iter().map(|&m| (m, HashMap::new())).collect();
+    for partition in &translation.partitions {
+        for mask in lattice.nodes() {
+            let geom = &geoms[&mask];
+            let region: u64 = geom
+                .dims
+                .iter()
+                .zip(&geom.region_strides)
+                .map(|(&d, &s)| partition.coords[d] as u64 * s)
+                .sum();
+            *region_totals.get_mut(&mask).unwrap().entry(region).or_insert(0) += 1;
+        }
+    }
+    let mut engine = Engine {
+        algebra,
+        memory: lattice.nodes().iter().map(|&m| (m, HashMap::new())).collect(),
+        pending: lattice.nodes().iter().map(|&m| (m, HashMap::new())).collect(),
+        geoms,
+        projections,
+        alive: alive_map,
+        keep,
+        region_totals,
+        result: CubeResult::new(labels),
+    };
+    if !engine.keep[&root] {
+        return engine.result;
+    }
+    for partition in &translation.partitions {
+        // Load the partition into the root (Algorithm 1, line 3). Root cells
+        // are complete after their own partition, so the root flushes —
+        // and thereby updates its subtree — immediately (lines 4–5).
+        let cells: HashMap<u64, A::Cell> = partition
+            .cells
+            .iter()
+            .map(|(idx, facts)| (*idx, algebra.root_cell(facts)))
+            .collect();
+        let region: u64 = partition
+            .coords
+            .iter()
+            .zip(&region_strides)
+            .map(|(&c, &s)| c as u64 * s)
+            .sum();
+        engine.flush(root, region, cells);
+    }
+    engine.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_removes_first_axis() {
+        // Space [4,2] (strides [2,1]); dropping axis 0: d=4, below=2 →
+        // child = idx mod 2.
+        for idx in 0..8u64 {
+            assert_eq!(project(idx, 4, 2), idx % 2);
+        }
+    }
+
+    #[test]
+    fn project_removes_last_axis() {
+        // Dropping axis 1 of [4,2]: d=2, below=1 → child = idx / 2.
+        for idx in 0..8u64 {
+            assert_eq!(project(idx, 2, 1), idx / 2);
+        }
+    }
+
+    #[test]
+    fn project_removes_middle_axis() {
+        // Space [3,4,5], strides [20,5,1]. Drop middle axis (d=4, below=5):
+        // child space [3,5], child = a*5 + c.
+        for a in 0..3u64 {
+            for b in 0..4u64 {
+                for c in 0..5u64 {
+                    let idx = a * 20 + b * 5 + c;
+                    assert_eq!(project(idx, 4, 5), a * 5 + c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips_and_marks_nulls() {
+        let geom = NodeGeom {
+            dims: vec![0, 2],
+            domains: vec![4, 5],
+            strides: vec![5, 1],
+            region_strides: vec![1, 1],
+        };
+        for a in 0..4u64 {
+            for b in 0..5u64 {
+                let expect = |c: u64, d: u64| {
+                    if c == d - 1 {
+                        crate::result::NULL_CODE
+                    } else {
+                        c as u32
+                    }
+                };
+                assert_eq!(geom.decode(a * 5 + b), vec![expect(a, 4), expect(b, 5)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The Figure 1 running-example graph, triple for triple.
+//!
+//! Nodes `n1` (Isabel dos Santos) and `n2` (Carlos Ghosn) with their
+//! companies, political connections, and attributes exactly as drawn in
+//! Figure 1(a): this is the graph on which Examples 1–3, Figure 4, and
+//! Variations 1–2 are checked.
+
+use spade_rdf::{vocab, Graph, Term};
+
+const NS: &str = "http://ceos.example.org/";
+
+fn iri(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// Builds the Figure 1(a) CEOs graph.
+pub fn ceos_figure1() -> Graph {
+    let mut g = Graph::new();
+    let ty = Term::iri(vocab::RDF_TYPE);
+
+    // n1 — Isabel dos Santos.
+    let n1 = iri("n1");
+    g.insert(n1.clone(), ty.clone(), iri("CEO"));
+    g.insert(n1.clone(), iri("name"), Term::lit("Isabel dos Santos"));
+    g.insert(n1.clone(), iri("gender"), Term::lit("Female"));
+    g.insert(n1.clone(), iri("netWorth"), Term::num(2.8e9));
+    g.insert(n1.clone(), iri("age"), Term::int(47));
+    g.insert(n1.clone(), iri("nationality"), Term::lit("Angola"));
+    g.insert(n1.clone(), iri("countryOfOrigin"), Term::lit("Angola"));
+    g.insert(n1.clone(), iri("politicalConnection"), iri("n4"));
+    g.insert(n1.clone(), iri("company"), iri("n5_sonangol"));
+    g.insert(n1.clone(), iri("company"), iri("n5_sodian"));
+
+    // n4 — Josué Eduardo dos Santos, former president of Angola.
+    let n4 = iri("n4");
+    g.insert(n4.clone(), ty.clone(), iri("Politician"));
+    g.insert(n4.clone(), iri("name"), Term::lit("Josué Eduardo dos Santos"));
+    g.insert(n4.clone(), iri("role"), Term::lit("President"));
+
+    // n5 — Sonangol (natural gas, Luanda) and Sodian (diamond).
+    let sonangol = iri("n5_sonangol");
+    g.insert(sonangol.clone(), ty.clone(), iri("Company"));
+    g.insert(sonangol.clone(), iri("name"), Term::lit("Sonangol"));
+    g.insert(sonangol.clone(), iri("area"), Term::lit("Natural gas"));
+    g.insert(sonangol.clone(), iri("area"), Term::lit("Manufacturer"));
+    g.insert(sonangol.clone(), iri("headquarters"), Term::lit("Luanda"));
+    g.insert(
+        sonangol.clone(),
+        iri("description"),
+        Term::lit("Sonangol oversees petroleum production"),
+    );
+    let sodian = iri("n5_sodian");
+    g.insert(sodian.clone(), ty.clone(), iri("Company"));
+    g.insert(sodian.clone(), iri("name"), Term::lit("Sodian"));
+    g.insert(sodian.clone(), iri("area"), Term::lit("Diamond"));
+
+    // n2 — Carlos Ghosn.
+    let n2 = iri("n2");
+    g.insert(n2.clone(), ty.clone(), iri("CEO"));
+    g.insert(n2.clone(), iri("name"), Term::lit("Carlos Ghosn"));
+    g.insert(n2.clone(), iri("netWorth"), Term::num(1.2e8));
+    g.insert(n2.clone(), iri("age"), Term::int(66));
+    for nat in ["Nigeria", "Lebanon", "France", "Brazil"] {
+        g.insert(n2.clone(), iri("nationality"), Term::lit(nat));
+    }
+    g.insert(n2.clone(), iri("politicalConnection"), iri("n3"));
+    g.insert(n2.clone(), iri("company"), iri("n6"));
+
+    // n3 — Michel Aoun, president of Lebanon.
+    let n3 = iri("n3");
+    g.insert(n3.clone(), ty.clone(), iri("Politician"));
+    g.insert(n3.clone(), iri("name"), Term::lit("Michel Aoun"));
+    g.insert(n3.clone(), iri("role"), Term::lit("President"));
+
+    // n6 — Renault-Nissan (automotive + manufacturer, Amsterdam).
+    let n6 = iri("n6");
+    g.insert(n6.clone(), ty.clone(), iri("Company"));
+    g.insert(n6.clone(), iri("name"), Term::lit("Renault-Nissan"));
+    g.insert(n6.clone(), iri("area"), Term::lit("Automotive"));
+    g.insert(n6.clone(), iri("area"), Term::lit("Manufacturer"));
+    g.insert(n6.clone(), iri("headquarters"), Term::lit("Amsterdam"));
+
+    g
+}
+
+/// The example namespace, for looking nodes up in tests.
+pub fn ns() -> &'static str {
+    NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ceos_two_politicians_three_companies() {
+        let g = ceos_figure1();
+        let ceo = g.dict.id_of(&iri("CEO")).unwrap();
+        let politician = g.dict.id_of(&iri("Politician")).unwrap();
+        let company = g.dict.id_of(&iri("Company")).unwrap();
+        assert_eq!(g.nodes_of_type(ceo).len(), 2);
+        assert_eq!(g.nodes_of_type(politician).len(), 2);
+        assert_eq!(g.nodes_of_type(company).len(), 3);
+    }
+
+    #[test]
+    fn ghosn_has_four_nationalities_and_no_gender() {
+        let g = ceos_figure1();
+        let n2 = g.dict.id_of(&iri("n2")).unwrap();
+        let nationality = g.dict.id_of(&iri("nationality")).unwrap();
+        assert_eq!(g.objects(n2, nationality).count(), 4);
+        assert!(g.dict.id_of(&iri("gender")).is_none_or(|p| g.objects(n2, p).count() == 0));
+    }
+
+    #[test]
+    fn company_areas_reachable_by_path() {
+        // The company/area path derivation (Example 3) must find, for n1:
+        // {Natural gas, Manufacturer, Diamond} and for n2: {Automotive,
+        // Manufacturer}.
+        let g = ceos_figure1();
+        let company = g.dict.id_of(&iri("company")).unwrap();
+        let area = g.dict.id_of(&iri("area")).unwrap();
+        let n1 = g.dict.id_of(&iri("n1")).unwrap();
+        let mut areas: Vec<String> = g
+            .objects(n1, company)
+            .flat_map(|c| g.objects(c, area))
+            .map(|a| g.dict.display(a))
+            .collect();
+        areas.sort();
+        assert_eq!(areas, vec!["Diamond", "Manufacturer", "Natural gas"]);
+    }
+}

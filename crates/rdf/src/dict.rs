@@ -1,0 +1,167 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! All terms are interned into dense `u32` [`TermId`]s so the rest of the
+//! system (triple store, attribute tables, bitmaps, cube cells) works on
+//! integers. IDs are assigned in first-seen order and are stable for the
+//! lifetime of the dictionary.
+
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A dense identifier for an interned [`Term`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bidirectional term ↔ id mapping.
+#[derive(Default, Debug)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Interns an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.intern(Term::Iri(iri.into()))
+    }
+
+    /// Looks up an already-interned term.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Looks up the id of an IRI string.
+    pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
+        // Avoids allocating in the common hit path only if the caller keeps a
+        // Term around; for string lookups we build the key once.
+        self.ids.get(&Term::Iri(iri.to_owned())).copied()
+    }
+
+    /// The term for `id`. Panics on an id from another dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Human-readable rendering of `id` (IRI local name, literal lexical form).
+    pub fn display(&self, id: TermId) -> String {
+        match self.term(id) {
+            Term::Iri(s) => local_name(s).to_owned(),
+            Term::Blank(s) => format!("_:{s}"),
+            Term::Literal(l) => l.lexical.clone(),
+        }
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+/// The fragment / last path segment of an IRI — used for display only.
+pub fn local_name(iri: &str) -> &str {
+    let tail = iri.rsplit(['#', '/']).next().unwrap_or(iri);
+    if tail.is_empty() {
+        iri
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::iri("http://x/a"));
+        let b = d.intern(Term::iri("http://x/b"));
+        let a2 = d.intern(Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern(Term::int(i));
+            assert_eq!(id.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn roundtrip_term_lookup() {
+        let mut d = Dictionary::new();
+        let t = Term::Literal(crate::term::Literal::lang_tagged("héllo", "fr"));
+        let id = d.intern(t.clone());
+        assert_eq!(d.term(id), &t);
+        assert_eq!(d.id_of(&t), Some(id));
+        assert_eq!(d.id_of(&Term::lit("absent")), None);
+    }
+
+    #[test]
+    fn literals_differing_only_in_tag_are_distinct() {
+        let mut d = Dictionary::new();
+        let plain = d.intern(Term::lit("42"));
+        let typed = d.intern(Term::int(42));
+        assert_ne!(plain, typed);
+    }
+
+    #[test]
+    fn local_names() {
+        assert_eq!(local_name("http://x/ns#age"), "age");
+        assert_eq!(local_name("http://x/people/alice"), "alice");
+        assert_eq!(local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut d = Dictionary::new();
+        let iri = d.intern(Term::iri("http://x/ns#netWorth"));
+        let lit = d.intern(Term::lit("Angola"));
+        assert_eq!(d.display(iri), "netWorth");
+        assert_eq!(d.display(lit), "Angola");
+    }
+}

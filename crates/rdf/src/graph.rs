@@ -1,0 +1,267 @@
+//! In-memory RDF triple store.
+//!
+//! Storage layout follows the access paths the paper's pipeline needs:
+//! per-property `(s, o)` pair lists (the attribute tables of Section 4.3),
+//! per-subject outgoing edge lists (for path derivation and summarization),
+//! and per-class extents (for type-based CFS selection). Duplicate triples
+//! are ignored, matching RDF set semantics.
+
+use crate::dict::{Dictionary, TermId};
+use crate::term::Term;
+use crate::vocab;
+use std::collections::{HashMap, HashSet};
+
+/// A dictionary-encoded RDF triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject id.
+    pub s: TermId,
+    /// Property id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+/// An RDF graph: a set of triples plus the dictionary interning its terms.
+#[derive(Default, Debug)]
+pub struct Graph {
+    /// Term dictionary; public so downstream crates can decode ids.
+    pub dict: Dictionary,
+    triples: Vec<Triple>,
+    seen: HashSet<Triple>,
+    by_property: HashMap<TermId, Vec<(TermId, TermId)>>,
+    outgoing: HashMap<TermId, Vec<(TermId, TermId)>>,
+    type_extents: HashMap<TermId, Vec<TermId>>,
+    rdf_type: Option<TermId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `rdf:type` in this graph's dictionary (interned on demand).
+    pub fn rdf_type_id(&mut self) -> TermId {
+        match self.rdf_type {
+            Some(id) => id,
+            None => {
+                let id = self.dict.intern_iri(vocab::RDF_TYPE);
+                self.rdf_type = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Inserts a triple of [`Term`]s; returns `false` if it was a duplicate.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.dict.intern(s);
+        let p = self.dict.intern(p);
+        let o = self.dict.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Inserts a triple given pre-interned ids.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let t = Triple { s, p, o };
+        if !self.seen.insert(t) {
+            return false;
+        }
+        self.triples.push(t);
+        self.by_property.entry(p).or_default().push((s, o));
+        self.outgoing.entry(s).or_default().push((p, o));
+        if Some(p) == self.rdf_type || self.is_rdf_type(p) {
+            self.type_extents.entry(o).or_default().push(s);
+        }
+        true
+    }
+
+    fn is_rdf_type(&mut self, p: TermId) -> bool {
+        if self.rdf_type.is_none() {
+            if let Term::Iri(iri) = self.dict.term(p) {
+                if iri == vocab::RDF_TYPE {
+                    self.rdf_type = Some(p);
+                    return true;
+                }
+            }
+            false
+        } else {
+            self.rdf_type == Some(p)
+        }
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` when the graph holds no triple.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.seen.contains(&Triple { s, p, o })
+    }
+
+    /// The distinct properties occurring in the graph.
+    pub fn properties(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.by_property.keys().copied()
+    }
+
+    /// The `(s, o)` pairs of property `p` — the paper's attribute table `t_a`.
+    pub fn property_pairs(&self, p: TermId) -> &[(TermId, TermId)] {
+        self.by_property.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Outgoing `(p, o)` edges of subject `s`.
+    pub fn outgoing(&self, s: TermId) -> &[(TermId, TermId)] {
+        self.outgoing.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.outgoing(s).iter().filter(move |(pp, _)| *pp == p).map(|(_, o)| *o)
+    }
+
+    /// The distinct classes used as objects of `rdf:type`.
+    pub fn classes(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.type_extents.keys().copied()
+    }
+
+    /// The subjects typed with class `c` (with duplicates removed).
+    pub fn nodes_of_type(&self, c: TermId) -> Vec<TermId> {
+        let mut nodes = self.type_extents.get(&c).cloned().unwrap_or_default();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// The types of node `s`.
+    pub fn types_of(&self, s: TermId) -> Vec<TermId> {
+        match self.rdf_type {
+            Some(t) => self.objects(s, t).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All distinct subjects.
+    pub fn subjects(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.outgoing.keys().copied()
+    }
+
+    /// The distinct subjects having *all* the given outgoing properties —
+    /// property-based CFS selection (Section 3, Step 1 (ii)).
+    pub fn subjects_with_properties(&self, props: &[TermId]) -> Vec<TermId> {
+        let Some((first, rest)) = props.split_first() else {
+            return Vec::new();
+        };
+        let mut nodes: HashSet<TermId> =
+            self.property_pairs(*first).iter().map(|(s, _)| *s).collect();
+        for p in rest {
+            let with_p: HashSet<TermId> =
+                self.property_pairs(*p).iter().map(|(s, _)| *s).collect();
+            nodes.retain(|s| with_p.contains(s));
+        }
+        let mut out: Vec<TermId> = nodes.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct subjects.
+    pub fn subject_count(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("a"), t("p"), t("b")));
+        assert!(!g.insert(t("a"), t("p"), t("b")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn property_pairs_and_objects() {
+        let mut g = Graph::new();
+        g.insert(t("ceo1"), t("nationality"), Term::lit("Angola"));
+        g.insert(t("ceo2"), t("nationality"), Term::lit("France"));
+        g.insert(t("ceo2"), t("nationality"), Term::lit("Brazil"));
+        let p = g.dict.id_of(&t("nationality")).unwrap();
+        assert_eq!(g.property_pairs(p).len(), 3);
+        let ceo2 = g.dict.id_of(&t("ceo2")).unwrap();
+        assert_eq!(g.objects(ceo2, p).count(), 2);
+    }
+
+    #[test]
+    fn type_extents() {
+        let mut g = Graph::new();
+        let ty = Term::iri(vocab::RDF_TYPE);
+        g.insert(t("n1"), ty.clone(), t("CEO"));
+        g.insert(t("n2"), ty.clone(), t("CEO"));
+        g.insert(t("n2"), ty.clone(), t("Politician"));
+        let ceo = g.dict.id_of(&t("CEO")).unwrap();
+        assert_eq!(g.nodes_of_type(ceo).len(), 2);
+        let n2 = g.dict.id_of(&t("n2")).unwrap();
+        assert_eq!(g.types_of(n2).len(), 2);
+        assert_eq!(g.classes().count(), 2);
+    }
+
+    #[test]
+    fn type_index_works_regardless_of_first_use_order() {
+        // rdf:type id discovered lazily from inserted data, not pre-interned.
+        let mut g = Graph::new();
+        g.insert(t("n1"), t("p"), t("v"));
+        g.insert(t("n1"), Term::iri(vocab::RDF_TYPE), t("CEO"));
+        let ceo = g.dict.id_of(&t("CEO")).unwrap();
+        assert_eq!(g.nodes_of_type(ceo), vec![g.dict.id_of(&t("n1")).unwrap()]);
+    }
+
+    #[test]
+    fn subjects_with_properties_intersects() {
+        let mut g = Graph::new();
+        g.insert(t("a"), t("p"), Term::lit("1"));
+        g.insert(t("a"), t("q"), Term::lit("2"));
+        g.insert(t("b"), t("p"), Term::lit("3"));
+        let p = g.dict.id_of(&t("p")).unwrap();
+        let q = g.dict.id_of(&t("q")).unwrap();
+        let a = g.dict.id_of(&t("a")).unwrap();
+        let b = g.dict.id_of(&t("b")).unwrap();
+        assert_eq!(g.subjects_with_properties(&[p, q]), vec![a]);
+        let mut both = g.subjects_with_properties(&[p]);
+        both.sort_unstable();
+        assert_eq!(both, {
+            let mut v = vec![a, b];
+            v.sort_unstable();
+            v
+        });
+        assert!(g.subjects_with_properties(&[]).is_empty());
+    }
+
+    #[test]
+    fn outgoing_edges() {
+        let mut g = Graph::new();
+        g.insert(t("ceo"), t("company"), t("sonangol"));
+        g.insert(t("sonangol"), t("area"), Term::lit("Natural gas"));
+        let ceo = g.dict.id_of(&t("ceo")).unwrap();
+        let sonangol = g.dict.id_of(&t("sonangol")).unwrap();
+        assert_eq!(g.outgoing(ceo).len(), 1);
+        assert_eq!(g.outgoing(sonangol).len(), 1);
+        assert_eq!(g.subject_count(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! RDF substrate for Spade.
+//!
+//! The paper (Section 2) works over RDF graphs: finite sets of triples
+//! `(s, p, o)` with `s ∈ U ∪ B`, `p ∈ U`, `o ∈ U ∪ B ∪ L`, optionally
+//! accompanied by an RDFS ontology whose implicit triples are materialized by
+//! *saturation* before any analysis. This crate provides exactly that
+//! substrate:
+//!
+//! * [`term`] — the term model (IRIs, blank nodes, plain/lang/typed literals)
+//!   and literal value typing (integer/decimal/date/boolean/string);
+//! * [`dict`] — dictionary encoding of terms into dense `u32` [`TermId`]s;
+//! * [`graph`] — an in-memory triple store with subject/property/type
+//!   indexes, mirroring the access paths Spade needs (per-property `(s,o)`
+//!   tables, type extents, outgoing edges);
+//! * [`ntriples`] — an N-Triples parser and writer;
+//! * [`ontology`] — RDFS saturation (subClassOf, subPropertyOf, domain,
+//!   range) run to fixpoint, as in the paper's preprocessing;
+//! * [`vocab`] — the handful of RDF/RDFS IRIs used throughout.
+
+pub mod dict;
+pub mod graph;
+pub mod ntriples;
+pub mod ontology;
+pub mod term;
+pub mod vocab;
+
+pub use dict::{Dictionary, TermId};
+pub use graph::{Graph, Triple};
+pub use ntriples::{parse_ntriples, write_ntriples, NtParseError};
+pub use ontology::saturate;
+pub use term::{Literal, Term, ValueKind};

@@ -1,0 +1,331 @@
+//! N-Triples parsing and serialization.
+//!
+//! Supports the line-based N-Triples syntax used by the paper's datasets
+//! (all six Table-2 graphs ship as `.nt` dumps): IRIs in angle brackets,
+//! `_:`-prefixed blank nodes, literals with `\"`-style escapes, `@lang`
+//! tags, and `^^<datatype>` annotations. `#` comment lines and blank lines
+//! are skipped.
+
+use crate::graph::Graph;
+use crate::term::{Literal, Term};
+use std::fmt::Write as _;
+
+/// Error produced while parsing N-Triples input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for NtParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtParseError {}
+
+/// Parses an N-Triples document into a [`Graph`].
+pub fn parse_ntriples(input: &str) -> Result<Graph, NtParseError> {
+    let mut graph = Graph::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_line(line).map_err(|message| NtParseError {
+            line: lineno + 1,
+            message,
+        })?;
+        graph.insert(s, p, o);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
+    let mut cursor = Cursor { bytes: line.as_bytes(), pos: 0 };
+    let s = cursor.parse_term()?;
+    cursor.skip_ws();
+    let p = cursor.parse_term()?;
+    if !matches!(p, Term::Iri(_)) {
+        return Err("predicate must be an IRI".into());
+    }
+    cursor.skip_ws();
+    let o = cursor.parse_term()?;
+    cursor.skip_ws();
+    if cursor.peek() != Some(b'.') {
+        return Err("missing terminating '.'".into());
+    }
+    cursor.pos += 1;
+    cursor.skip_ws();
+    if cursor.pos != cursor.bytes.len() {
+        return Err("trailing content after '.'".into());
+    }
+    Ok((s, p, o))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, String> {
+        match self.peek() {
+            Some(b'<') => self.parse_iri().map(Term::Iri),
+            Some(b'_') => self.parse_blank(),
+            Some(b'"') => self.parse_literal(),
+            other => Err(format!("unexpected term start: {:?}", other.map(char::from))),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let iri = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in IRI".to_string())?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(iri);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated IRI".into())
+    }
+
+    fn parse_blank(&mut self) -> Result<Term, String> {
+        if self.bytes.get(self.pos + 1) != Some(&b':') {
+            return Err("blank node must start with '_:'".into());
+        }
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'.' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("empty blank node label".into());
+        }
+        let label = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in blank node".to_string())?
+            .to_owned();
+        Ok(Term::Blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, String> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut lexical = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated literal".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => lexical.push('"'),
+                        b'\\' => lexical.push('\\'),
+                        b'n' => lexical.push('\n'),
+                        b'r' => lexical.push('\r'),
+                        b't' => lexical.push('\t'),
+                        b'u' => lexical.push(self.parse_unicode(4)?),
+                        b'U' => lexical.push(self.parse_unicode(8)?),
+                        other => return Err(format!("unknown escape \\{}", char::from(other))),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in literal".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    lexical.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        // Optional @lang or ^^<datatype>.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err("empty language tag".into());
+                }
+                let lang = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap()
+                    .to_owned();
+                Ok(Term::Literal(Literal::lang_tagged(lexical, lang)))
+            }
+            Some(b'^') => {
+                if self.bytes.get(self.pos + 1) != Some(&b'^') {
+                    return Err("expected '^^<datatype>'".into());
+                }
+                self.pos += 2;
+                if self.peek() != Some(b'<') {
+                    return Err("datatype must be an IRI".into());
+                }
+                let datatype = self.parse_iri()?;
+                Ok(Term::Literal(Literal::typed(lexical, datatype)))
+            }
+            _ => Ok(Term::Literal(Literal::plain(lexical))),
+        }
+    }
+
+    fn parse_unicode(&mut self, digits: usize) -> Result<char, String> {
+        if self.pos + digits > self.bytes.len() {
+            return Err("truncated unicode escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + digits])
+            .map_err(|_| "invalid unicode escape".to_string())?;
+        self.pos += digits;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid hex in unicode escape")?;
+        char::from_u32(code).ok_or_else(|| "invalid code point".into())
+    }
+}
+
+/// Serializes a [`Graph`] back to N-Triples (one triple per line, insertion
+/// order preserved).
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.triples() {
+        let s = graph.dict.term(t.s);
+        let p = graph.dict.term(t.p);
+        let o = graph.dict.term(t.o);
+        let _ = writeln!(out, "{} {} {} .", fmt_term(s), fmt_term(p), fmt_term(o));
+    }
+    out
+}
+
+fn fmt_term(term: &Term) -> String {
+    match term {
+        Term::Iri(s) => format!("<{s}>"),
+        Term::Blank(s) => format!("_:{s}"),
+        Term::Literal(l) => {
+            let mut escaped = String::with_capacity(l.lexical.len() + 2);
+            for ch in l.lexical.chars() {
+                match ch {
+                    '"' => escaped.push_str("\\\""),
+                    '\\' => escaped.push_str("\\\\"),
+                    '\n' => escaped.push_str("\\n"),
+                    '\r' => escaped.push_str("\\r"),
+                    '\t' => escaped.push_str("\\t"),
+                    c => escaped.push(c),
+                }
+            }
+            match (&l.lang, &l.datatype) {
+                (Some(lang), _) => format!("\"{escaped}\"@{lang}"),
+                (None, Some(dt)) => format!("\"{escaped}\"^^<{dt}>"),
+                (None, None) => format!("\"{escaped}\""),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn parses_basic_triples() {
+        let src = r#"
+# a comment
+<http://x/n1> <http://x/name> "Isabel dos Santos" .
+<http://x/n1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/CEO> .
+<http://x/n1> <http://x/age> "47"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://x/label> "blank"@en .
+"#;
+        let g = parse_ntriples(src).unwrap();
+        assert_eq!(g.len(), 4);
+        let ceo = g.dict.id_of(&Term::iri("http://x/CEO")).unwrap();
+        assert_eq!(g.nodes_of_type(ceo).len(), 1);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/desc"),
+            Term::lit("line1\nline2 \"quoted\" tab\there \\ backslash"),
+        );
+        let nt = write_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        assert_eq!(g2.len(), 1);
+        let o = g2.triples()[0].o;
+        assert_eq!(
+            g2.dict.term(o).as_literal().unwrap().lexical,
+            "line1\nline2 \"quoted\" tab\there \\ backslash"
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let src = "<http://x/a> <http://x/p> \"caf\\u00E9 \\U0001F600\" .\n";
+        let g = parse_ntriples(src).unwrap();
+        let o = g.triples()[0].o;
+        assert_eq!(g.dict.term(o).as_literal().unwrap().lexical, "café 😀");
+    }
+
+    #[test]
+    fn datatype_and_lang_roundtrip() {
+        let mut g = Graph::new();
+        g.insert(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::int(7));
+        g.insert(
+            Term::iri("http://x/a"),
+            Term::iri(vocab::RDFS_LABEL),
+            Term::Literal(Literal::lang_tagged("sept", "fr")),
+        );
+        let nt = write_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        assert_eq!(write_ntriples(&g2), nt);
+    }
+
+    #[test]
+    fn reports_error_with_line_number() {
+        let src = "<http://x/a> <http://x/p> \"ok\" .\nbroken line\n";
+        let err = parse_ntriples(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_literal_predicate() {
+        let err = parse_ntriples("<http://x/a> \"p\" <http://x/b> .\n").unwrap_err();
+        assert!(err.message.contains("IRI"));
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse_ntriples("<http://x/a> <http://x/p> <http://x/b>\n").unwrap_err();
+        assert!(err.message.contains('.'));
+    }
+}

@@ -1,0 +1,222 @@
+//! RDFS ontology saturation.
+//!
+//! Section 2 of the paper: "An ontology leads to implicit triples that
+//! together with the triples explicitly present in G are the graph's
+//! semantics. All the implicit triples can be materialized via saturation,
+//! iteratively deriving new ones from G and the rules; we consider ontologies
+//! for which this process is finite as in [23], and apply it prior to our
+//! analysis."
+//!
+//! We implement the four core RDFS entailment rules used in [23]
+//! (Goasdoué et al., EDBT 2013):
+//!
+//! 1. `(s rdf:type C), (C rdfs:subClassOf D) ⊢ (s rdf:type D)`
+//! 2. `(s p o), (p rdfs:subPropertyOf q) ⊢ (s q o)`
+//! 3. `(s p o), (p rdfs:domain C) ⊢ (s rdf:type C)`
+//! 4. `(s p o), (p rdfs:range C) ⊢ (o rdf:type C)`
+//!
+//! plus transitivity of `subClassOf` / `subPropertyOf`, run to fixpoint.
+
+use crate::graph::{Graph, Triple};
+use crate::term::Term;
+use crate::vocab;
+use std::collections::HashMap;
+
+/// Saturates `graph` in place and returns the number of derived triples.
+pub fn saturate(graph: &mut Graph) -> usize {
+    let sub_class = graph.dict.intern_iri(vocab::RDFS_SUBCLASSOF);
+    let sub_prop = graph.dict.intern_iri(vocab::RDFS_SUBPROPERTYOF);
+    let domain = graph.dict.intern_iri(vocab::RDFS_DOMAIN);
+    let range = graph.dict.intern_iri(vocab::RDFS_RANGE);
+    let rdf_type = graph.rdf_type_id();
+
+    let mut derived = 0usize;
+    // Schema triples are few; re-extract at each round (they may themselves
+    // grow through subPropertyOf on schema properties, though that is rare).
+    loop {
+        let mut sub_class_of: HashMap<_, Vec<_>> = HashMap::new();
+        for &(c, d) in graph.property_pairs(sub_class) {
+            sub_class_of.entry(c).or_default().push(d);
+        }
+        let mut sub_prop_of: HashMap<_, Vec<_>> = HashMap::new();
+        for &(p, q) in graph.property_pairs(sub_prop) {
+            sub_prop_of.entry(p).or_default().push(q);
+        }
+        let mut domains: HashMap<_, Vec<_>> = HashMap::new();
+        for &(p, c) in graph.property_pairs(domain) {
+            domains.entry(p).or_default().push(c);
+        }
+        let mut ranges: HashMap<_, Vec<_>> = HashMap::new();
+        for &(p, c) in graph.property_pairs(range) {
+            ranges.entry(p).or_default().push(c);
+        }
+
+        let mut new_triples: Vec<Triple> = Vec::new();
+        for &Triple { s, p, o } in graph.triples() {
+            if p == rdf_type {
+                if let Some(supers) = sub_class_of.get(&o) {
+                    for &d in supers {
+                        if !graph.contains(s, rdf_type, d) {
+                            new_triples.push(Triple { s, p: rdf_type, o: d });
+                        }
+                    }
+                }
+            } else {
+                if let Some(supers) = sub_prop_of.get(&p) {
+                    for &q in supers {
+                        if !graph.contains(s, q, o) {
+                            new_triples.push(Triple { s, p: q, o });
+                        }
+                    }
+                }
+                if let Some(classes) = domains.get(&p) {
+                    for &c in classes {
+                        if !graph.contains(s, rdf_type, c) {
+                            new_triples.push(Triple { s, p: rdf_type, o: c });
+                        }
+                    }
+                }
+                if let Some(classes) = ranges.get(&p) {
+                    for &c in classes {
+                        // Literals cannot be typed; only resources gain types.
+                        if graph.dict.term(o).is_resource() && !graph.contains(o, rdf_type, c) {
+                            new_triples.push(Triple { s: o, p: rdf_type, o: c });
+                        }
+                    }
+                }
+                // Transitivity of the schema relations themselves.
+                if p == sub_class {
+                    if let Some(supers) = sub_class_of.get(&o) {
+                        for &d in supers {
+                            if d != s && !graph.contains(s, sub_class, d) {
+                                new_triples.push(Triple { s, p: sub_class, o: d });
+                            }
+                        }
+                    }
+                }
+                if p == sub_prop {
+                    if let Some(supers) = sub_prop_of.get(&o) {
+                        for &q in supers {
+                            if q != s && !graph.contains(s, sub_prop, q) {
+                                new_triples.push(Triple { s, p: sub_prop, o: q });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if new_triples.is_empty() {
+            return derived;
+        }
+        for t in new_triples {
+            if graph.insert_ids(t.s, t.p, t.o) {
+                derived += 1;
+            }
+        }
+    }
+}
+
+/// Builds a schema triple `(sub, rel, sup)` with IRI strings — test helper
+/// and convenience for generators.
+pub fn schema_triple(sub: &str, rel: &str, sup: &str) -> (Term, Term, Term) {
+    (Term::iri(sub), Term::iri(rel), Term::iri(sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn type_term() -> Term {
+        Term::iri(vocab::RDF_TYPE)
+    }
+
+    #[test]
+    fn subclass_propagates_types() {
+        // "any CEO is a BusinessPerson" (the paper's Section 2 example).
+        let mut g = Graph::new();
+        g.insert(iri("CEO"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("BusinessPerson"));
+        g.insert(iri("n1"), type_term(), iri("CEO"));
+        let derived = saturate(&mut g);
+        assert_eq!(derived, 1);
+        let bp = g.dict.id_of(&iri("BusinessPerson")).unwrap();
+        assert_eq!(g.nodes_of_type(bp).len(), 1);
+    }
+
+    #[test]
+    fn subclass_chain_is_transitive() {
+        let mut g = Graph::new();
+        g.insert(iri("A"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("B"));
+        g.insert(iri("B"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("C"));
+        g.insert(iri("C"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("D"));
+        g.insert(iri("n"), type_term(), iri("A"));
+        saturate(&mut g);
+        for class in ["B", "C", "D"] {
+            let c = g.dict.id_of(&iri(class)).unwrap();
+            assert_eq!(g.nodes_of_type(c).len(), 1, "missing type {class}");
+        }
+    }
+
+    #[test]
+    fn subproperty_derives_triples() {
+        let mut g = Graph::new();
+        g.insert(
+            iri("politicalConnection"),
+            Term::iri(vocab::RDFS_SUBPROPERTYOF),
+            iri("connection"),
+        );
+        g.insert(iri("n1"), iri("politicalConnection"), iri("n3"));
+        saturate(&mut g);
+        let conn = g.dict.id_of(&iri("connection")).unwrap();
+        assert_eq!(g.property_pairs(conn).len(), 1);
+    }
+
+    #[test]
+    fn domain_and_range_type_endpoints() {
+        let mut g = Graph::new();
+        g.insert(iri("manages"), Term::iri(vocab::RDFS_DOMAIN), iri("CEO"));
+        g.insert(iri("manages"), Term::iri(vocab::RDFS_RANGE), iri("Company"));
+        g.insert(iri("p1"), iri("manages"), iri("c1"));
+        saturate(&mut g);
+        let ceo = g.dict.id_of(&iri("CEO")).unwrap();
+        let company = g.dict.id_of(&iri("Company")).unwrap();
+        assert_eq!(g.nodes_of_type(ceo).len(), 1);
+        assert_eq!(g.nodes_of_type(company).len(), 1);
+    }
+
+    #[test]
+    fn range_does_not_type_literals() {
+        let mut g = Graph::new();
+        g.insert(iri("age"), Term::iri(vocab::RDFS_RANGE), iri("Number"));
+        g.insert(iri("p1"), iri("age"), Term::int(47));
+        saturate(&mut g);
+        let number = g.dict.id_of(&iri("Number")).unwrap();
+        assert!(g.nodes_of_type(number).is_empty());
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let mut g = Graph::new();
+        g.insert(iri("A"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("B"));
+        g.insert(iri("n"), type_term(), iri("A"));
+        let first = saturate(&mut g);
+        assert!(first > 0);
+        assert_eq!(saturate(&mut g), 0);
+    }
+
+    #[test]
+    fn combined_rules_fixpoint() {
+        // domain introduces a type which then flows up a class chain.
+        let mut g = Graph::new();
+        g.insert(iri("manages"), Term::iri(vocab::RDFS_DOMAIN), iri("CEO"));
+        g.insert(iri("CEO"), Term::iri(vocab::RDFS_SUBCLASSOF), iri("BusinessPerson"));
+        g.insert(iri("p1"), iri("manages"), iri("c1"));
+        saturate(&mut g);
+        let bp = g.dict.id_of(&iri("BusinessPerson")).unwrap();
+        assert_eq!(g.nodes_of_type(bp).len(), 1);
+    }
+}

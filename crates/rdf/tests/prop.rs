@@ -1,0 +1,89 @@
+//! Property tests: N-Triples writing and parsing are mutually inverse for
+//! arbitrary graphs over printable terms.
+
+use proptest::prelude::*;
+use spade_rdf::{parse_ntriples, write_ntriples, Graph, Literal, Term};
+
+fn iri() -> impl Strategy<Value = Term> {
+    "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+}
+
+fn literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // Plain literals with whitespace, quotes, escapes, unicode.
+        "[ -~äöüé北京\\n\\t]{0,24}".prop_map(Term::lit),
+        any::<i64>().prop_map(Term::int),
+        (-1e9f64..1e9).prop_map(Term::num),
+        ("[a-z]{1,6}", "[a-z]{2}")
+            .prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, l))),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![iri(), literal(), "[a-z][a-z0-9]{0,6}".prop_map(Term::blank)]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_graphs(
+        triples in prop::collection::vec((iri(), iri(), term()), 0..60)
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert(s.clone(), p.clone(), o.clone());
+        }
+        let nt = write_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        // Same triple *set* (term-level equality via re-serialization).
+        let mut a: Vec<String> = nt.lines().map(str::to_owned).collect();
+        let mut b: Vec<String> = write_ntriples(&g2).lines().map(str::to_owned).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Dictionary ids are stable and bijective per graph.
+    #[test]
+    fn dictionary_bijective(terms in prop::collection::vec(term(), 1..100)) {
+        let mut g = Graph::new();
+        let p = Term::iri("http://example.org/p");
+        let s = Term::iri("http://example.org/s");
+        for t in &terms {
+            g.insert(s.clone(), p.clone(), t.clone());
+        }
+        for t in &terms {
+            let id = g.dict.id_of(t).expect("interned");
+            prop_assert_eq!(g.dict.term(id), t);
+        }
+    }
+
+    /// Saturation is monotone (only adds triples) and idempotent.
+    #[test]
+    fn saturation_monotone_idempotent(
+        schema in prop::collection::vec((0u8..6, 0u8..6), 0..10),
+        typed in prop::collection::vec((0u8..20, 0u8..6), 0..20),
+    ) {
+        let mut g = Graph::new();
+        for (sub, sup) in &schema {
+            g.insert(
+                Term::iri(format!("http://x/C{sub}")),
+                Term::iri(spade_rdf::vocab::RDFS_SUBCLASSOF),
+                Term::iri(format!("http://x/C{sup}")),
+            );
+        }
+        for (node, class) in &typed {
+            g.insert(
+                Term::iri(format!("http://x/n{node}")),
+                Term::iri(spade_rdf::vocab::RDF_TYPE),
+                Term::iri(format!("http://x/C{class}")),
+            );
+        }
+        let before = g.len();
+        spade_rdf::saturate(&mut g);
+        prop_assert!(g.len() >= before);
+        let after = g.len();
+        prop_assert_eq!(spade_rdf::saturate(&mut g), 0);
+        prop_assert_eq!(g.len(), after);
+    }
+}

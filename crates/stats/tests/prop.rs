@@ -1,0 +1,106 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use spade_stats::ci::EstimatorKind;
+use spade_stats::{GroupSample, Interestingness, InterestingnessCi, RunningMoments};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Online moments equal the two-pass definitions for arbitrary data.
+    #[test]
+    fn moments_match_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let m = RunningMoments::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+        let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+        prop_assert!(close(m.mean(), mean, 1e-9));
+        prop_assert!(close(m.variance_population(), m2, 1e-7));
+        prop_assert!(close(m.third_central(), m3, 1e-5));
+        prop_assert!(close(m.fourth_central(), m4, 1e-5));
+    }
+
+    /// Merging a random split equals processing the whole slice.
+    #[test]
+    fn merge_is_split_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut.min(xs.len());
+        let mut left = RunningMoments::from_slice(&xs[..cut]);
+        let right = RunningMoments::from_slice(&xs[cut..]);
+        left.merge(&right);
+        let whole = RunningMoments::from_slice(&xs);
+        prop_assert!(close(left.variance_population(), whole.variance_population(), 1e-7));
+        prop_assert!(close(left.fourth_central(), whole.fourth_central(), 1e-4));
+        prop_assert_eq!(left.count(), whole.count());
+    }
+
+    /// Every CI brackets its own point estimate and stays non-negative.
+    #[test]
+    fn intervals_bracket_estimates(
+        means in prop::collection::vec(-100f64..100.0, 2..12),
+        spread in 0.1f64..20.0,
+    ) {
+        for h in Interestingness::ALL {
+            let ci = InterestingnessCi::new(h, 0.95);
+            let groups: Vec<GroupSample> = means
+                .iter()
+                .enumerate()
+                .map(|(i, &mu)| {
+                    let vals: Vec<f64> = (0..30)
+                        .map(|j| mu + spread * (((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5))
+                        .collect();
+                    GroupSample::from_values(&vals, 30)
+                })
+                .collect();
+            for est in [EstimatorKind::Avg, EstimatorKind::Sum, EstimatorKind::Count] {
+                let iv = ci.interval(est, &groups, None);
+                prop_assert!(iv.lower >= 0.0, "{h} {est:?}: lower {}", iv.lower);
+                prop_assert!(
+                    iv.lower <= iv.estimate + 1e-9 && iv.estimate <= iv.upper + 1e-9,
+                    "{h} {est:?}: {iv:?}"
+                );
+            }
+        }
+    }
+
+    /// Higher confidence never shrinks the interval.
+    #[test]
+    fn confidence_is_monotone(means in prop::collection::vec(-50f64..50.0, 3..8)) {
+        let groups: Vec<GroupSample> = means
+            .iter()
+            .map(|&mu| {
+                let vals: Vec<f64> = (0..40).map(|j| mu + (j % 7) as f64 * 0.3).collect();
+                GroupSample::from_values(&vals, 40)
+            })
+            .collect();
+        let narrow = InterestingnessCi::new(Interestingness::Variance, 0.80)
+            .interval(EstimatorKind::Avg, &groups, None);
+        let wide = InterestingnessCi::new(Interestingness::Variance, 0.99)
+            .interval(EstimatorKind::Avg, &groups, None);
+        prop_assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower - 1e-9);
+    }
+
+    /// Φ⁻¹ inverts Φ across the whole practical range.
+    #[test]
+    fn quantile_inverts_cdf(p in 0.0005f64..0.9995) {
+        let x = spade_stats::normal_quantile(p);
+        prop_assert!(close(spade_stats::normal_cdf(x), p, 1e-4));
+    }
+
+    /// Scores are permutation-invariant (set semantics of Section 2).
+    #[test]
+    fn scores_permutation_invariant(mut xs in prop::collection::vec(-1e2f64..1e2, 3..50)) {
+        for h in Interestingness::ALL {
+            let a = h.score(&xs);
+            xs.reverse();
+            let b = h.score(&xs);
+            prop_assert!(close(a, b, 1e-9), "{h}");
+        }
+    }
+}
