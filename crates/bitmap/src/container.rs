@@ -37,6 +37,11 @@ impl BitsetContainer {
         BitsetContainer { words: [0; BITSET_WORDS], cardinality: 0 }
     }
 
+    /// The raw 64-bit words (for container-at-a-time decoding).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     #[inline]
     fn set(&mut self, low: u16) -> bool {
         let (w, b) = (low as usize / 64, low as usize % 64);
@@ -167,6 +172,55 @@ impl Container {
         match self {
             Container::Array(values) => values.last().copied(),
             Container::Bitset(bs) => bs.to_array().last().copied(),
+        }
+    }
+
+    /// K-way union of several containers in one pass — the fan-in path of
+    /// cube-cell consolidation, where a child cell absorbs many parent
+    /// cells at once. Equivalent to folding [`Container::union_with`]
+    /// pairwise, but without the per-step reallocation and re-merge.
+    pub fn union_many(parts: &[&Container]) -> Container {
+        debug_assert!(!parts.is_empty());
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        let any_bitset = parts.iter().any(|c| matches!(c, Container::Bitset(_)));
+        let total: usize = parts.iter().map(|c| c.cardinality() as usize).sum();
+        if !any_bitset && total <= ARRAY_TO_BITSET_THRESHOLD {
+            // All-array, provably small: concatenate + sort + dedup.
+            let mut lows: Vec<u16> = Vec::with_capacity(total);
+            for c in parts {
+                if let Container::Array(v) = c {
+                    lows.extend_from_slice(v);
+                }
+            }
+            lows.sort_unstable();
+            lows.dedup();
+            return Container::Array(lows);
+        }
+        // Accumulate through one bitset.
+        let mut bs = BitsetContainer::new();
+        for c in parts {
+            match c {
+                Container::Bitset(b) => {
+                    for (w, &word) in b.words.iter().enumerate() {
+                        bs.words[w] |= word;
+                    }
+                }
+                Container::Array(v) => {
+                    for &low in v {
+                        bs.words[low as usize / 64] |= 1u64 << (low as usize % 64);
+                    }
+                }
+            }
+        }
+        bs.cardinality = bs.words.iter().map(|w| w.count_ones()).sum();
+        // Mirror `union_with`'s representation choice: any bitset input
+        // keeps a bitset; all-array results convert back when small.
+        if !any_bitset && (bs.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
+            Container::Array(bs.to_array())
+        } else {
+            Container::Bitset(Box::new(bs))
         }
     }
 

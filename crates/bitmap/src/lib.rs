@@ -210,6 +210,63 @@ impl Bitmap {
         self.containers = out_containers;
     }
 
+    /// Unions several bitmaps into `self` in one k-way pass. Equivalent to
+    /// calling [`Bitmap::union_with`] for each, but each chunk is merged
+    /// once instead of re-merged (and re-allocated) per source — the
+    /// cube engine's fan-in path, where one child cell absorbs every
+    /// parent cell projecting onto it.
+    pub fn union_with_all(&mut self, others: &[&Bitmap]) {
+        match others {
+            [] => return,
+            [one] => return self.union_with(one),
+            _ => {}
+        }
+        /// Where a chunk comes from: `self` (owned, movable) or a source
+        /// bitmap (borrowed).
+        enum Src<'a> {
+            Own(usize),
+            Other(&'a Container),
+        }
+        let own_keys = std::mem::take(&mut self.keys);
+        let mut own_slots: Vec<Option<Container>> =
+            std::mem::take(&mut self.containers).into_iter().map(Some).collect();
+        let mut refs: Vec<(u16, Src<'_>)> = own_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, Src::Own(i)))
+            .collect();
+        for other in others {
+            refs.extend(
+                other.keys.iter().copied().zip(other.containers.iter().map(Src::Other)),
+            );
+        }
+        refs.sort_by_key(|(k, _)| *k);
+        let mut i = 0;
+        while i < refs.len() {
+            let key = refs[i].0;
+            let run_len = refs[i..].iter().take_while(|(k, _)| *k == key).count();
+            let container = if run_len == 1 {
+                // A chunk no one else shares: move our own, clone a source's.
+                match &refs[i].1 {
+                    Src::Own(idx) => own_slots[*idx].take().expect("own chunk taken once"),
+                    Src::Other(c) => (*c).clone(),
+                }
+            } else {
+                let group: Vec<&Container> = refs[i..i + run_len]
+                    .iter()
+                    .map(|(_, s)| match s {
+                        Src::Own(idx) => own_slots[*idx].as_ref().expect("own chunk present"),
+                        Src::Other(c) => *c,
+                    })
+                    .collect();
+                Container::union_many(&group)
+            };
+            self.keys.push(key);
+            self.containers.push(container);
+            i += run_len;
+        }
+    }
+
     /// Owned union.
     pub fn union(&self, other: &Bitmap) -> Bitmap {
         let mut out = self.clone();
@@ -347,7 +404,34 @@ impl Bitmap {
 
     /// Collects the values into a `Vec` (ascending).
     pub fn to_vec(&self) -> Vec<u32> {
-        self.iter().collect()
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Appends all values (ascending) to `out` without clearing it —
+    /// container-at-a-time, much faster than the value-at-a-time iterator
+    /// on hot paths that can reuse one scratch buffer.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        out.reserve(self.cardinality() as usize);
+        for (&key, container) in self.keys.iter().zip(&self.containers) {
+            let high = (key as u32) << 16;
+            match container {
+                Container::Array(values) => {
+                    out.extend(values.iter().map(|&low| high | low as u32));
+                }
+                Container::Bitset(bs) => {
+                    for (w, &word) in bs.words().iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros();
+                            out.push(high | ((w as u32) << 6) | b);
+                            bits &= bits - 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -533,5 +617,121 @@ mod tests {
         values.sort_unstable();
         values.dedup();
         assert_eq!(bm.to_vec(), values);
+    }
+}
+
+#[cfg(test)]
+mod kway_tests {
+    use super::*;
+
+    /// Reference: fold pairwise `union_with` over the same inputs.
+    fn pairwise(base: &Bitmap, others: &[&Bitmap]) -> Bitmap {
+        let mut out = base.clone();
+        for o in others {
+            out.union_with(o);
+        }
+        out
+    }
+
+    fn bm(values: &[u32]) -> Bitmap {
+        Bitmap::from_iter(values.iter().copied())
+    }
+
+    #[test]
+    fn union_with_all_matches_pairwise_folds() {
+        let cases: Vec<(Bitmap, Vec<Bitmap>)> = vec![
+            // Overlapping single-chunk arrays.
+            (bm(&[1, 5, 9]), vec![bm(&[2, 5]), bm(&[9, 10, 11]), bm(&[0])]),
+            // Chunks unique to self, to one source, and shared.
+            (
+                bm(&[3, 70_000]),
+                vec![bm(&[200_000, 200_001]), bm(&[70_001, 3])],
+            ),
+            // Empty self, empty source.
+            (Bitmap::new(), vec![bm(&[8, 9]), Bitmap::new(), bm(&[8])]),
+            // Dense: cross the array→bitset threshold during the union.
+            (
+                Bitmap::from_iter(0..3000u32),
+                vec![
+                    Bitmap::from_iter(2000..5000u32),
+                    Bitmap::from_iter(4000..4096u32),
+                ],
+            ),
+            // A source that is already a bitset container.
+            (bm(&[1]), vec![Bitmap::from_iter(0..6000u32)]),
+        ];
+        for (i, (base, sources)) in cases.iter().enumerate() {
+            let refs: Vec<&Bitmap> = sources.iter().collect();
+            let mut kway = base.clone();
+            kway.union_with_all(&refs);
+            let folded = pairwise(base, &refs);
+            assert_eq!(kway.to_vec(), folded.to_vec(), "case {i}: values");
+            assert_eq!(
+                kway.cardinality(),
+                folded.cardinality(),
+                "case {i}: cardinality"
+            );
+            // Same representation choice as the pairwise path, so
+            // downstream memory accounting and equality agree.
+            assert_eq!(
+                kway.bitset_containers(),
+                folded.bitset_containers(),
+                "case {i}: representation"
+            );
+            assert_eq!(kway, folded, "case {i}: full equality");
+        }
+    }
+
+    #[test]
+    fn union_with_all_trivial_arities() {
+        let mut a = bm(&[1, 2]);
+        a.union_with_all(&[]);
+        assert_eq!(a.to_vec(), vec![1, 2]);
+        let b = bm(&[2, 3]);
+        a.union_with_all(&[&b]);
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_many_representation_thresholds() {
+        // All-array, small: stays an array container.
+        let small_a = Container::from_sorted_lows(&[1, 2, 3]);
+        let small_b = Container::from_sorted_lows(&[3, 4]);
+        let merged = Container::union_many(&[&small_a, &small_b]);
+        assert!(matches!(merged, Container::Array(_)));
+        assert_eq!(merged.cardinality(), 4);
+
+        // All-array but summed length above the threshold with actual
+        // cardinality below it: converts back to an array (mirrors
+        // union_with).
+        let lows: Vec<u16> = (0..4000u16).collect();
+        let dup = Container::from_sorted_lows(&lows);
+        let dup2 = Container::from_sorted_lows(&lows);
+        let merged = Container::union_many(&[&dup, &dup2]);
+        assert!(matches!(merged, Container::Array(_)), "dedup below threshold");
+        assert_eq!(merged.cardinality(), 4000);
+
+        // Above the threshold for real: becomes a bitset.
+        let lo: Vec<u16> = (0..3000u16).collect();
+        let hi: Vec<u16> = (2500..6000u16).collect();
+        let merged = Container::union_many(&[
+            &Container::from_sorted_lows(&lo),
+            &Container::from_sorted_lows(&hi),
+        ]);
+        assert!(matches!(merged, Container::Bitset(_)));
+        assert_eq!(merged.cardinality(), 6000);
+    }
+
+    #[test]
+    fn decode_into_appends_and_matches_iter() {
+        // Mixed array + bitset chunks.
+        let mut bm = Bitmap::from_iter((0..5000u32).chain([70_000, 200_123]));
+        bm.remove(1234);
+        let via_iter: Vec<u32> = bm.iter().collect();
+        let mut out = vec![999u32]; // must append, not clear
+        bm.decode_into(&mut out);
+        assert_eq!(out[0], 999);
+        assert_eq!(&out[1..], &via_iter[..]);
+        assert_eq!(bm.to_vec(), via_iter);
     }
 }

@@ -51,6 +51,13 @@ pub struct SpadeConfig {
     pub agg_fns: Vec<AggFn>,
     /// Early-stop pruning on/off plus its parameters.
     pub early_stop: Option<EarlyStopConfig>,
+    /// Worker threads for the parallel pipeline stages (per-CFS attribute
+    /// analysis and per-CFS/per-lattice aggregate evaluation). `0` = one
+    /// worker per available core; `1` = fully serial. The pipeline splits
+    /// this budget across its two fan-out levels (CFSs × lattices), so the
+    /// total worker count never exceeds it. Results are bit-identical for
+    /// every value — the fan-out merges in deterministic input order.
+    pub threads: usize,
 }
 
 impl Default for SpadeConfig {
@@ -70,6 +77,7 @@ impl Default for SpadeConfig {
             max_path_derivations: 200,
             agg_fns: vec![AggFn::Sum, AggFn::Avg, AggFn::Min, AggFn::Max],
             early_stop: None,
+            threads: 0,
         }
     }
 }

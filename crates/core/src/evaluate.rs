@@ -9,10 +9,18 @@
 //! * **early-stop** — when enabled, the Section 5 pruning runs on the
 //!   stratified samples collected during data translation, and only the
 //!   surviving MDAs are computed.
+//!
+//! Evaluation is staged so the heavy work fans out: a serial planning pass
+//! resolves cross-lattice sharing (inherently order-dependent — earlier
+//! lattices claim shared aggregates), then every lattice's translation,
+//! early-stop pruning, and cube evaluation run independently on the
+//! [`crate::parallel`] pool, and a serial fold merges the outcomes in
+//! lattice order so counters and results are identical at any thread count.
 
 use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
 use crate::enumeration::LatticeSpec;
+use crate::parallel;
 use spade_cube::earlystop;
 use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
@@ -32,6 +40,13 @@ pub struct CfsEvaluation {
     pub pruned_by_es: usize,
 }
 
+/// The parallel outcome of one lattice's translation + pruning + cube run.
+struct LatticeOutcome {
+    result: CubeResult,
+    evaluated_aggregates: usize,
+    pruned_by_es: usize,
+}
+
 /// Evaluates all lattices of one CFS.
 pub fn evaluate_cfs(
     analysis: &CfsAnalysis,
@@ -39,11 +54,15 @@ pub fn evaluate_cfs(
     config: &SpadeConfig,
 ) -> CfsEvaluation {
     let mut evaluation = CfsEvaluation::default();
-    // `(sorted dim attribute ids, MDA label)` pairs already evaluated in an
-    // earlier lattice of this CFS.
-    let mut shared: HashSet<(Vec<usize>, String)> = HashSet::new();
     let options = MvdCubeOptions::default();
 
+    // —— serial planning: cross-lattice sharing ——
+    // `(sorted dim attribute ids, MDA label)` pairs already evaluated in an
+    // earlier lattice of this CFS; lattice order decides who computes a
+    // shared aggregate, so this pass must stay sequential.
+    let mut shared: HashSet<(Vec<usize>, String)> = HashSet::new();
+    let mut work: Vec<(CubeSpec<'_>, HashMap<u32, Vec<bool>>)> =
+        Vec::with_capacity(lattices.len());
     for lattice_spec in lattices {
         let dims: Vec<_> = lattice_spec
             .dims
@@ -61,7 +80,7 @@ pub fn evaluate_cfs(
         let spec = CubeSpec::new(dims, measures, analysis.n_facts());
         let mdas = spec.mdas();
 
-        // Cross-lattice sharing: mark duplicated (dim set, MDA) pairs dead.
+        // Mark duplicated (dim set, MDA) pairs dead.
         let n_dims = lattice_spec.dims.len();
         let mut alive: HashMap<u32, Vec<bool>> = HashMap::new();
         for mask in 0u32..(1 << n_dims) {
@@ -76,10 +95,16 @@ pub fn evaluate_cfs(
             evaluation.enumerated_aggregates += flags.iter().filter(|&&f| f).count();
             alive.insert(mask, flags);
         }
+        work.push((spec, alive));
+    }
 
-        // Early-stop pruning on top of sharing.
+    // —— parallel per-lattice evaluation ——
+    // Translation, early-stop pruning (each lattice draws from its own
+    // seeded sample), and the cube run are independent per lattice.
+    let outcomes = parallel::map(work, config.threads, |(spec, mut alive)| {
         let sample_cap = config.early_stop.map(|es| es.sample_size);
         let (lattice, translation) = prepare(&spec, &options, sample_cap);
+        let mut pruned_by_es = 0usize;
         if let Some(es_config) = &config.early_stop {
             let samples = translation.samples.clone().expect("sampling enabled");
             let outcome = earlystop::prune(&spec, &lattice, &samples, es_config);
@@ -88,16 +113,22 @@ pub fn evaluate_cfs(
                 for (i, f) in flags.iter_mut().enumerate() {
                     if *f && !es_flags[i] {
                         *f = false;
-                        evaluation.pruned_by_es += 1;
+                        pruned_by_es += 1;
                     }
                 }
             }
         }
-
-        evaluation.evaluated_aggregates +=
+        let evaluated_aggregates =
             alive.values().map(|f| f.iter().filter(|&&x| x).count()).sum::<usize>();
         let result = mvd_cube_pruned(&spec, &options, &lattice, &translation, &alive);
-        evaluation.results.push(result);
+        LatticeOutcome { result, evaluated_aggregates, pruned_by_es }
+    });
+
+    // —— serial fold, in lattice order ——
+    for outcome in outcomes {
+        evaluation.evaluated_aggregates += outcome.evaluated_aggregates;
+        evaluation.pruned_by_es += outcome.pruned_by_es;
+        evaluation.results.push(outcome.result);
     }
     evaluation
 }

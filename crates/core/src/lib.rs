@@ -29,6 +29,7 @@ pub mod enumeration;
 pub mod evaluate;
 pub mod mfs;
 pub mod offline;
+pub mod parallel;
 pub mod pipeline;
 pub mod sparql;
 pub mod text;

@@ -145,12 +145,13 @@ impl Spade {
         report.timings.cfs_selection = t.elapsed();
         report.profile.cfs_count = cfs_list.len();
 
-        // —— Step 2: online attribute analysis ——
+        // —— Step 2: online attribute analysis (parallel per CFS) ——
         let t = Instant::now();
-        let analyses: Vec<CfsAnalysis> = cfs_list
-            .iter()
-            .map(|cfs| analyze_cfs(graph, cfs, &derived, &self.config))
-            .collect();
+        let graph_ref: &Graph = graph;
+        let analyses: Vec<CfsAnalysis> =
+            crate::parallel::map(cfs_list.iter().collect(), self.config.threads, |cfs| {
+                analyze_cfs(graph_ref, cfs, &derived, &self.config)
+            });
         report.timings.attribute_analysis = t.elapsed();
 
         // —— Step 3: aggregate enumeration ——
@@ -159,13 +160,20 @@ impl Spade {
             analyses.iter().map(|a| enumerate(a, &self.config)).collect();
         report.timings.enumeration = t.elapsed();
 
-        // —— Step 4: aggregate evaluation ——
+        // —— Step 4: aggregate evaluation (parallel per CFS; each CFS fans
+        // its lattices out further — see `evaluate::evaluate_cfs`). The
+        // thread budget is split across the two levels so the total worker
+        // count stays at `threads` instead of `threads²`. ——
         let t = Instant::now();
-        let evaluations: Vec<_> = analyses
-            .iter()
-            .zip(&lattice_specs)
-            .map(|(analysis, lattices)| evaluate_cfs(analysis, lattices, &self.config))
-            .collect();
+        let resolved = crate::parallel::resolve_threads(self.config.threads);
+        let outer = resolved.min(analyses.len().max(1));
+        let inner_config =
+            SpadeConfig { threads: (resolved / outer).max(1), ..self.config.clone() };
+        let evaluations: Vec<_> = crate::parallel::map(
+            analyses.iter().zip(&lattice_specs).collect(),
+            outer,
+            |(analysis, lattices)| evaluate_cfs(analysis, lattices, &inner_config),
+        );
         report.timings.evaluation = t.elapsed();
         for e in &evaluations {
             report.profile.aggregates += e.enumerated_aggregates;

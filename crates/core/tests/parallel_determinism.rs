@@ -1,0 +1,104 @@
+//! Parallel evaluation must be a pure performance knob: any
+//! `SpadeConfig::threads` value yields bit-identical `CubeResult`s and an
+//! identical top-k list, because the fan-out merges outcomes in input order
+//! and every per-lattice computation is single-owner.
+
+use spade_core::analysis::analyze_cfs;
+use spade_core::cfs::{select, CfsStrategy};
+use spade_core::enumeration::enumerate;
+use spade_core::evaluate::evaluate_cfs;
+use spade_core::offline;
+use spade_core::{Spade, SpadeConfig};
+use spade_cube::CubeResult;
+use spade_datagen::{realistic, RealisticConfig};
+
+/// Exact (bit-level) equality of two cube results: same nodes, same groups,
+/// same per-MDA values down to the f64 bit pattern.
+fn assert_results_identical(a: &CubeResult, b: &CubeResult, context: &str) {
+    assert_eq!(a.mda_labels, b.mda_labels, "{context}: MDA labels");
+    let mut masks: Vec<u32> = a.nodes.keys().copied().collect();
+    masks.sort_unstable();
+    let mut other: Vec<u32> = b.nodes.keys().copied().collect();
+    other.sort_unstable();
+    assert_eq!(masks, other, "{context}: node sets");
+    for mask in masks {
+        let na = &a.nodes[&mask];
+        let nb = &b.nodes[&mask];
+        assert_eq!(na.groups.len(), nb.groups.len(), "{context}: node {mask:b} group count");
+        for (key, va) in &na.groups {
+            let vb = nb.groups.get(key).unwrap_or_else(|| {
+                panic!("{context}: node {mask:b} missing group {key:?}")
+            });
+            assert_eq!(va.len(), vb.len());
+            for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+                let same = match (x, y) {
+                    (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                    (None, None) => true,
+                    _ => false,
+                };
+                assert!(same, "{context}: node {mask:b} group {key:?} mda {i}: {x:?} vs {y:?}");
+            }
+        }
+    }
+}
+
+fn run_evaluation(threads: usize) -> Vec<CubeResult> {
+    let mut g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
+    let config = SpadeConfig { min_support: 0.3, threads, ..Default::default() };
+    let stats = offline::analyze(&g);
+    let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
+    let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+    let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
+    let analysis = analyze_cfs(&g, ceo, &derived, &config);
+    let lattices = enumerate(&analysis, &config);
+    assert!(lattices.len() > 1, "need multiple lattices to exercise the fan-out");
+    let eval = evaluate_cfs(&analysis, &lattices, &config);
+    eval.results
+}
+
+#[test]
+fn evaluation_is_bit_identical_across_thread_counts() {
+    let serial = run_evaluation(1);
+    for threads in [2usize, 8] {
+        let parallel = run_evaluation(threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_results_identical(a, b, &format!("threads={threads} lattice={i}"));
+        }
+    }
+}
+
+fn run_pipeline(threads: usize, early_stop: bool) -> Vec<(String, u64, usize)> {
+    let mut g = realistic::ceos(&RealisticConfig { scale: 300, seed: 2 });
+    let mut config =
+        SpadeConfig { k: 8, min_support: 0.3, threads, ..Default::default() };
+    if early_stop {
+        config = config.with_early_stop();
+    }
+    let report = Spade::new(config).run(&mut g);
+    report
+        .top
+        .iter()
+        .map(|t| (t.description(), t.score.to_bits(), t.groups))
+        .collect()
+}
+
+#[test]
+fn top_k_is_identical_across_thread_counts() {
+    let serial = run_pipeline(1, false);
+    assert!(!serial.is_empty());
+    for threads in [2usize, 8] {
+        assert_eq!(serial, run_pipeline(threads, false), "threads={threads}");
+    }
+}
+
+#[test]
+fn top_k_with_early_stop_is_identical_across_thread_counts() {
+    // Early-stop draws per-lattice seeded samples; pruning decisions must
+    // not depend on scheduling.
+    let serial = run_pipeline(1, true);
+    assert!(!serial.is_empty());
+    for threads in [2usize, 8] {
+        assert_eq!(serial, run_pipeline(threads, true), "threads={threads}");
+    }
+}

@@ -56,6 +56,9 @@ impl<'a, 'b> ArrayAlgebra<'a, 'b> {
 
 impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
     type Cell = ArrayCell;
+    /// Classical cells are already aggregated; nothing to precompute.
+    type EmitPlan = ();
+    type EmitScratch = ();
 
     fn root_cell(&self, facts: &Bitmap) -> ArrayCell {
         let mut cell = ArrayCell {
@@ -92,7 +95,10 @@ impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
         }
     }
 
-    fn emit(&self, cell: &ArrayCell, alive: &[bool]) -> Vec<Option<f64>> {
+    fn plan_emit(&self, _alive: &[bool]) {}
+
+    fn emit(&self, cell: &ArrayCell, alive: &[bool], _plan: &(), _scratch: &mut ())
+        -> Vec<Option<f64>> {
         self.mdas
             .iter()
             .zip(alive)
@@ -129,7 +135,7 @@ impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
 pub fn array_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = ArrayAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None)
+    run_engine(spec, &lattice, &translation, &algebra, None, options.store_policy)
 }
 
 #[cfg(test)]

@@ -13,13 +13,34 @@
 //! write-to-disk check — is the same machinery, captured by [`CubeAlgebra`]
 //! and [`run_engine`].
 //!
-//! The ArrayCube flush check ("once a partition is evaluated, each node
+//! ## Memory layout (performance architecture)
+//!
+//! Cube memory is organised per *(node, region)*, where an MMST node's
+//! memory region is the projection of partition coordinates onto its
+//! dimensions. Within a region, cells are addressed by a **local index**
+//! over the region's chunk extents (row-major, like the global index but
+//! with per-dimension extent `c_i` instead of `|D_i|`), and stored flat:
+//!
+//! * **dense** — `Vec<Option<Cell>>` of the region's full capacity
+//!   `Π c_i`, used when that capacity is at most
+//!   [`DENSE_CAPACITY_LIMIT`] (the precomputed density threshold in
+//!   [`NodeGeom`]): cell lookup is one array index, no hashing;
+//! * **sparse** — a `Vec<(u64, Cell)>` sorted by local index, used for
+//!   large cell spaces: batches of projected parent cells are stable-sorted
+//!   and merged in one pass.
+//!
+//! Parent cells are *moved* (not cloned) into the last surviving MMST
+//! child, and the group-key decode reuses one scratch buffer per flush
+//! instead of allocating per cell. Projection arithmetic happens entirely
+//! in local coordinates: dropping dimension `j` of the parent's local space
+//! is the same row-major index surgery as in the global space, with chunk
+//! extents. The flush check ("once a partition is evaluated, each node
 //! checks if it is time to store its memory content to disk", Section 4.1)
-//! is implemented with per-region partition counters: an MMST node's memory
-//! region — the projection of partition coordinates onto its dimensions —
-//! can be flushed when every base partition mapping to it has been
-//! processed. This is equivalent to the subarray-exhaustion check and
-//! independent of partition iteration order.
+//! is unchanged: per-region partition counters over the non-empty base
+//! partitions mapping to the region.
+//!
+//! The pre-optimization engine is preserved in [`crate::engine_baseline`]
+//! for benchmarking and as a property-test reference.
 
 use crate::lattice::Lattice;
 use crate::result::{CubeResult, NodeResult};
@@ -28,11 +49,42 @@ use crate::translate::{strides_for, Translation};
 use spade_bitmap::Bitmap;
 use std::collections::HashMap;
 
+/// Cell capacity up to which a region uses dense storage under
+/// [`CellStorePolicy::Auto`]. 2^16 cells keeps a dense region under a few
+/// megabytes for every cell payload the engine stores while covering all
+/// practically chunked lattices (chunk extents are small by construction).
+pub const DENSE_CAPACITY_LIMIT: u64 = 1 << 16;
+
+/// Hard ceiling for [`CellStorePolicy::ForceDense`]; beyond this the engine
+/// falls back to sparse storage rather than risk an enormous allocation.
+const FORCE_DENSE_CEILING: u64 = 1 << 26;
+
+/// How per-region cell storage is chosen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CellStorePolicy {
+    /// Dense when the region capacity is at most [`DENSE_CAPACITY_LIMIT`],
+    /// sparse otherwise (the precomputed density threshold).
+    #[default]
+    Auto,
+    /// Dense wherever feasible (capacity-capped); for tests/benchmarks.
+    ForceDense,
+    /// Always sparse; for tests/benchmarks.
+    ForceSparse,
+}
+
 /// What a cube cell holds and how cells combine — the algorithm-specific
 /// part of lattice evaluation.
 pub(crate) trait CubeAlgebra {
     /// Cell payload.
     type Cell: Clone;
+
+    /// Per-node precomputed emit state (e.g. which measures are needed),
+    /// hoisted out of the per-cell hot path.
+    type EmitPlan;
+
+    /// Reusable per-evaluation scratch buffers for `emit` (e.g. the decoded
+    /// fact list), so the hot path allocates nothing per cell.
+    type EmitScratch: Default;
 
     /// Builds a root cell from the facts of one array cell.
     fn root_cell(&self, facts: &Bitmap) -> Self::Cell;
@@ -40,61 +92,120 @@ pub(crate) trait CubeAlgebra {
     /// Combines a parent's cell into a child's cell (projection step).
     fn merge(&self, into: &mut Self::Cell, from: &Self::Cell);
 
+    /// Combines a *run* of cells into one (the fan-in path: every parent
+    /// cell projecting onto the same child cell, batched by the engine's
+    /// sorted storage). Defaults to folding [`CubeAlgebra::merge`] in
+    /// order; algebras with an associative combine can override with a
+    /// one-pass k-way merge.
+    fn merge_run(&self, into: &mut Self::Cell, from: &[&Self::Cell]) {
+        for f in from {
+            self.merge(into, f);
+        }
+    }
+
+    /// Prepares per-node emit state from the node's MDA liveness.
+    fn plan_emit(&self, alive: &[bool]) -> Self::EmitPlan;
+
     /// Computes the per-MDA values of a finished cell. `alive[i] == false`
     /// means MDA `i` was pruned by early-stop and must not be computed.
-    fn emit(&self, cell: &Self::Cell, alive: &[bool]) -> Vec<Option<f64>>;
+    fn emit(
+        &self,
+        cell: &Self::Cell,
+        alive: &[bool],
+        plan: &Self::EmitPlan,
+        scratch: &mut Self::EmitScratch,
+    ) -> Vec<Option<f64>>;
 }
 
-/// Per-node geometry: dims, their domains, cell strides, chunk geometry.
-struct NodeGeom {
+/// Per-node geometry: dims, domain/chunk extents, local strides, and the
+/// precomputed storage decision.
+pub(crate) struct NodeGeom {
     dims: Vec<usize>,
-    /// Domain size of each of the node's dims.
+    /// Domain size of each of the node's dims (incl. the null slot).
     domains: Vec<u64>,
-    /// Row-major strides over the node's own cell space.
-    strides: Vec<u64>,
-    /// Row-major strides over the node's own region (chunk) space.
+    /// Row-major strides over the node's *global* cell space (root load).
+    global_strides: Vec<u64>,
+    /// Chunk extent of each of the node's dims.
+    chunk: Vec<u64>,
+    /// Chunk count of each of the node's dims.
+    n_chunks: Vec<u64>,
+    /// Row-major strides over the node's local (within-region) cell space.
+    local_strides: Vec<u64>,
+    /// Row-major strides over the node's region (chunk) space.
     region_strides: Vec<u64>,
+    /// Cells per region: `Π chunk`.
+    capacity: u64,
+    /// The precomputed density decision: dense flat array vs sorted sparse.
+    dense: bool,
 }
 
 impl NodeGeom {
-    /// Decodes a node cell index into its per-dim value codes (group key).
+    /// Converts a global cell index of this node to its local index inside
+    /// the (unique) region containing it.
+    #[inline]
+    fn global_to_local(&self, global: u64) -> u64 {
+        let mut local = 0u64;
+        for k in 0..self.dims.len() {
+            let code = (global / self.global_strides[k]) % self.domains[k];
+            local += (code % self.chunk[k]) * self.local_strides[k];
+        }
+        local
+    }
+
+    /// Decodes a `(region, local cell)` pair into per-dim value codes,
+    /// writing into `out` (cleared first) to avoid per-cell allocation.
     /// The internal null slot (last code of each domain) is remapped to
     /// [`crate::result::NULL_CODE`].
-    fn decode(&self, cell_idx: u64) -> Vec<u32> {
-        self.strides
-            .iter()
-            .zip(&self.domains)
-            .map(|(&s, &d)| {
-                let code = (cell_idx / s) % d;
-                if code == d - 1 {
-                    crate::result::NULL_CODE
-                } else {
-                    code as u32
-                }
-            })
-            .collect()
+    fn decode_into(&self, region: u64, local: u64, out: &mut Vec<u32>) {
+        out.clear();
+        for k in 0..self.dims.len() {
+            let coord = (region / self.region_strides[k]) % self.n_chunks[k];
+            let code = coord * self.chunk[k] + (local / self.local_strides[k]) % self.chunk[k];
+            out.push(if code == self.domains[k] - 1 {
+                crate::result::NULL_CODE
+            } else {
+                code as u32
+            });
+        }
     }
 }
 
 /// Precomputed projection from a parent node to a child node (one dropped
-/// dimension): `child = (idx / (d·below)) · below + idx mod below`.
+/// dimension): `child = (idx / (d·below)) · below + idx mod below`, applied
+/// in *local* (within-region) coordinates for cells and in chunk
+/// coordinates for regions.
 struct Projection {
     child_mask: u32,
-    cell_d: u64,
-    cell_below: u64,
+    /// Chunk extent of the dropped dimension (parent local space).
+    local_d: u64,
+    /// Product of parent chunk extents after the dropped position.
+    local_below: u64,
     region_d: u64,
     region_below: u64,
 }
 
-fn node_geom(lattice: &Lattice, mask: u32) -> NodeGeom {
+fn node_geom(lattice: &Lattice, mask: u32, policy: CellStorePolicy) -> NodeGeom {
     let dims = lattice.dims_of(mask);
     let domains32: Vec<u32> = dims.iter().map(|&i| lattice.domains[i]).collect();
+    let chunk32: Vec<u32> = dims.iter().map(|&i| lattice.chunks[i]).collect();
     let n_chunks_all = lattice.n_chunks();
-    let chunks: Vec<u32> = dims.iter().map(|&i| n_chunks_all[i]).collect();
+    let chunks32: Vec<u32> = dims.iter().map(|&i| n_chunks_all[i]).collect();
+    let capacity = chunk32.iter().map(|&c| c as u64).try_fold(1u64, u64::checked_mul)
+        .expect("region capacity overflows u64");
+    let dense = match policy {
+        CellStorePolicy::Auto => capacity <= DENSE_CAPACITY_LIMIT,
+        CellStorePolicy::ForceDense => capacity <= FORCE_DENSE_CEILING,
+        CellStorePolicy::ForceSparse => false,
+    };
     NodeGeom {
-        strides: strides_for(&domains32),
+        global_strides: strides_for(&domains32),
         domains: domains32.iter().map(|&d| d as u64).collect(),
-        region_strides: strides_for(&chunks),
+        local_strides: strides_for(&chunk32),
+        chunk: chunk32.iter().map(|&c| c as u64).collect(),
+        n_chunks: chunks32.iter().map(|&c| c as u64).collect(),
+        region_strides: strides_for(&chunks32),
+        capacity,
+        dense,
         dims,
     }
 }
@@ -104,13 +215,117 @@ fn project(idx: u64, d: u64, below: u64) -> u64 {
     (idx / (d * below)) * below + idx % below
 }
 
+/// Flat cell storage of one (node, region): dense array or sorted sparse
+/// pairs, keyed by local cell index.
+enum RegionStore<C> {
+    Dense(Vec<Option<C>>),
+    Sparse(Vec<(u64, C)>),
+}
+
+impl<C> RegionStore<C> {
+    fn new(geom: &NodeGeom) -> Self {
+        if geom.dense {
+            let mut slots = Vec::new();
+            slots.resize_with(geom.capacity as usize, || None);
+            RegionStore::Dense(slots)
+        } else {
+            RegionStore::Sparse(Vec::new())
+        }
+    }
+
+    /// Inserts a cell at a key known to be absent, arriving in ascending
+    /// key order (the root-load path).
+    fn push_sorted(&mut self, local: u64, cell: C) {
+        match self {
+            RegionStore::Dense(slots) => {
+                debug_assert!(slots[local as usize].is_none());
+                slots[local as usize] = Some(cell);
+            }
+            RegionStore::Sparse(v) => {
+                debug_assert!(v.last().is_none_or(|(k, _)| *k < local));
+                v.push((local, cell));
+            }
+        }
+    }
+
+    /// Visits occupied cells in ascending local-index order.
+    fn for_each(&self, mut f: impl FnMut(u64, &C)) {
+        match self {
+            RegionStore::Dense(slots) => {
+                for (i, slot) in slots.iter().enumerate() {
+                    if let Some(c) = slot {
+                        f(i as u64, c);
+                    }
+                }
+            }
+            RegionStore::Sparse(v) => {
+                for (k, c) in v {
+                    f(*k, c);
+                }
+            }
+        }
+    }
+
+    /// Visits occupied cells in ascending local-index order, by reference.
+    fn iter_cells(&self) -> Box<dyn Iterator<Item = (u64, &C)> + '_> {
+        match self {
+            RegionStore::Dense(slots) => Box::new(
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, slot)| slot.as_ref().map(|c| (i as u64, c))),
+            ),
+            RegionStore::Sparse(v) => Box::new(v.iter().map(|(k, c)| (*k, c))),
+        }
+    }
+
+    /// Consumes the store, yielding occupied cells in ascending order.
+    fn into_cells(self) -> Vec<(u64, C)> {
+        match self {
+            RegionStore::Dense(slots) => slots
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, slot)| slot.map(|c| (i as u64, c)))
+                .collect(),
+            RegionStore::Sparse(v) => v,
+        }
+    }
+}
+
+/// A projected cell on its way into a child store: owned (moved out of the
+/// parent, for the last MMST child) or borrowed (cloned only if it ends up
+/// *placed* — cells that merge into existing/preceding cells are read by
+/// reference and never copied).
+enum ProjectedCell<'c, C> {
+    Owned(C),
+    Borrowed(&'c C),
+}
+
+impl<'c, C: Clone> ProjectedCell<'c, C> {
+    #[inline]
+    fn get(&self) -> &C {
+        match self {
+            ProjectedCell::Owned(c) => c,
+            ProjectedCell::Borrowed(r) => r,
+        }
+    }
+
+    #[inline]
+    fn into_owned(self) -> C {
+        match self {
+            ProjectedCell::Owned(c) => c,
+            ProjectedCell::Borrowed(r) => r.clone(),
+        }
+    }
+}
+
 /// Engine state during one evaluation.
 struct Engine<'a, A: CubeAlgebra> {
     algebra: &'a A,
     geoms: HashMap<u32, NodeGeom>,
     projections: HashMap<u32, Vec<Projection>>,
-    /// node → region → cell → payload.
-    memory: HashMap<u32, HashMap<u64, HashMap<u64, A::Cell>>>,
+    /// node → region → flat cell storage.
+    memory: HashMap<u32, HashMap<u64, RegionStore<A::Cell>>>,
     /// node → region → remaining base partitions before flush.
     pending: HashMap<u32, HashMap<u64, u64>>,
     /// node → region → number of *non-empty* base partitions mapping to it.
@@ -120,8 +335,14 @@ struct Engine<'a, A: CubeAlgebra> {
     region_totals: HashMap<u32, HashMap<u64, u64>>,
     /// node → per-MDA alive flags.
     alive: HashMap<u32, Vec<bool>>,
+    /// node → precomputed emit plan (needed measures etc.).
+    plans: HashMap<u32, A::EmitPlan>,
     /// node → whether it or any MMST descendant still emits.
     keep: HashMap<u32, bool>,
+    /// Scratch buffer for group-key decoding (reused across all cells).
+    key_buf: Vec<u32>,
+    /// Algebra-defined emit scratch (reused across all cells).
+    emit_scratch: A::EmitScratch,
     result: CubeResult,
 }
 
@@ -130,46 +351,52 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
     /// the node's MMST children, recursively flushing children that
     /// complete — Algorithm 1's `updateSubtree` +
     /// `computeAndStoreAggregatedMeasures` + `emptyMemory`.
-    fn flush(&mut self, mask: u32, region: u64, cells: HashMap<u64, A::Cell>) {
+    fn flush(&mut self, mask: u32, region: u64, mut store: RegionStore<A::Cell>) {
         // 1. Measure computation for this node (if it still has alive MDAs).
-        if self.alive[&mask].iter().any(|&a| a) {
+        let alive = &self.alive[&mask];
+        if alive.iter().any(|&a| a) {
             let geom = &self.geoms[&mask];
-            let mut emitted: Vec<(Vec<u32>, Vec<Option<f64>>)> = Vec::with_capacity(cells.len());
-            for (&cell_idx, cell) in &cells {
-                let key = geom.decode(cell_idx);
-                let values = self.algebra.emit(cell, &self.alive[&mask]);
-                emitted.push((key, values));
-            }
+            let plan = &self.plans[&mask];
+            let algebra = self.algebra;
             let node =
                 self.result.nodes.entry(mask).or_insert_with(|| NodeResult::new(mask));
-            for (key, values) in emitted {
-                node.groups.insert(key, values);
-            }
+            let key_buf = &mut self.key_buf;
+            let emit_scratch = &mut self.emit_scratch;
+            store.for_each(|local, cell| {
+                geom.decode_into(region, local, key_buf);
+                let values = algebra.emit(cell, alive, plan, emit_scratch);
+                node.groups.insert(key_buf.clone(), values);
+            });
         }
 
-        // 2. Propagate to MMST children.
+        // 2. Propagate to MMST children (projections are pre-filtered to
+        // surviving subtrees). The last child receives the parent cells by
+        // move; earlier ones read them by reference.
         let coverage = self.region_totals[&mask][&region];
         let n_projs = self.projections.get(&mask).map_or(0, Vec::len);
         for pi in 0..n_projs {
-            let (child, cell_d, cell_below, region_d, region_below) = {
+            let (child, local_d, local_below, region_d, region_below) = {
                 let p = &self.projections[&mask][pi];
-                (p.child_mask, p.cell_d, p.cell_below, p.region_d, p.region_below)
+                (p.child_mask, p.local_d, p.local_below, p.region_d, p.region_below)
             };
-            if !self.keep[&child] {
-                continue;
-            }
             let child_region = project(region, region_d, region_below);
-            let child_mem =
-                self.memory.get_mut(&child).unwrap().entry(child_region).or_default();
-            for (&cell_idx, cell) in &cells {
-                let child_idx = project(cell_idx, cell_d, cell_below);
-                match child_mem.get_mut(&child_idx) {
-                    Some(existing) => self.algebra.merge(existing, cell),
-                    None => {
-                        child_mem.insert(child_idx, cell.clone());
-                    }
-                }
+            let is_last = pi + 1 == n_projs;
+            if is_last {
+                let taken = std::mem::replace(&mut store, RegionStore::Sparse(Vec::new()));
+                let batch: Vec<(u64, ProjectedCell<'_, A::Cell>)> = taken
+                    .into_cells()
+                    .into_iter()
+                    .map(|(l, c)| (project(l, local_d, local_below), ProjectedCell::Owned(c)))
+                    .collect();
+                self.merge_batch(child, child_region, batch);
+            } else {
+                let batch: Vec<(u64, ProjectedCell<'_, A::Cell>)> = store
+                    .iter_cells()
+                    .map(|(l, c)| (project(l, local_d, local_below), ProjectedCell::Borrowed(c)))
+                    .collect();
+                self.merge_batch(child, child_region, batch);
             }
+
             // Flush check (timeToStoreToDisk): every base partition of the
             // child's region processed?
             let total = self.region_totals[&child][&child_region];
@@ -178,28 +405,139 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
             *pending = pending.saturating_sub(coverage);
             if *pending == 0 {
                 self.pending.get_mut(&child).unwrap().remove(&child_region);
-                let child_cells = self
+                let child_store = self
                     .memory
                     .get_mut(&child)
                     .unwrap()
                     .remove(&child_region)
-                    .unwrap_or_default();
-                self.flush(child, child_region, child_cells);
+                    .unwrap_or_else(|| RegionStore::new(&self.geoms[&child]));
+                self.flush(child, child_region, child_store);
+            }
+        }
+    }
+
+    /// Merges a batch of projected cells into a child region's store. The
+    /// batch is stable-sorted here, so equal child indexes form adjacent
+    /// runs in ascending-parent order — merge order is identical in dense
+    /// and sparse modes — and each run merges k-way via
+    /// [`CubeAlgebra::merge_run`], reading borrowed cells in place (a cell
+    /// is cloned only when it must be *placed* into an empty slot).
+    fn merge_batch(
+        &mut self,
+        child: u32,
+        child_region: u64,
+        mut batch: Vec<(u64, ProjectedCell<'_, A::Cell>)>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_key(|(k, _)| *k);
+        let algebra = self.algebra;
+        let geom = &self.geoms[&child];
+        let store = self
+            .memory
+            .get_mut(&child)
+            .unwrap()
+            .entry(child_region)
+            .or_insert_with(|| RegionStore::new(geom));
+
+        let mut it = batch.into_iter().peekable();
+        let mut run: Vec<ProjectedCell<'_, A::Cell>> = Vec::new();
+        match store {
+            RegionStore::Dense(slots) => {
+                while let Some((idx, first)) = it.next() {
+                    run.clear();
+                    while it.peek().is_some_and(|(k, _)| *k == idx) {
+                        run.push(it.next().unwrap().1);
+                    }
+                    match &mut slots[idx as usize] {
+                        Some(existing) => {
+                            if run.is_empty() {
+                                algebra.merge(existing, first.get());
+                            } else {
+                                let mut refs: Vec<&A::Cell> =
+                                    Vec::with_capacity(run.len() + 1);
+                                refs.push(first.get());
+                                refs.extend(run.iter().map(ProjectedCell::get));
+                                algebra.merge_run(existing, &refs);
+                            }
+                        }
+                        slot @ None => {
+                            let mut base = first.into_owned();
+                            if !run.is_empty() {
+                                let refs: Vec<&A::Cell> =
+                                    run.iter().map(ProjectedCell::get).collect();
+                                algebra.merge_run(&mut base, &refs);
+                            }
+                            *slot = Some(base);
+                        }
+                    }
+                }
+            }
+            RegionStore::Sparse(existing) => {
+                // Coalesce runs to owned cells, then merge-join with the
+                // existing sorted store.
+                let mut coalesced: Vec<(u64, A::Cell)> = Vec::new();
+                while let Some((idx, first)) = it.next() {
+                    run.clear();
+                    while it.peek().is_some_and(|(k, _)| *k == idx) {
+                        run.push(it.next().unwrap().1);
+                    }
+                    let mut base = first.into_owned();
+                    if !run.is_empty() {
+                        let refs: Vec<&A::Cell> =
+                            run.iter().map(ProjectedCell::get).collect();
+                        algebra.merge_run(&mut base, &refs);
+                    }
+                    coalesced.push((idx, base));
+                }
+                let old = std::mem::take(existing);
+                *existing =
+                    merge_sorted(old, coalesced, |into, from| algebra.merge(into, from));
             }
         }
     }
 }
 
+/// Merges two ascending runs of `(key, cell)` pairs into one, combining
+/// cells that share a key with `merge`. `batch` may contain duplicate keys
+/// (adjacent after its stable sort); `old` never does.
+fn merge_sorted<C>(
+    old: Vec<(u64, C)>,
+    batch: Vec<(u64, C)>,
+    merge: impl Fn(&mut C, &C),
+) -> Vec<(u64, C)> {
+    let mut out: Vec<(u64, C)> = Vec::with_capacity(old.len() + batch.len());
+    let mut old_it = old.into_iter().peekable();
+    let mut new_it = batch.into_iter().peekable();
+    loop {
+        let take_old = match (old_it.peek(), new_it.peek()) {
+            (Some((ko, _)), Some((kn, _))) => ko <= kn,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (key, cell) = if take_old { old_it.next().unwrap() } else { new_it.next().unwrap() };
+        match out.last_mut() {
+            Some((k, existing)) if *k == key => merge(existing, &cell),
+            _ => out.push((key, cell)),
+        }
+    }
+    out
+}
+
 /// Runs the shared engine over a translation.
 ///
 /// `alive` gives per-node MDA liveness (from early-stop); pass `None` to
-/// evaluate everything.
+/// evaluate everything. `policy` selects dense/sparse cell storage (see
+/// [`CellStorePolicy`]).
 pub(crate) fn run_engine<A: CubeAlgebra>(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
     translation: &Translation,
     algebra: &A,
     alive: Option<&HashMap<u32, Vec<bool>>>,
+    policy: CellStorePolicy,
 ) -> CubeResult {
     let mmst = lattice.mmst();
     let n_mdas = spec.mdas().len();
@@ -207,34 +545,7 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
 
     let mut geoms = HashMap::new();
     for mask in lattice.nodes() {
-        geoms.insert(mask, node_geom(lattice, mask));
-    }
-    let n_chunks = lattice.n_chunks();
-    let mut projections: HashMap<u32, Vec<Projection>> = HashMap::new();
-    for mask in lattice.nodes() {
-        let parent_dims = &geoms[&mask].dims;
-        let projs: Vec<Projection> = mmst
-            .children_of(mask)
-            .iter()
-            .map(|&child| {
-                let dropped = mmst.parent[&child].1;
-                let pos = parent_dims.iter().position(|&d| d == dropped).unwrap();
-                let cell_below: u64 =
-                    parent_dims[pos + 1..].iter().map(|&i| lattice.domains[i] as u64).product();
-                let region_below: u64 =
-                    parent_dims[pos + 1..].iter().map(|&i| n_chunks[i] as u64).product();
-                Projection {
-                    child_mask: child,
-                    cell_d: lattice.domains[dropped] as u64,
-                    cell_below,
-                    region_d: n_chunks[dropped] as u64,
-                    region_below,
-                }
-            })
-            .collect();
-        if !projs.is_empty() {
-            projections.insert(mask, projs);
-        }
+        geoms.insert(mask, node_geom(lattice, mask, policy));
     }
 
     // Liveness: default everything alive; keep = self or descendant alive.
@@ -249,11 +560,44 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
             (m, flags)
         })
         .collect();
+    let plans: HashMap<u32, A::EmitPlan> =
+        alive_map.iter().map(|(&m, flags)| (m, algebra.plan_emit(flags))).collect();
     let mut keep: HashMap<u32, bool> = HashMap::new();
     for &mask in mmst.topological().iter().rev() {
         let self_alive = alive_map[&mask].iter().any(|&a| a);
         let child_alive = mmst.children_of(mask).iter().any(|c| keep[c]);
         keep.insert(mask, self_alive || child_alive);
+    }
+
+    // Projections, pre-filtered to children whose subtree still emits —
+    // the flush hot path then never consults the keep map.
+    let n_chunks = lattice.n_chunks();
+    let mut projections: HashMap<u32, Vec<Projection>> = HashMap::new();
+    for mask in lattice.nodes() {
+        let parent_dims = &geoms[&mask].dims;
+        let projs: Vec<Projection> = mmst
+            .children_of(mask)
+            .iter()
+            .filter(|child| keep[child])
+            .map(|&child| {
+                let dropped = mmst.parent[&child].1;
+                let pos = parent_dims.iter().position(|&d| d == dropped).unwrap();
+                let local_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| lattice.chunks[i] as u64).product();
+                let region_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| n_chunks[i] as u64).product();
+                Projection {
+                    child_mask: child,
+                    local_d: lattice.chunks[dropped] as u64,
+                    local_below,
+                    region_d: n_chunks[dropped] as u64,
+                    region_below,
+                }
+            })
+            .collect();
+        if !projs.is_empty() {
+            projections.insert(mask, projs);
+        }
     }
 
     let root = lattice.root_mask();
@@ -280,8 +624,11 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         geoms,
         projections,
         alive: alive_map,
+        plans,
         keep,
         region_totals,
+        key_buf: Vec::new(),
+        emit_scratch: A::EmitScratch::default(),
         result: CubeResult::new(labels),
     };
     if !engine.keep[&root] {
@@ -291,18 +638,21 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         // Load the partition into the root (Algorithm 1, line 3). Root cells
         // are complete after their own partition, so the root flushes —
         // and thereby updates its subtree — immediately (lines 4–5).
-        let cells: HashMap<u64, A::Cell> = partition
-            .cells
-            .iter()
-            .map(|(idx, facts)| (*idx, algebra.root_cell(facts)))
-            .collect();
+        // Partition cells are sorted by global index, and global→local is
+        // order-preserving within one partition, so the store loads in
+        // ascending local order without re-sorting.
+        let geom = &engine.geoms[&root];
+        let mut store = RegionStore::new(geom);
+        for (global, facts) in &partition.cells {
+            store.push_sorted(geom.global_to_local(*global), algebra.root_cell(facts));
+        }
         let region: u64 = partition
             .coords
             .iter()
             .zip(&region_strides)
             .map(|(&c, &s)| c as u64 * s)
             .sum();
-        engine.flush(root, region, cells);
+        engine.flush(root, region, store);
     }
     engine.result
 }
@@ -342,16 +692,21 @@ mod tests {
         }
     }
 
+    fn geom_for(lattice: &Lattice, mask: u32) -> NodeGeom {
+        node_geom(lattice, mask, CellStorePolicy::Auto)
+    }
+
     #[test]
     fn decode_roundtrips_and_marks_nulls() {
-        let geom = NodeGeom {
-            dims: vec![0, 2],
-            domains: vec![4, 5],
-            strides: vec![5, 1],
-            region_strides: vec![1, 1],
-        };
+        // Dims {0, 2} of a 3-dim lattice: domains [4, 5], chunks [2, 2].
+        let lattice = Lattice::new(vec![4, 9, 5], vec![2, 3, 2]);
+        let geom = geom_for(&lattice, 0b101);
+        let mut out = Vec::new();
         for a in 0..4u64 {
             for b in 0..5u64 {
+                let region = (a / 2) * geom.region_strides[0] + (b / 2) * geom.region_strides[1];
+                let local = (a % 2) * geom.local_strides[0] + (b % 2) * geom.local_strides[1];
+                geom.decode_into(region, local, &mut out);
                 let expect = |c: u64, d: u64| {
                     if c == d - 1 {
                         crate::result::NULL_CODE
@@ -359,8 +714,50 @@ mod tests {
                         c as u32
                     }
                 };
-                assert_eq!(geom.decode(a * 5 + b), vec![expect(a, 4), expect(b, 5)]);
+                assert_eq!(out, vec![expect(a, 4), expect(b, 5)]);
             }
         }
+    }
+
+    #[test]
+    fn global_to_local_strips_region_offsets() {
+        let lattice = Lattice::new(vec![6, 4], vec![2, 2]);
+        let geom = geom_for(&lattice, 0b11);
+        for a in 0..6u64 {
+            for b in 0..4u64 {
+                let global = a * geom.global_strides[0] + b * geom.global_strides[1];
+                let local = geom.global_to_local(global);
+                assert_eq!(local, (a % 2) * geom.local_strides[0] + (b % 2));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_policy_uses_capacity_threshold() {
+        // Chunk extents 2×2 → capacity 4: dense.
+        let small = Lattice::new(vec![1000, 1000], vec![2, 2]);
+        assert!(geom_for(&small, 0b11).dense);
+        // One giant chunk per dim → capacity 10^6 > 2^16: sparse.
+        let big = Lattice::new(vec![1000, 1000], vec![1000, 1000]);
+        assert!(!geom_for(&big, 0b11).dense);
+        assert!(!node_geom(&big, 0b11, CellStorePolicy::ForceSparse).dense);
+        assert!(node_geom(&big, 0b11, CellStorePolicy::ForceDense).dense);
+    }
+
+    #[test]
+    fn merge_sorted_combines_duplicates_in_order() {
+        let old = vec![(1u64, vec![1]), (5, vec![5])];
+        let batch = vec![(0u64, vec![0]), (1, vec![10]), (1, vec![11]), (7, vec![7])];
+        let merged = merge_sorted(old, batch, |into, from| into.extend_from_slice(from));
+        assert_eq!(
+            merged,
+            vec![
+                (0, vec![0]),
+                // Existing run first, then batch entries in batch order.
+                (1, vec![1, 10, 11]),
+                (5, vec![5]),
+                (7, vec![7]),
+            ]
+        );
     }
 }

@@ -30,6 +30,7 @@
 
 mod engine;
 pub mod arm;
+pub mod engine_baseline;
 pub mod arraycube;
 pub mod compare;
 pub mod earlystop;
@@ -44,6 +45,8 @@ pub use arm::AggregateResultManager;
 pub use arraycube::array_cube;
 pub use compare::{compare_results, ComparisonReport};
 pub use earlystop::{EarlyStopConfig, EarlyStopOutcome};
+pub use engine::{CellStorePolicy, DENSE_CAPACITY_LIMIT};
+pub use engine_baseline::mvd_cube_baseline;
 pub use lattice::{Lattice, Mmst};
 pub use mvdcube::{mvd_cube, mvd_cube_with_earlystop, MvdCubeOptions};
 pub use pgcube::{pg_cube, PgCubeVariant};

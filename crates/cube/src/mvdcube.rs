@@ -9,12 +9,13 @@
 //! by joining each cell's bitmap with the per-fact pre-aggregated measures
 //! (`⊗`), which are ordered by fact ID like the bitmaps.
 
-use crate::engine::{run_engine, CubeAlgebra};
+use crate::engine::{run_engine, CellStorePolicy, CubeAlgebra};
 use crate::lattice::Lattice;
 use crate::result::CubeResult;
 use crate::spec::{CubeSpec, MdaKind};
 use crate::translate::{translate, Translation};
 use spade_bitmap::Bitmap;
+use spade_storage::MeasureTotals;
 use std::collections::HashMap;
 
 /// Tuning knobs for an MVDCube run.
@@ -25,11 +26,13 @@ pub struct MvdCubeOptions {
     pub chunk_size: Option<u32>,
     /// Seed for the (optional) early-stop reservoir sampling.
     pub seed: u64,
+    /// Dense/sparse cell storage selection (see [`CellStorePolicy`]).
+    pub store_policy: CellStorePolicy,
 }
 
 impl Default for MvdCubeOptions {
     fn default() -> Self {
-        MvdCubeOptions { chunk_size: None, seed: 0xC0FFEE }
+        MvdCubeOptions { chunk_size: None, seed: 0xC0FFEE, store_policy: CellStorePolicy::Auto }
     }
 }
 
@@ -62,8 +65,25 @@ impl<'a, 'b> MvdAlgebra<'a, 'b> {
     }
 }
 
+/// Per-node precomputed emit state: which measures any live MDA needs.
+/// Computed once per node (not per cell, let alone per fact).
+pub(crate) struct MvdEmitPlan {
+    /// Measure indexes with at least one live MDA — the only ones
+    /// accumulated; this is where early-stop's pruning actually saves work.
+    needed_measures: Vec<usize>,
+}
+
+/// Reusable emit buffers: the decoded fact list and per-measure totals.
+#[derive(Default)]
+pub(crate) struct MvdEmitScratch {
+    facts: Vec<u32>,
+    totals: Vec<MeasureTotals>,
+}
+
 impl<'a, 'b> CubeAlgebra for MvdAlgebra<'a, 'b> {
     type Cell = Bitmap;
+    type EmitPlan = MvdEmitPlan;
+    type EmitScratch = MvdEmitScratch;
 
     fn root_cell(&self, facts: &Bitmap) -> Bitmap {
         facts.clone()
@@ -73,44 +93,53 @@ impl<'a, 'b> CubeAlgebra for MvdAlgebra<'a, 'b> {
         into.union_with(from);
     }
 
-    fn emit(&self, cell: &Bitmap, alive: &[bool]) -> Vec<Option<f64>> {
-        // One pass over the cell's facts accumulates (count, sum, min, max)
-        // for *every* measure simultaneously — "measure computation … can
-        // aggregate different measures simultaneously" (Section 4.3 (b)).
+    /// Fan-in fast path: one k-way union instead of pairwise re-merges
+    /// (set union is associative and commutative, so the result is exactly
+    /// the folded union).
+    fn merge_run(&self, into: &mut Bitmap, from: &[&Bitmap]) {
+        into.union_with_all(from);
+    }
+
+    fn plan_emit(&self, alive: &[bool]) -> MvdEmitPlan {
         let n_measures = self.spec.measures.len();
-        let mut counts = vec![0u64; n_measures];
-        let mut sums = vec![0.0f64; n_measures];
-        let mut lows = vec![f64::INFINITY; n_measures];
-        let mut highs = vec![f64::NEG_INFINITY; n_measures];
-        let mut facts = 0u64;
-        // Only measures with at least one live MDA are accumulated — this
-        // is where early-stop's pruning actually saves work.
         let mut needed = vec![false; n_measures];
         for (mda, &is_alive) in self.mdas.iter().zip(alive) {
             if let (MdaKind::Measure { measure, .. }, true) = (&mda.kind, is_alive) {
                 needed[*measure] = true;
             }
         }
-        let needed_measures: Vec<usize> =
-            (0..n_measures).filter(|&m| needed[m]).collect();
-        for fact in cell.iter() {
-            facts += 1;
-            if needed_measures.is_empty() {
-                continue;
+        MvdEmitPlan { needed_measures: (0..n_measures).filter(|&m| needed[m]).collect() }
+    }
+
+    fn emit(
+        &self,
+        cell: &Bitmap,
+        alive: &[bool],
+        plan: &MvdEmitPlan,
+        scratch: &mut MvdEmitScratch,
+    ) -> Vec<Option<f64>> {
+        // Measure computation is a batched bitmap-to-CSR join: the cell's
+        // bitmap is decoded once (container-at-a-time) into a reused fact
+        // buffer, then each needed measure's pre-aggregated
+        // struct-of-arrays columns are scanned contiguously in one pass
+        // ("measure computation … can aggregate different measures
+        // simultaneously", Section 4.3 (b) — here measure-major so each
+        // column is walked sequentially). Count-only cells skip the join
+        // entirely; nothing is allocated per cell and nothing panics on
+        // facts without a value (they simply contribute nothing).
+        let facts = if plan.needed_measures.is_empty() {
+            cell.cardinality()
+        } else {
+            scratch.facts.clear();
+            cell.decode_into(&mut scratch.facts);
+            scratch.totals.clear();
+            scratch.totals.resize(self.spec.measures.len(), MeasureTotals::default());
+            for &mi in &plan.needed_measures {
+                scratch.totals[mi] =
+                    self.spec.measures[mi].preagg.accumulate(scratch.facts.iter().copied());
             }
-            let fact = spade_storage::FactId(fact);
-            for &mi in &needed_measures {
-                let m = &self.spec.measures[mi];
-                let c = m.preagg.count(fact);
-                if c == 0 {
-                    continue;
-                }
-                counts[mi] += c as u64;
-                sums[mi] += m.preagg.sum(fact);
-                lows[mi] = lows[mi].min(m.preagg.min(fact).unwrap());
-                highs[mi] = highs[mi].max(m.preagg.max(fact).unwrap());
-            }
-        }
+            scratch.facts.len() as u64
+        };
         self.mdas
             .iter()
             .zip(alive)
@@ -121,17 +150,16 @@ impl<'a, 'b> CubeAlgebra for MvdAlgebra<'a, 'b> {
                 match mda.kind {
                     MdaKind::FactCount => Some(facts as f64),
                     MdaKind::Measure { measure, agg } => {
-                        if counts[measure] == 0 {
+                        let t = scratch.totals[measure];
+                        if t.count == 0 {
                             return None;
                         }
                         Some(match agg {
-                            spade_storage::AggFn::Count => counts[measure] as f64,
-                            spade_storage::AggFn::Sum => sums[measure],
-                            spade_storage::AggFn::Avg => {
-                                sums[measure] / counts[measure] as f64
-                            }
-                            spade_storage::AggFn::Min => lows[measure],
-                            spade_storage::AggFn::Max => highs[measure],
+                            spade_storage::AggFn::Count => t.count as f64,
+                            spade_storage::AggFn::Sum => t.sum,
+                            spade_storage::AggFn::Avg => t.sum / t.count as f64,
+                            spade_storage::AggFn::Min => t.min,
+                            spade_storage::AggFn::Max => t.max,
                         })
                     }
                 }
@@ -158,7 +186,7 @@ pub fn prepare(
 pub fn mvd_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = MvdAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None)
+    run_engine(spec, &lattice, &translation, &algebra, None, options.store_policy)
 }
 
 /// Evaluates with a per-node MDA liveness map (early-stop output): dead
@@ -171,9 +199,8 @@ pub fn mvd_cube_pruned(
     translation: &Translation,
     alive: &HashMap<u32, Vec<bool>>,
 ) -> CubeResult {
-    let _ = options;
     let algebra = MvdAlgebra::new(spec);
-    run_engine(spec, lattice, translation, &algebra, Some(alive))
+    run_engine(spec, lattice, translation, &algebra, Some(alive), options.store_policy)
 }
 
 /// Runs early-stop pruning and then evaluates the surviving MDAs — the

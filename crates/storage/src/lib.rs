@@ -33,4 +33,4 @@ mod preagg;
 pub use aggfn::AggFn;
 pub use column::{CategoricalColumn, CategoricalColumnBuilder};
 pub use fact_table::{FactId, FactTable};
-pub use preagg::{NumericColumn, NumericColumnBuilder, PreAggregated};
+pub use preagg::{MeasureTotals, NumericColumn, NumericColumnBuilder, PreAggregated};

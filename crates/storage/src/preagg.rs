@@ -98,6 +98,7 @@ impl NumericColumn {
             sum: vec![0.0; n],
             min: vec![f64::INFINITY; n],
             max: vec![f64::NEG_INFINITY; n],
+            single_valued: false,
         };
         for fact in 0..n {
             for &v in self.values_of(FactId(fact as u32)) {
@@ -107,6 +108,7 @@ impl NumericColumn {
                 agg.max[fact] = agg.max[fact].max(v);
             }
         }
+        agg.single_valued = agg.count.iter().all(|&c| c <= 1);
         agg
     }
 }
@@ -120,6 +122,29 @@ pub struct PreAggregated {
     sum: Vec<f64>,
     min: Vec<f64>,
     max: Vec<f64>,
+    /// Cached: every fact has at most one value (the paper's single-float
+    /// memory case, and `accumulate`'s two-column fast path).
+    single_valued: bool,
+}
+
+/// Aggregate totals of one measure over a set of facts — what one cube
+/// cell contributes for one measure.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureTotals {
+    /// Total value count across the facts (0 = measure absent everywhere).
+    pub count: u64,
+    /// Sum of all values.
+    pub sum: f64,
+    /// Minimum value (`+∞` when `count == 0`).
+    pub min: f64,
+    /// Maximum value (`−∞` when `count == 0`).
+    pub max: f64,
+}
+
+impl Default for MeasureTotals {
+    fn default() -> Self {
+        MeasureTotals { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
 }
 
 impl PreAggregated {
@@ -169,6 +194,43 @@ impl PreAggregated {
         self.count.iter().filter(|&&c| c > 0).count()
     }
 
+    /// Aggregates this measure over a stream of fact ids in one contiguous
+    /// pass over the struct-of-arrays columns — the batched bitmap-to-CSR
+    /// join MVDCube's measure computation performs per cell. Never panics:
+    /// facts without a value simply do not contribute (the min/max slots
+    /// stay at their identities when `count` ends up 0).
+    #[inline]
+    pub fn accumulate<I: IntoIterator<Item = u32>>(&self, facts: I) -> MeasureTotals {
+        let mut t = MeasureTotals::default();
+        if self.single_valued {
+            // min = max = sum for ≤1 value per fact: two columns suffice.
+            for fact in facts {
+                let i = fact as usize;
+                if self.count[i] == 0 {
+                    continue;
+                }
+                let v = self.sum[i];
+                t.count += 1;
+                t.sum += v;
+                t.min = t.min.min(v);
+                t.max = t.max.max(v);
+            }
+            return t;
+        }
+        for fact in facts {
+            let i = fact as usize;
+            let c = self.count[i];
+            if c == 0 {
+                continue;
+            }
+            t.count += c as u64;
+            t.sum += self.sum[i];
+            t.min = t.min.min(self.min[i]);
+            t.max = t.max.max(self.max[i]);
+        }
+        t
+    }
+
     /// The global `[min, max]` over all facts, if any value exists — the
     /// offline statistic Appendix C's Popoviciu bound consumes.
     pub fn global_bounds(&self) -> Option<(f64, f64)> {
@@ -187,7 +249,7 @@ impl PreAggregated {
     /// optimization case ("we allocate a single float number for all
     /// pre-aggregated results (min, max, and sum) for such properties").
     pub fn is_single_valued(&self) -> bool {
-        self.count.iter().all(|&c| c <= 1)
+        self.single_valued
     }
 
     /// Float slots needed per fact under the paper's memory model: 1 for

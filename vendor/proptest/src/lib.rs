@@ -1,0 +1,631 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so property tests run on a
+//! vendored mini-harness with the same source-level API: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`/`prop_flat_map`, `any::<T>()`,
+//! ranges and `&str` character-class patterns as strategies,
+//! `prop::collection::{vec, btree_set}`, [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its index and message only;
+//! * **deterministic** — the RNG is seeded from the test name, so failures
+//!   reproduce exactly without a persistence file;
+//! * `&str` strategies support character classes with quantifiers
+//!   (`"[a-z]{1,8}"`, `"[ -~\n]{0,24}"`, concatenations), not full regex.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving one property test.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a), so every run replays identically.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    #[inline]
+    fn below(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+/// A failed `prop_assert*` inside a test case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result alias used by helper functions shared between property tests.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Harness configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep single-core CI fast.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Object-safe; combinators require `Self: Sized`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(&mut rng.0, self.start, self.end)
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(&mut rng.0, *self.start(), *self.end())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Types generable by `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, spread over a broad range; avoids NaN/inf surprises.
+        ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5) * 2e12
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates any value of `T` (`any::<u32>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice among boxed alternatives — built by [`prop_oneof!`].
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// &str character-class patterns
+// ---------------------------------------------------------------------------
+
+/// One `[class]{m,n}` (or literal-char) element of a string pattern.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out: Vec<char> = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = it.next() {
+        match c {
+            ']' => return out,
+            '\\' => {
+                let e = it.next().expect("pattern: dangling escape");
+                let lit = match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                out.push(lit);
+                prev = Some(lit);
+            }
+            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap();
+                let hi = it.next().unwrap();
+                assert!(lo <= hi, "pattern: inverted range {lo}-{hi}");
+                // The range start is already in `out`.
+                let mut ch = lo as u32 + 1;
+                while ch <= hi as u32 {
+                    if let Some(c) = char::from_u32(ch) {
+                        out.push(c);
+                    }
+                    ch += 1;
+                }
+            }
+            other => {
+                out.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    panic!("pattern: unterminated character class");
+}
+
+fn parse_quantifier(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if it.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    it.next();
+    let mut spec = String::new();
+    for c in it.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "pattern: inverted quantifier");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("pattern: unterminated quantifier");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let mut parts = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => parse_class(&mut it),
+            '\\' => {
+                let e = it.next().expect("pattern: dangling escape");
+                vec![match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }]
+            }
+            other => vec![other],
+        };
+        assert!(!chars.is_empty(), "pattern: empty character class");
+        let (min, max) = parse_quantifier(&mut it);
+        parts.push(PatternPart { chars, min, max });
+    }
+    parts
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let n = part.min + rng.below(part.max - part.min + 1);
+            for _ in 0..n {
+                out.push(part.chars[rng.below(part.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection size specifications accepted by `prop::collection::*`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`, `::btree_set`).
+pub mod collection {
+    use super::*;
+
+    /// Generates `Vec`s of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s. Duplicates collapse, so the set may be smaller
+    /// than the drawn size (upstream retries; the difference is immaterial
+    /// for these tests).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Mirrors upstream's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs. No shrinking; failures report the case index and seed name.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($params:tt)*) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        $crate::__proptest_case!(rng, ($($params)*), $body);
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest {} failed at case {case}/{}: {e}",
+                               stringify!($name), config.cases);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($params:tt)*) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($params)*) $body
+            )+
+        }
+    };
+}
+
+/// Internal: binds `pat in strategy` parameters and runs one case body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, ($($pat:pat in $strategy:expr),+ $(,)?), $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+            $(
+                let $pat = $crate::Strategy::generate(&$strategy, &mut $rng);
+            )+
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::TestRng::deterministic("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = crate::Strategy::generate(&"[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            assert!((1..=7).contains(&t.chars().count()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections(
+            v in prop::collection::vec(0u32..100, 0..50),
+            s in prop::collection::btree_set(0u8..10, 0..20),
+            x in -5i32..5,
+            f in 0.5f64..2.0,
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!(s.len() <= 10);
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_maps(v in prop_oneof![0u32..10, 90u32..100].prop_map(|x| x * 2)) {
+            prop_assert!(v < 20 || (180..200).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn flat_map_dependent(pair in (1usize..10).prop_flat_map(|n|
+            prop::collection::vec(0usize..n, n).prop_map(move |v| (n, v))
+        )) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&e| e < n));
+        }
+    }
+}
