@@ -1,0 +1,183 @@
+//! `bench_ingest` — the offline-phase (ingestion + saturation) trajectory.
+//!
+//! Serializes simulated Table-2 graphs (with a deterministic RDFS ontology
+//! overlay, see `spade_datagen::nt`) to N-Triples text, then measures the
+//! full offline phase with (a) the optimized subsystem — parallel zero-copy
+//! parsing, str-keyed two-phase dictionary interning, sort+dedup graph
+//! build, semi-naive saturation — and (b) the preserved serial baseline
+//! (`ingest_baseline` + `saturate_baseline`), and writes
+//! `BENCH_ingest.json` with triples/sec for both and the speedup. The
+//! optimized and baseline graphs are cross-checked for exact agreement
+//! (ids, triple order, saturated triple set), so the bench doubles as a
+//! correctness smoke test.
+//!
+//! Usage: `cargo run --release -p spade-bench --bin bench_ingest
+//! [--scale <facts>] [--seed <n>] [--out <path>]`
+
+use spade_bench::HarnessArgs;
+use spade_datagen::{nt_corpus, RealisticConfig};
+use spade_rdf::{ingest, ingest_baseline, saturate_baseline, saturate_with_threads, Graph};
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    dataset: &'static str,
+    scale_mul: usize,
+    ontology_depth: usize,
+}
+
+struct Outcome {
+    name: String,
+    n_triples: usize,
+    derived: usize,
+    baseline_secs: f64,
+    optimized_secs: f64,
+    baseline_triples_per_sec: f64,
+    optimized_triples_per_sec: f64,
+    speedup: f64,
+}
+
+fn check_agreement(a: &Graph, b: &Graph, case: &str) {
+    assert_eq!(a.len(), b.len(), "{case}: triple count");
+    assert_eq!(a.triples(), b.triples(), "{case}: triple order");
+    assert_eq!(a.dict.len(), b.dict.len(), "{case}: dictionary size");
+    for (id, term) in a.dict.iter() {
+        assert_eq!(b.dict.term(id), term, "{case}: term {id}");
+    }
+}
+
+fn sorted_triples(g: &Graph) -> Vec<spade_rdf::Triple> {
+    let mut v = g.triples().to_vec();
+    v.sort_unstable();
+    v
+}
+
+fn run_case(case: &Case, scale: usize, seed: u64, repeats: usize) -> Outcome {
+    let cfg = RealisticConfig { scale: scale * case.scale_mul, seed };
+    let nt = nt_corpus(case.dataset, &cfg, case.ontology_depth);
+    let n_triples = nt.lines().count();
+
+    // Agreement check (not timed): both paths parse and saturate to the
+    // same graph.
+    let mut reference = ingest_baseline(&nt).expect("baseline parse");
+    let optimized = ingest(&nt, 0).expect("optimized parse");
+    check_agreement(&optimized, &reference, case.name);
+    let derived = saturate_baseline(&mut reference);
+    let mut optimized = optimized;
+    assert_eq!(
+        saturate_with_threads(&mut optimized, 0),
+        derived,
+        "{}: derivation count",
+        case.name
+    );
+    assert_eq!(
+        sorted_triples(&optimized),
+        sorted_triples(&reference),
+        "{}: saturated triple sets",
+        case.name
+    );
+
+    // Offline phase = parse + saturate; saturation mutates, so each repeat
+    // re-parses (timed) and saturates the fresh graph (timed).
+    let mut baseline_secs = f64::INFINITY;
+    let mut optimized_secs = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let mut g = ingest_baseline(&nt).unwrap();
+        saturate_baseline(&mut g);
+        baseline_secs = baseline_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&g);
+
+        let t = Instant::now();
+        let mut g = ingest(&nt, 0).unwrap();
+        saturate_with_threads(&mut g, 0);
+        optimized_secs = optimized_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&g);
+    }
+
+    Outcome {
+        name: case.name.to_owned(),
+        n_triples,
+        derived,
+        baseline_secs,
+        optimized_secs,
+        baseline_triples_per_sec: n_triples as f64 / baseline_secs,
+        optimized_triples_per_sec: n_triples as f64 / optimized_secs,
+        speedup: baseline_secs / optimized_secs,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Larger default than the shared harness: ingestion throughput needs
+    // enough lines to swamp constant costs. An explicit --scale always wins.
+    let scale = if std::env::args().any(|a| a == "--scale") { args.scale } else { 2_000 };
+    let out_path = args
+        .rest
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ingest.json".to_owned());
+
+    let cases = [
+        // Heterogeneous, path-rich graph; shallow ontology.
+        Case { name: "ceos_ont4", dataset: "CEOs", scale_mul: 1, ontology_depth: 4 },
+        // Type-heavy graph with mass/launch properties; mid ontology.
+        Case { name: "nasa_ont8", dataset: "NASA", scale_mul: 1, ontology_depth: 8 },
+        // Saturation-dominated: deep subclass chains over every class.
+        Case { name: "nobel_ont24", dataset: "Nobel", scale_mul: 1, ontology_depth: 24 },
+    ];
+
+    let mut outcomes = Vec::new();
+    for case in &cases {
+        let o = run_case(case, scale, args.seed, 3);
+        eprintln!(
+            "{:14} {:7} triples (+{:6} derived) | baseline {:8.1} ms ({:9.0} t/s) | optimized {:8.1} ms ({:9.0} t/s) | speedup {:.2}x",
+            o.name,
+            o.n_triples,
+            o.derived,
+            o.baseline_secs * 1e3,
+            o.baseline_triples_per_sec,
+            o.optimized_secs * 1e3,
+            o.optimized_triples_per_sec,
+            o.speedup,
+        );
+        outcomes.push(o);
+    }
+
+    let geo_mean_speedup =
+        (outcomes.iter().map(|o| o.speedup.ln()).sum::<f64>() / outcomes.len() as f64).exp();
+
+    // Hand-rolled JSON (no external crates offline).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"offline_ingest\",\n");
+    json.push_str(
+        "  \"baseline\": \"serial String-per-term parse + per-insert intern + fixpoint re-scan saturation\",\n",
+    );
+    json.push_str(
+        "  \"optimized\": \"parallel zero-copy parse + two-phase str-keyed intern + sort/dedup build + semi-naive saturation\",\n",
+    );
+    json.push_str(&format!("  \"geo_mean_speedup\": {geo_mean_speedup:.4},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n_triples\": {}, \"derived_triples\": {}, \
+             \"baseline_secs\": {:.6}, \"optimized_secs\": {:.6}, \
+             \"baseline_triples_per_sec\": {:.1}, \"optimized_triples_per_sec\": {:.1}, \
+             \"speedup\": {:.4}}}{}\n",
+            o.name,
+            o.n_triples,
+            o.derived,
+            o.baseline_secs,
+            o.optimized_secs,
+            o.baseline_triples_per_sec,
+            o.optimized_triples_per_sec,
+            o.speedup,
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    println!("{json}");
+    eprintln!("geo-mean offline speedup {geo_mean_speedup:.2}x → {out_path}");
+}

@@ -170,7 +170,7 @@ mod tests {
     use spade_datagen::ceos_figure1;
 
     fn analyzed_ceos() -> CfsAnalysis {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let config = SpadeConfig {
             min_cfs_size: 2,
             min_support: 0.5,
@@ -179,7 +179,7 @@ mod tests {
         };
         let stats = offline::analyze(&g);
         let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
         let ceo_cfs = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
         analyze_cfs(&g, ceo_cfs, &derived, &config)
     }
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn distinct_value_rule_blocks_id_like_dimensions() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let config = SpadeConfig {
             min_cfs_size: 2,
             max_distinct_ratio: 0.5, // strict: ≤ 1 distinct value for |CFS|=2
@@ -238,7 +238,7 @@ mod tests {
         };
         let stats = offline::analyze(&g);
         let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
         let ceo_cfs = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
         let a = analyze_cfs(&g, ceo_cfs, &derived, &config);
         // `name` has 2 distinct values over 2 facts → ratio 1.0 > 0.5.
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn stop_list_blocks_dimensions() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let config = SpadeConfig {
             min_cfs_size: 2,
             max_distinct_ratio: 5.0,
@@ -256,7 +256,7 @@ mod tests {
         };
         let stats = offline::analyze(&g);
         let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
         let ceo_cfs = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
         let a = analyze_cfs(&g, ceo_cfs, &derived, &config);
         assert!(!attr(&a, "nationality").dimension_ok);

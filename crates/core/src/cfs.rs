@@ -46,7 +46,7 @@ impl CandidateFactSet {
 /// Runs the given strategies and returns deduplicated CFSs, largest first,
 /// filtered by `min_cfs_size` and capped at `max_cfs`.
 pub fn select(
-    graph: &mut Graph,
+    graph: &Graph,
     strategies: &[CfsStrategy],
     config: &SpadeConfig,
 ) -> Vec<CandidateFactSet> {
@@ -131,8 +131,8 @@ mod tests {
 
     #[test]
     fn type_based_finds_classes() {
-        let mut g = ceos_figure1();
-        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &small_config());
+        let g = ceos_figure1();
+        let cfs = select(&g, &[CfsStrategy::TypeBased], &small_config());
         let names: Vec<&str> = cfs.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"type:CEO"));
         assert!(names.contains(&"type:Company"));
@@ -143,9 +143,9 @@ mod tests {
 
     #[test]
     fn property_based_intersects() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let cfs = select(
-            &mut g,
+            &g,
             &[CfsStrategy::PropertyBased(vec!["netWorth".into(), "nationality".into()])],
             &small_config(),
         );
@@ -156,9 +156,9 @@ mod tests {
 
     #[test]
     fn unknown_property_yields_nothing() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let cfs = select(
-            &mut g,
+            &g,
             &[CfsStrategy::PropertyBased(vec!["noSuchProperty".into()])],
             &small_config(),
         );
@@ -167,8 +167,8 @@ mod tests {
 
     #[test]
     fn summary_based_groups_structurally() {
-        let mut g = ceos_figure1();
-        let cfs = select(&mut g, &[CfsStrategy::SummaryBased], &small_config());
+        let g = ceos_figure1();
+        let cfs = select(&g, &[CfsStrategy::SummaryBased], &small_config());
         assert!(!cfs.is_empty());
         for c in &cfs {
             assert!(c.name.starts_with("summary:"));
@@ -178,9 +178,9 @@ mod tests {
 
     #[test]
     fn duplicates_across_strategies_removed() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let both = select(
-            &mut g,
+            &g,
             &[CfsStrategy::TypeBased, CfsStrategy::SummaryBased],
             &small_config(),
         );
@@ -194,9 +194,9 @@ mod tests {
 
     #[test]
     fn min_size_and_cap_apply() {
-        let mut g = ceos_figure1();
+        let g = ceos_figure1();
         let cfg = SpadeConfig { min_cfs_size: 3, max_cfs: 1, ..Default::default() };
-        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &cfg);
+        let cfs = select(&g, &[CfsStrategy::TypeBased], &cfg);
         assert!(cfs.len() <= 1);
         for c in &cfs {
             assert!(c.len() >= 3);
@@ -205,8 +205,8 @@ mod tests {
 
     #[test]
     fn sorted_largest_first() {
-        let mut g = ceos_figure1();
-        let cfs = select(&mut g, &[CfsStrategy::TypeBased], &small_config());
+        let g = ceos_figure1();
+        let cfs = select(&g, &[CfsStrategy::TypeBased], &small_config());
         for w in cfs.windows(2) {
             assert!(w[0].len() >= w[1].len());
         }

@@ -100,11 +100,11 @@ mod tests {
     use spade_datagen::{realistic, RealisticConfig};
 
     fn ceos_analysis() -> (CfsAnalysis, SpadeConfig) {
-        let mut g = realistic::ceos(&RealisticConfig { scale: 300, seed: 5 });
+        let g = realistic::ceos(&RealisticConfig { scale: 300, seed: 5 });
         let config = SpadeConfig { min_support: 0.3, ..Default::default() };
         let stats = offline::analyze(&g);
         let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
         let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
         (analyze_cfs(&g, ceo, &derived, &config), config)
     }

@@ -151,11 +151,11 @@ mod tests {
     use spade_datagen::{realistic, RealisticConfig};
 
     fn setup() -> (CfsAnalysis, Vec<LatticeSpec>, SpadeConfig) {
-        let mut g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
+        let g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
         let config = SpadeConfig { min_support: 0.3, ..Default::default() };
         let stats = offline::analyze(&g);
         let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-        let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+        let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
         let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
         let analysis = analyze_cfs(&g, ceo, &derived, &config);
         let lattices = enumerate(&analysis, &config);

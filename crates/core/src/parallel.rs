@@ -1,125 +1,9 @@
 //! Deterministic fan-out of independent work items over a thread pool.
 //!
-//! Aggregate Evaluation (the paper's Figure 11 bottleneck) decomposes into
-//! independent units — each CFS, and within a CFS each lattice, can be
-//! evaluated in isolation; the ARM and result handling were designed for
-//! concurrent producers. This module supplies the one primitive that
-//! exploits this: [`map`], an ordered parallel map built on
-//! `std::thread::scope` (the build environment vendors no external crates,
-//! so there is no rayon; scoped threads give the same fan-out for
-//! coarse-grained items without a dependency).
-//!
-//! **Determinism:** results are returned in input order, whatever the
-//! completion order, so a fold over the output is bit-identical to the
-//! serial fold — the property the `threads`-determinism tests pin down.
+//! The implementation lives in the dependency-free [`spade_parallel`] crate
+//! so the offline ingestion subsystem (`spade-rdf`, below this crate in the
+//! dependency graph) can share the exact same primitive; this module
+//! re-exports it under the historical `spade_core::parallel` path used by
+//! the evaluation pipeline and its determinism tests.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Resolves a configured thread count: `0` means "all available cores".
-pub fn resolve_threads(configured: usize) -> usize {
-    if configured == 0 {
-        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-    } else {
-        configured
-    }
-}
-
-/// Applies `f` to every item, using up to `threads` worker threads
-/// (`0` = auto), and returns the results **in input order**.
-///
-/// Items are claimed by an atomic cursor, so long items do not convoy
-/// behind short ones. With one effective thread (or zero/one items) the
-/// map runs inline on the caller's thread — the serial path and the
-/// parallel path execute the exact same per-item code.
-///
-/// A panic in `f` propagates to the caller once all workers have stopped.
-pub fn map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .take()
-                    .expect("work item claimed twice");
-                let out = f(item);
-                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                    Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("worker completed without a result")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..100).collect();
-        for threads in [1, 2, 8] {
-            let out = map(items.clone(), threads, |i| i * 3);
-            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn empty_and_single() {
-        assert_eq!(map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
-        assert_eq!(map(vec![7], 4, |x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn zero_threads_means_auto() {
-        assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
-        let out = map(vec![1, 2, 3], 0, |x| x * x);
-        assert_eq!(out, vec![1, 4, 9]);
-    }
-
-    #[test]
-    fn borrows_captured_state() {
-        let base = [10, 20, 30];
-        let out = map(vec![0usize, 1, 2], 2, |i| base[i] + 1);
-        assert_eq!(out, vec![11, 21, 31]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panic_propagates() {
-        let _ = map(vec![1, 2, 3, 4], 2, |x| {
-            if x == 3 {
-                panic!("boom");
-            }
-            x
-        });
-    }
-}
+pub use spade_parallel::{chunk_ranges, map, par_sort, resolve_threads};

@@ -20,7 +20,15 @@ use std::time::{Duration, Instant};
 /// Wall-clock duration of each pipeline step (Figure 11's bar segments).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StepTimings {
-    /// Offline phase: saturation, statistics, derivation enumeration.
+    /// Offline: N-Triples ingestion (parse + dictionary + graph build).
+    /// Zero when the pipeline was handed an already-built [`Graph`].
+    pub ingest: Duration,
+    /// Offline: RDFS saturation.
+    pub saturation: Duration,
+    /// Offline: attribute statistics + derivation enumeration.
+    pub offline_analysis: Duration,
+    /// Offline phase total: ingestion, saturation, statistics, derivation
+    /// enumeration.
     pub offline: Duration,
     /// Step 1 — Candidate Fact Set Selection.
     pub cfs_selection: Duration,
@@ -124,17 +132,32 @@ impl Spade {
         &self.config
     }
 
+    /// Parses `input` as N-Triples (parallel zero-copy ingestion) and runs
+    /// the full pipeline, recording the parse in [`StepTimings::ingest`].
+    pub fn run_ntriples(&self, input: &str) -> Result<SpadeReport, spade_rdf::NtParseError> {
+        let t = Instant::now();
+        let mut graph = spade_rdf::ingest(input, self.config.threads)?;
+        let ingest = t.elapsed();
+        let mut report = self.run(&mut graph);
+        report.timings.ingest = ingest;
+        report.timings.offline += ingest;
+        Ok(report)
+    }
+
     /// Runs the full pipeline on `graph` (saturated in place).
     pub fn run(&self, graph: &mut Graph) -> SpadeReport {
         let mut report = SpadeReport::default();
 
-        // —— offline phase ——
+        // —— offline phase (parse/saturate splits recorded separately) ——
         let t = Instant::now();
-        spade_rdf::saturate(graph);
+        spade_rdf::saturate_with_threads(graph, self.config.threads);
+        report.timings.saturation = t.elapsed();
+        let t = Instant::now();
         let stats = offline::analyze(graph);
         let (derived, derivation_counts) =
             offline::enumerate_derivations(graph, &stats, &self.config);
-        report.timings.offline = t.elapsed();
+        report.timings.offline_analysis = t.elapsed();
+        report.timings.offline = report.timings.saturation + report.timings.offline_analysis;
         report.profile.triples = graph.len();
         report.profile.direct_properties = stats.property_count();
         report.profile.derivations = derivation_counts;
@@ -365,6 +388,34 @@ mod tests {
             .run(&mut g);
         assert!(report.timings.online_total() > Duration::ZERO);
         assert!(report.timings.evaluation > Duration::ZERO);
+        // Offline splits: no ingestion happened, and the offline total is
+        // exactly its recorded parts.
+        assert_eq!(report.timings.ingest, Duration::ZERO);
+        assert_eq!(
+            report.timings.offline,
+            report.timings.saturation + report.timings.offline_analysis
+        );
+    }
+
+    #[test]
+    fn run_ntriples_records_ingest_split() {
+        let g = realistic::ceos(&RealisticConfig { scale: 100, seed: 5 });
+        let nt = spade_rdf::write_ntriples(&g);
+        let spade = Spade::new(SpadeConfig { min_support: 0.3, ..Default::default() });
+        let report = spade.run_ntriples(&nt).expect("valid N-Triples");
+        assert!(report.timings.ingest > Duration::ZERO);
+        assert_eq!(
+            report.timings.offline,
+            report.timings.ingest + report.timings.saturation
+                + report.timings.offline_analysis
+        );
+        assert!(report.profile.triples > 0);
+        // Same pipeline on the pre-built graph agrees on the profile.
+        let mut g2 = realistic::ceos(&RealisticConfig { scale: 100, seed: 5 });
+        let direct = spade.run(&mut g2);
+        assert_eq!(report.profile.triples, direct.profile.triples);
+        assert_eq!(report.profile.cfs_count, direct.profile.cfs_count);
+        assert!(spade.run_ntriples("broken\n").is_err());
     }
 
     #[test]

@@ -43,11 +43,11 @@ fn assert_results_identical(a: &CubeResult, b: &CubeResult, context: &str) {
 }
 
 fn run_evaluation(threads: usize) -> Vec<CubeResult> {
-    let mut g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
+    let g = realistic::ceos(&RealisticConfig { scale: 250, seed: 9 });
     let config = SpadeConfig { min_support: 0.3, threads, ..Default::default() };
     let stats = offline::analyze(&g);
     let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
-    let cfs_list = select(&mut g, &[CfsStrategy::TypeBased], &config);
+    let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
     let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
     let analysis = analyze_cfs(&g, ceo, &derived, &config);
     let lattices = enumerate(&analysis, &config);

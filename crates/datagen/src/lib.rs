@@ -15,14 +15,19 @@
 //!   text vs. numeric property mix, injected outliers) mirrors what Table 2
 //!   and Section 6 report for Airline, CEOs, DBLP, Foodista, NASA, and
 //!   Nobel; see `DESIGN.md` for the substitution rationale;
+//! * [`nt`] — N-Triples corpus generation (serialization + deterministic
+//!   RDFS ontology overlays), feeding the `bench_ingest` offline-phase
+//!   benchmark;
 //! * [`mini`] — the exact running-example graph of Figure 1 (Dos Santos,
 //!   Ghosn, their companies and political connections), used by examples
 //!   and tests.
 
 pub mod mini;
+pub mod nt;
 pub mod realistic;
 pub mod synthetic;
 
 pub use mini::ceos_figure1;
+pub use nt::{add_ontology, nt_corpus, to_ntriples};
 pub use realistic::{RealGraph, RealisticConfig};
 pub use synthetic::{ColumnSet, SyntheticConfig};

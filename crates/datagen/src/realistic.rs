@@ -472,7 +472,7 @@ mod tests {
 
     #[test]
     fn airline_is_flat_and_single_valued() {
-        let mut g = airline(&cfg());
+        let g = airline(&cfg());
         // No property of a flight points to another subject → no paths.
         let flight_ty_id = g.dict.id_of(&iri("air", "Flight")).unwrap();
         let rdf_type = g.rdf_type_id();

@@ -1,0 +1,230 @@
+//! Deterministic fan-out of independent work items over a thread pool.
+//!
+//! Both the online Aggregate Evaluation step (per-CFS / per-lattice) and the
+//! offline ingestion pipeline (per-chunk parsing, chunked sorting, the
+//! semi-naive saturation scan) decompose into independent units. This crate
+//! supplies the primitives that exploit this without an external dependency:
+//! [`map`], an ordered parallel map built on `std::thread::scope` (the build
+//! environment vendors no external crates, so there is no rayon; scoped
+//! threads give the same fan-out for coarse-grained items), plus the
+//! [`chunk_ranges`] / [`par_sort`] helpers the ingestion subsystem shares.
+//!
+//! **Determinism:** results are returned in input order, whatever the
+//! completion order, so a fold over the output is bit-identical to the
+//! serial fold — the property the `threads`-determinism tests pin down.
+//! Work is split by *data size*, never by thread count, so every thread
+//! count produces the same chunk boundaries and therefore the same merged
+//! output.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a configured thread count: `0` means "all available cores".
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Applies `f` to every item, using up to `threads` worker threads
+/// (`0` = auto), and returns the results **in input order**.
+///
+/// Items are claimed by an atomic cursor, so long items do not convoy
+/// behind short ones. With one effective thread (or zero/one items) the
+/// map runs inline on the caller's thread — the serial path and the
+/// parallel path execute the exact same per-item code.
+///
+/// A panic in `f` propagates to the caller once all workers have stopped.
+pub fn map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(item);
+                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("worker completed without a result")
+        })
+        .collect()
+}
+
+/// Splits `len` items into contiguous `(start, end)` ranges of at most
+/// `chunk_size` items. Boundaries depend only on `len` and `chunk_size`,
+/// never on the thread count — the keystone of deterministic parallel
+/// ingestion (chunk outputs are merged in chunk order).
+pub fn chunk_ranges(len: usize, chunk_size: usize) -> Vec<(usize, usize)> {
+    let chunk = chunk_size.max(1);
+    let mut out = Vec::with_capacity(len / chunk + 1);
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Sorts `items` with a chunked parallel merge sort: fixed-size runs are
+/// sorted concurrently via [`map`], then merged pairwise. The result equals
+/// `items.sort_unstable()` followed by a stabilization — we sort with a
+/// total order, so the output is identical for every thread count (and to
+/// the serial sort).
+pub fn par_sort<T: Ord + Send + Sync + Copy>(items: Vec<T>, threads: usize) -> Vec<T> {
+    const RUN: usize = 1 << 15;
+    if items.len() <= RUN || resolve_threads(threads) <= 1 {
+        let mut items = items;
+        items.sort_unstable();
+        return items;
+    }
+    let ranges = chunk_ranges(items.len(), RUN);
+    let items = &items;
+    let mut runs: Vec<Vec<T>> = map(ranges, threads, |(a, b)| {
+        let mut run = items[a..b].to_vec();
+        run.sort_unstable();
+        run
+    });
+    // Pairwise merge passes; each pass halves the run count. Merges of one
+    // pass are independent, so they also fan out.
+    while runs.len() > 1 {
+        let mut pairs = Vec::with_capacity(runs.len() / 2 + 1);
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => pairs.push((a, Some(b))),
+                None => pairs.push((a, None)),
+            }
+        }
+        runs = map(pairs, threads, |(a, b)| match b {
+            None => a,
+            Some(b) => merge_sorted(a, b),
+        });
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_sorted<T: Ord + Copy>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = map(items.clone(), threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+        assert_eq!(map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let out = map(vec![1, 2, 3], 0, |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn borrows_captured_state() {
+        let base = [10, 20, 30];
+        let out = map(vec![0usize, 1, 2], 2, |i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = map(vec![1, 2, 3, 4], 2, |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, chunk) in [(0usize, 4usize), (1, 4), (4, 4), (5, 4), (100, 7)] {
+            let ranges = chunk_ranges(len, chunk);
+            let mut expect = 0;
+            for &(a, b) in &ranges {
+                assert_eq!(a, expect);
+                assert!(b > a && b - a <= chunk);
+                expect = b;
+            }
+            assert_eq!(expect, len);
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort() {
+        let mut v: Vec<u64> =
+            (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        for threads in [1, 2, 8] {
+            let sorted = par_sort(v.clone(), threads);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect);
+        }
+        v.truncate(10);
+        assert_eq!(par_sort(v.clone(), 4), {
+            v.sort_unstable();
+            v
+        });
+    }
+}

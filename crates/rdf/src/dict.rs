@@ -4,9 +4,80 @@
 //! system (triple store, attribute tables, bitmaps, cube cells) works on
 //! integers. IDs are assigned in first-seen order and are stable for the
 //! lifetime of the dictionary.
+//!
+//! # Two-phase str-keyed interning
+//!
+//! The id map is keyed by a canonical *string encoding* of each term (a tag
+//! byte plus the term's text; see [`encode_term_ref`]) rather than by owned
+//! [`Term`] values. The hot path — interning a borrowed [`TermRef`] straight
+//! out of the N-Triples parser — therefore allocates **nothing** on a hit:
+//! the key is built in a reusable scratch buffer and looked up by `&str`.
+//! Only the first occurrence of a term materializes an owned `Term` (for id
+//! → term decoding) and a boxed key.
+//!
+//! Parallel ingestion runs one such dictionary per input chunk, then merges
+//! them with [`Dictionary::intern_entry`] in chunk order: because a term
+//! first seen in chunk *k* gets its global id after all terms of chunks
+//! `< k` and in chunk-local first-seen order, the merged id assignment is
+//! bit-identical to a serial first-seen scan — for every thread count.
 
-use crate::term::Term;
+use crate::term::{LiteralRef, Term, TermRef};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash algorithm (rustc's internal hasher): multiply-xor over 8-byte
+/// chunks. Not DoS-resistant — exactly right for interning terms from
+/// trusted dumps, where SipHash otherwise dominates the parse profile.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// A dense identifier for an interned [`Term`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,11 +97,74 @@ impl std::fmt::Display for TermId {
     }
 }
 
+/// Appends the canonical key encoding of a borrowed term to `out`.
+///
+/// The encoding is injective over *all* terms: a tag byte selects the term
+/// kind (and literal flavor), and for tagged/typed literals the tag/datatype
+/// is length-prefixed (decimal byte count + `;`) before the lexical form —
+/// no separator byte to collide with, whatever bytes the fields contain.
+pub fn encode_term_ref(term: &TermRef<'_>, out: &mut String) {
+    out.clear();
+    match term {
+        TermRef::Iri(s) => {
+            out.push('I');
+            out.push_str(s);
+        }
+        TermRef::Blank(s) => {
+            out.push('B');
+            out.push_str(s);
+        }
+        TermRef::Literal(LiteralRef { lexical, lang, datatype }) => match (lang, datatype) {
+            (Some(lang), _) => {
+                out.push('G');
+                push_len(out, lang.len());
+                out.push_str(lang);
+                out.push_str(lexical);
+            }
+            (None, Some(dt)) => {
+                out.push('D');
+                push_len(out, dt.len());
+                out.push_str(dt);
+                out.push_str(lexical);
+            }
+            (None, None) => {
+                out.push('L');
+                out.push_str(lexical);
+            }
+        },
+    }
+}
+
+/// Appends `len` in decimal followed by `;` — a fmt-free length prefix.
+#[inline]
+fn push_len(out: &mut String, len: usize) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = len;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits"));
+    out.push(';');
+}
+
 /// Bidirectional term ↔ id mapping.
-#[derive(Default, Debug)]
+#[derive(Default)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    ids: FxHashMap<Box<str>, TermId>,
+    scratch: String,
+}
+
+impl std::fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dictionary").field("len", &self.terms.len()).finish()
+    }
 }
 
 impl Dictionary {
@@ -39,32 +173,81 @@ impl Dictionary {
         Self::default()
     }
 
-    /// Interns `term`, returning its (possibly pre-existing) id.
-    pub fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.ids.get(&term) {
-            return id;
-        }
-        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
-        self.terms.push(term.clone());
-        self.ids.insert(term, id);
+    fn next_id(&self) -> TermId {
+        TermId(
+            u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"),
+        )
+    }
+
+    /// Interns a borrowed term, returning its (possibly pre-existing) id.
+    /// Allocation-free on a hit; materializes the owned term on a miss.
+    pub fn intern_ref(&mut self, term: &TermRef<'_>) -> TermId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_term_ref(term, &mut scratch);
+        let id = match self.ids.get(scratch.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_id();
+                self.terms.push(term.to_term());
+                self.ids.insert(scratch.as_str().into(), id);
+                id
+            }
+        };
+        self.scratch = scratch;
         id
     }
 
+    /// Interns `term`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_term_ref(&term.as_ref(), &mut scratch);
+        let id = match self.ids.get(scratch.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_id();
+                self.ids.insert(scratch.as_str().into(), id);
+                self.terms.push(term);
+                id
+            }
+        };
+        self.scratch = scratch;
+        id
+    }
+
+    /// Interns a term whose canonical key the caller already encoded — the
+    /// merge path of parallel ingestion, which reuses the chunk-local boxed
+    /// keys instead of re-encoding. `key` **must** equal
+    /// [`encode_term_ref`]`(&term.as_ref(), ..)`.
+    pub fn intern_entry(&mut self, key: Box<str>, term: Term) -> TermId {
+        match self.ids.get(&*key) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_id();
+                self.ids.insert(key, id);
+                self.terms.push(term);
+                id
+            }
+        }
+    }
+
     /// Interns an IRI given as a string.
-    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
-        self.intern(Term::Iri(iri.into()))
+    pub fn intern_iri(&mut self, iri: impl AsRef<str>) -> TermId {
+        self.intern_ref(&TermRef::Iri(iri.as_ref()))
     }
 
     /// Looks up an already-interned term.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.ids.get(term).copied()
+        let mut key = String::new();
+        encode_term_ref(&term.as_ref(), &mut key);
+        self.ids.get(key.as_str()).copied()
     }
 
     /// Looks up the id of an IRI string.
     pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
-        // Avoids allocating in the common hit path only if the caller keeps a
-        // Term around; for string lookups we build the key once.
-        self.ids.get(&Term::Iri(iri.to_owned())).copied()
+        let mut key = String::with_capacity(iri.len() + 1);
+        key.push('I');
+        key.push_str(iri);
+        self.ids.get(key.as_str()).copied()
     }
 
     /// The term for `id`. Panics on an id from another dictionary.
@@ -110,6 +293,7 @@ pub fn local_name(iri: &str) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::borrow::Cow;
 
     #[test]
     fn intern_is_idempotent() {
@@ -147,6 +331,71 @@ mod tests {
         let plain = d.intern(Term::lit("42"));
         let typed = d.intern(Term::int(42));
         assert_ne!(plain, typed);
+    }
+
+    #[test]
+    fn ref_and_owned_interning_agree() {
+        let mut d = Dictionary::new();
+        let owned = d.intern(Term::iri("http://x/a"));
+        let by_ref = d.intern_ref(&TermRef::Iri("http://x/a"));
+        assert_eq!(owned, by_ref);
+        let lit = d.intern(Term::lit("hello"));
+        let lit_ref = d.intern_ref(&TermRef::Literal(LiteralRef {
+            lexical: Cow::Borrowed("hello"),
+            lang: None,
+            datatype: None,
+        }));
+        assert_eq!(lit, lit_ref);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn encodings_disambiguate_kinds() {
+        // "x" as IRI / blank / plain / lang / typed are five distinct terms.
+        let mut d = Dictionary::new();
+        let ids = [
+            d.intern(Term::iri("x")),
+            d.intern(Term::blank("x")),
+            d.intern(Term::lit("x")),
+            d.intern(Term::Literal(crate::term::Literal::lang_tagged("x", "en"))),
+            d.intern(Term::Literal(crate::term::Literal::typed("x", "http://t"))),
+        ];
+        let mut unique = ids.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn encodings_stay_injective_with_embedded_nuls() {
+        // Length-prefixed fields: shifting bytes between the tag/datatype
+        // and the lexical form must never collide.
+        let mut d = Dictionary::new();
+        let ids = [
+            d.intern(Term::Literal(crate::term::Literal::typed("y\0", "x"))),
+            d.intern(Term::Literal(crate::term::Literal::typed("", "x\0y"))),
+            d.intern(Term::Literal(crate::term::Literal::lang_tagged("b\0", "a"))),
+            d.intern(Term::Literal(crate::term::Literal::lang_tagged("", "a\0b"))),
+        ];
+        let mut unique = ids.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(d.id_of(d.term(id)), Some(id), "roundtrip {i}");
+        }
+    }
+
+    #[test]
+    fn intern_entry_matches_intern() {
+        let mut a = Dictionary::new();
+        let mut b = Dictionary::new();
+        let term = Term::int(42);
+        let mut key = String::new();
+        encode_term_ref(&term.as_ref(), &mut key);
+        let ia = a.intern(term.clone());
+        let ib = b.intern_entry(key.into(), term);
+        assert_eq!(ia, ib);
     }
 
     #[test]

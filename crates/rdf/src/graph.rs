@@ -5,6 +5,14 @@
 //! per-subject outgoing edge lists (for path derivation and summarization),
 //! and per-class extents (for type-based CFS selection). Duplicate triples
 //! are ignored, matching RDF set semantics.
+//!
+//! Graphs are built two ways: incrementally via [`Graph::insert`] (tests,
+//! generators, saturation), or in bulk via [`Graph::from_parts`] — the
+//! parallel-ingestion path, which replaces per-insert hash probes with one
+//! sort + dedup pass and sort-grouped index construction.
+//!
+//! `rdf:type` is interned once at construction, so every read accessor
+//! (including [`Graph::rdf_type_id`]) borrows `&self`.
 
 use crate::dict::{Dictionary, TermId};
 use crate::term::Term;
@@ -12,7 +20,7 @@ use crate::vocab;
 use std::collections::{HashMap, HashSet};
 
 /// A dictionary-encoded RDF triple.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Triple {
     /// Subject id.
     pub s: TermId,
@@ -23,7 +31,7 @@ pub struct Triple {
 }
 
 /// An RDF graph: a set of triples plus the dictionary interning its terms.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct Graph {
     /// Term dictionary; public so downstream crates can decode ids.
     pub dict: Dictionary,
@@ -32,25 +40,82 @@ pub struct Graph {
     by_property: HashMap<TermId, Vec<(TermId, TermId)>>,
     outgoing: HashMap<TermId, Vec<(TermId, TermId)>>,
     type_extents: HashMap<TermId, Vec<TermId>>,
-    rdf_type: Option<TermId>,
+    rdf_type: TermId,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph. `rdf:type` is interned eagerly (always id 0)
+    /// so type-index maintenance and the read path need no `&mut` probing.
     pub fn new() -> Self {
-        Self::default()
+        let mut dict = Dictionary::new();
+        let rdf_type = dict.intern_iri(vocab::RDF_TYPE);
+        Graph {
+            dict,
+            triples: Vec::new(),
+            seen: HashSet::new(),
+            by_property: HashMap::new(),
+            outgoing: HashMap::new(),
+            type_extents: HashMap::new(),
+            rdf_type,
+        }
     }
 
-    /// The id of `rdf:type` in this graph's dictionary (interned on demand).
-    pub fn rdf_type_id(&mut self) -> TermId {
-        match self.rdf_type {
-            Some(id) => id,
-            None => {
-                let id = self.dict.intern_iri(vocab::RDF_TYPE);
-                self.rdf_type = Some(id);
-                id
+    /// The id of `rdf:type` in this graph's dictionary.
+    pub fn rdf_type_id(&self) -> TermId {
+        self.rdf_type
+    }
+
+    /// Builds a graph in bulk from a dictionary and a triple list in input
+    /// order (duplicates allowed). Instead of one hash probe per insert,
+    /// duplicates are removed with a sort + dedup pass that keeps each
+    /// triple's **first** occurrence position, and the per-property /
+    /// per-subject / per-class indexes are built by sort-grouped runs — all
+    /// sorts fan out over `threads` (`0` = auto) with thread-count-independent
+    /// results. The outcome is bit-identical to inserting the same list
+    /// through [`Graph::insert_ids`] on a fresh graph sharing `dict`.
+    pub fn from_parts(mut dict: Dictionary, triples: Vec<Triple>, threads: usize) -> Graph {
+        let rdf_type = dict.intern_iri(vocab::RDF_TYPE);
+
+        // Dedup keeping first occurrences: sort (triple, position), keep the
+        // lowest position of each run, then restore input order by position.
+        let tagged: Vec<(Triple, u32)> = triples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, u32::try_from(i).expect("more than 2^32 triples")))
+            .collect();
+        let tagged = spade_parallel::par_sort(tagged, threads);
+        let mut firsts: Vec<(u32, Triple)> = Vec::with_capacity(tagged.len());
+        let mut prev: Option<Triple> = None;
+        for (t, pos) in tagged {
+            if prev != Some(t) {
+                firsts.push((pos, t));
+                prev = Some(t);
             }
         }
+        let firsts = spade_parallel::par_sort(firsts, threads);
+        let triples: Vec<Triple> = firsts.into_iter().map(|(_, t)| t).collect();
+
+        let seen: HashSet<Triple> = triples.iter().copied().collect();
+
+        // Index construction by stable counting-sort scatter over the dense
+        // TermId key space: one counting pass, one scatter pass in input
+        // order (so each group keeps insertion order, matching the
+        // incremental push-per-insert layout), and one map insert per
+        // *distinct* key instead of per triple.
+        let n_terms = dict.len();
+        let by_property =
+            group_by_key(&triples, n_terms, |t| (t.p, (t.s, t.o)));
+        let outgoing = group_by_key(&triples, n_terms, |t| (t.s, (t.p, t.o)));
+        let typed: Vec<Triple> = triples.iter().filter(|t| t.p == rdf_type).copied().collect();
+        let type_extents = group_by_key(&typed, n_terms, |t| (t.o, t.s));
+
+        Graph { dict, triples, seen, by_property, outgoing, type_extents, rdf_type }
     }
 
     /// Inserts a triple of [`Term`]s; returns `false` if it was a duplicate.
@@ -70,24 +135,40 @@ impl Graph {
         self.triples.push(t);
         self.by_property.entry(p).or_default().push((s, o));
         self.outgoing.entry(s).or_default().push((p, o));
-        if Some(p) == self.rdf_type || self.is_rdf_type(p) {
+        if p == self.rdf_type {
             self.type_extents.entry(o).or_default().push(s);
         }
         true
     }
 
-    fn is_rdf_type(&mut self, p: TermId) -> bool {
-        if self.rdf_type.is_none() {
-            if let Term::Iri(iri) = self.dict.term(p) {
-                if iri == vocab::RDF_TYPE {
-                    self.rdf_type = Some(p);
-                    return true;
-                }
+    /// Bulk-inserts `batch`, skipping duplicates (against the graph and
+    /// within the batch), and returns how many triples were new. Equivalent
+    /// to [`Graph::insert_ids`] per triple, but index updates are grouped —
+    /// one map probe per *distinct* key instead of several per triple —
+    /// which is what makes the saturation merge allocation-lean.
+    pub fn insert_batch(&mut self, batch: &[Triple]) -> usize {
+        self.seen.reserve(batch.len());
+        self.triples.reserve(batch.len());
+        let mut fresh: Vec<Triple> = Vec::with_capacity(batch.len());
+        for &t in batch {
+            if self.seen.insert(t) {
+                self.triples.push(t);
+                fresh.push(t);
             }
-            false
-        } else {
-            self.rdf_type == Some(p)
         }
+        let n_terms = self.dict.len();
+        for (k, vals) in group_by_key(&fresh, n_terms, |t| (t.p, (t.s, t.o))) {
+            self.by_property.entry(k).or_default().extend(vals);
+        }
+        for (k, vals) in group_by_key(&fresh, n_terms, |t| (t.s, (t.p, t.o))) {
+            self.outgoing.entry(k).or_default().extend(vals);
+        }
+        let typed: Vec<Triple> =
+            fresh.iter().filter(|t| t.p == self.rdf_type).copied().collect();
+        for (k, vals) in group_by_key(&typed, n_terms, |t| (t.o, t.s)) {
+            self.type_extents.entry(k).or_default().extend(vals);
+        }
+        fresh.len()
     }
 
     /// Number of triples.
@@ -145,10 +226,7 @@ impl Graph {
 
     /// The types of node `s`.
     pub fn types_of(&self, s: TermId) -> Vec<TermId> {
-        match self.rdf_type {
-            Some(t) => self.objects(s, t).collect(),
-            None => Vec::new(),
-        }
+        self.objects(s, self.rdf_type).collect()
     }
 
     /// All distinct subjects.
@@ -178,6 +256,50 @@ impl Graph {
     pub fn subject_count(&self) -> usize {
         self.outgoing.len()
     }
+}
+
+/// Groups triples by a dense [`TermId`] key with a stable counting-sort
+/// scatter: count per key, prefix-sum into offsets, scatter values in input
+/// order, then carve per-key `Vec`s. `O(n + n_terms)`, one hash insert per
+/// distinct key, insertion order preserved within each group.
+fn group_by_key<V: Copy>(
+    triples: &[Triple],
+    n_terms: usize,
+    key_val: impl Fn(&Triple) -> (TermId, V),
+) -> HashMap<TermId, Vec<V>> {
+    let Some(first) = triples.first() else {
+        return HashMap::new();
+    };
+    let fill = key_val(first).1;
+    let mut counts = vec![0u32; n_terms];
+    for t in triples {
+        counts[key_val(t).0.index()] += 1;
+    }
+    let mut offsets = counts;
+    let mut running = 0u32;
+    for slot in offsets.iter_mut() {
+        let c = *slot;
+        *slot = running;
+        running += c;
+    }
+    let starts = offsets.clone();
+    let mut flat: Vec<V> = vec![fill; triples.len()];
+    for t in triples {
+        let (k, v) = key_val(t);
+        let pos = &mut offsets[k.index()];
+        flat[*pos as usize] = v;
+        *pos += 1;
+    }
+    let mut out: HashMap<TermId, Vec<V>> = HashMap::new();
+    for (idx, (&start, &end)) in starts.iter().zip(offsets.iter()).enumerate() {
+        if end > start {
+            out.insert(
+                TermId(idx as u32),
+                flat[start as usize..end as usize].to_vec(),
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -224,12 +346,14 @@ mod tests {
 
     #[test]
     fn type_index_works_regardless_of_first_use_order() {
-        // rdf:type id discovered lazily from inserted data, not pre-interned.
+        // rdf:type is pre-interned at construction; the type index catches
+        // typed triples whenever they arrive.
         let mut g = Graph::new();
         g.insert(t("n1"), t("p"), t("v"));
         g.insert(t("n1"), Term::iri(vocab::RDF_TYPE), t("CEO"));
         let ceo = g.dict.id_of(&t("CEO")).unwrap();
         assert_eq!(g.nodes_of_type(ceo), vec![g.dict.id_of(&t("n1")).unwrap()]);
+        assert_eq!(g.rdf_type_id(), g.dict.id_of(&Term::iri(vocab::RDF_TYPE)).unwrap());
     }
 
     #[test]
@@ -263,5 +387,66 @@ mod tests {
         assert_eq!(g.outgoing(ceo).len(), 1);
         assert_eq!(g.outgoing(sonangol).len(), 1);
         assert_eq!(g.subject_count(), 2);
+    }
+
+    #[test]
+    fn from_parts_matches_incremental_build() {
+        // The same triple list (with duplicates, out-of-order types) through
+        // both construction paths yields identical state.
+        let mut incremental = Graph::new();
+        let ty = Term::iri(vocab::RDF_TYPE);
+        let spec: Vec<(Term, Term, Term)> = vec![
+            (t("a"), t("p"), Term::lit("1")),
+            (t("b"), ty.clone(), t("CEO")),
+            (t("a"), t("p"), Term::lit("1")), // duplicate
+            (t("a"), t("q"), t("b")),
+            (t("b"), t("p"), Term::lit("2")),
+            (t("c"), ty.clone(), t("CEO")),
+        ];
+        let mut dict = Dictionary::new();
+        dict.intern_iri(vocab::RDF_TYPE);
+        let mut ids = Vec::new();
+        for (s, p, o) in &spec {
+            let s = dict.intern(s.clone());
+            let p = dict.intern(p.clone());
+            let o = dict.intern(o.clone());
+            ids.push(Triple { s, p, o });
+            incremental.insert(
+                spec_term(s, &dict),
+                spec_term(p, &dict),
+                spec_term(o, &dict),
+            );
+        }
+        for threads in [1, 2, 8] {
+            let bulk = Graph::from_parts(clone_dict(&dict), ids.clone(), threads);
+            assert_eq!(bulk.triples(), incremental.triples());
+            assert_eq!(bulk.dict.len(), incremental.dict.len());
+            for p in incremental.properties() {
+                assert_eq!(bulk.property_pairs(p), incremental.property_pairs(p));
+            }
+            let mut a: Vec<TermId> = bulk.classes().collect();
+            let mut b: Vec<TermId> = incremental.classes().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            for c in b {
+                assert_eq!(bulk.nodes_of_type(c), incremental.nodes_of_type(c));
+            }
+            for s in incremental.subjects() {
+                assert_eq!(bulk.outgoing(s), incremental.outgoing(s));
+            }
+        }
+    }
+
+    fn spec_term(id: TermId, dict: &Dictionary) -> Term {
+        dict.term(id).clone()
+    }
+
+    fn clone_dict(d: &Dictionary) -> Dictionary {
+        let mut out = Dictionary::new();
+        for (_, term) in d.iter() {
+            out.intern(term.clone());
+        }
+        out
     }
 }

@@ -6,19 +6,24 @@
 //! *saturation* before any analysis. This crate provides exactly that
 //! substrate:
 //!
-//! * [`term`] — the term model (IRIs, blank nodes, plain/lang/typed literals)
-//!   and literal value typing (integer/decimal/date/boolean/string);
-//! * [`dict`] — dictionary encoding of terms into dense `u32` [`TermId`]s;
+//! * [`term`] — the term model (IRIs, blank nodes, plain/lang/typed literals),
+//!   borrowed [`TermRef`] views for zero-copy parsing, and literal value
+//!   typing (integer/decimal/date/boolean/string);
+//! * [`dict`] — str-keyed dictionary encoding of terms into dense `u32`
+//!   [`TermId`]s (allocation-free hit path, deterministic chunk merge);
 //! * [`graph`] — an in-memory triple store with subject/property/type
 //!   indexes, mirroring the access paths Spade needs (per-property `(s,o)`
-//!   tables, type extents, outgoing edges);
-//! * [`ntriples`] — an N-Triples parser and writer;
+//!   tables, type extents, outgoing edges), built incrementally or in bulk;
+//! * [`ntriples`] — a zero-copy N-Triples line parser and a writer;
+//! * [`ingest`] — the parallel two-phase ingestion pipeline (chunked parse +
+//!   local intern, deterministic merge), with the serial baseline preserved;
 //! * [`ontology`] — RDFS saturation (subClassOf, subPropertyOf, domain,
-//!   range) run to fixpoint, as in the paper's preprocessing;
+//!   range): semi-naive parallel evaluation, plus the fixpoint baseline;
 //! * [`vocab`] — the handful of RDF/RDFS IRIs used throughout.
 
 pub mod dict;
 pub mod graph;
+pub mod ingest;
 pub mod ntriples;
 pub mod ontology;
 pub mod term;
@@ -26,6 +31,7 @@ pub mod vocab;
 
 pub use dict::{Dictionary, TermId};
 pub use graph::{Graph, Triple};
+pub use ingest::{ingest, ingest_baseline, ingest_chunked};
 pub use ntriples::{parse_ntriples, write_ntriples, NtParseError};
-pub use ontology::saturate;
-pub use term::{Literal, Term, ValueKind};
+pub use ontology::{saturate, saturate_baseline, saturate_with_threads};
+pub use term::{Literal, LiteralRef, Term, TermRef, ValueKind};

@@ -3,12 +3,25 @@
 //! Supports the line-based N-Triples syntax used by the paper's datasets
 //! (all six Table-2 graphs ship as `.nt` dumps): IRIs in angle brackets,
 //! `_:`-prefixed blank nodes, literals with `\"`-style escapes, `@lang`
-//! tags, and `^^<datatype>` annotations. `#` comment lines and blank lines
-//! are skipped.
+//! tags, and `^^<datatype>` annotations. `#` comment lines, blank lines,
+//! and CRLF line endings are accepted; `\u` escapes in the surrogate range
+//! decode to U+FFFD instead of failing.
+//!
+//! # Zero-copy line parser
+//!
+//! [`parse_line_ref`] produces **borrowed** [`TermRef`] slices into the
+//! input line — no per-term `String`. Only literals that actually contain
+//! escape sequences decode into an owned spill buffer (`Cow::Owned`);
+//! everything else, including every IRI, blank-node label, language tag,
+//! and datatype, is a plain `&str` slice. The parallel ingestion pipeline
+//! ([`crate::ingest`]) feeds these straight into the str-keyed dictionary,
+//! so a term occurrence costs one scratch-buffer encode + hash, never an
+//! allocation. [`parse_ntriples`] is the convenience wrapper that runs that
+//! pipeline over a whole document.
 
 use crate::graph::Graph;
-use crate::term::{Literal, Term};
-use std::fmt::Write as _;
+use crate::term::{LiteralRef, Term, TermRef};
+use std::borrow::Cow;
 
 /// Error produced while parsing N-Triples input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,29 +40,21 @@ impl std::fmt::Display for NtParseError {
 
 impl std::error::Error for NtParseError {}
 
-/// Parses an N-Triples document into a [`Graph`].
+/// Parses an N-Triples document into a [`Graph`] via the parallel zero-copy
+/// ingestion pipeline (`threads = 0`, i.e. all cores; the result is
+/// bit-identical for every thread count).
 pub fn parse_ntriples(input: &str) -> Result<Graph, NtParseError> {
-    let mut graph = Graph::new();
-    for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (s, p, o) = parse_line(line).map_err(|message| NtParseError {
-            line: lineno + 1,
-            message,
-        })?;
-        graph.insert(s, p, o);
-    }
-    Ok(graph)
+    crate::ingest::ingest(input, 0)
 }
 
-fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
-    let mut cursor = Cursor { bytes: line.as_bytes(), pos: 0 };
+/// Parses one (already trimmed, non-empty, non-comment) N-Triples line into
+/// three borrowed terms.
+pub fn parse_line_ref(line: &str) -> Result<(TermRef<'_>, TermRef<'_>, TermRef<'_>), String> {
+    let mut cursor = Cursor { bytes: line.as_bytes(), line, pos: 0 };
     let s = cursor.parse_term()?;
     cursor.skip_ws();
     let p = cursor.parse_term()?;
-    if !matches!(p, Term::Iri(_)) {
+    if !matches!(p, TermRef::Iri(_)) {
         return Err("predicate must be an IRI".into());
     }
     cursor.skip_ws();
@@ -68,6 +73,7 @@ fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
 
 struct Cursor<'a> {
     bytes: &'a [u8],
+    line: &'a str,
     pos: usize,
 }
 
@@ -82,24 +88,28 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn parse_term(&mut self) -> Result<Term, String> {
+    /// Borrows `self.line[start..end]`. Always called with `start`/`end` on
+    /// ASCII delimiter positions, hence on char boundaries.
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        &self.line[start..end]
+    }
+
+    fn parse_term(&mut self) -> Result<TermRef<'a>, String> {
         match self.peek() {
-            Some(b'<') => self.parse_iri().map(Term::Iri),
+            Some(b'<') => self.parse_iri().map(TermRef::Iri),
             Some(b'_') => self.parse_blank(),
             Some(b'"') => self.parse_literal(),
             other => Err(format!("unexpected term start: {:?}", other.map(char::from))),
         }
     }
 
-    fn parse_iri(&mut self) -> Result<String, String> {
+    fn parse_iri(&mut self) -> Result<&'a str, String> {
         debug_assert_eq!(self.peek(), Some(b'<'));
         self.pos += 1;
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b == b'>' {
-                let iri = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in IRI".to_string())?
-                    .to_owned();
+                let iri = self.slice(start, self.pos);
                 self.pos += 1;
                 return Ok(iri);
             }
@@ -108,7 +118,7 @@ impl<'a> Cursor<'a> {
         Err("unterminated IRI".into())
     }
 
-    fn parse_blank(&mut self) -> Result<Term, String> {
+    fn parse_blank(&mut self) -> Result<TermRef<'a>, String> {
         if self.bytes.get(self.pos + 1) != Some(&b':') {
             return Err("blank node must start with '_:'".into());
         }
@@ -123,22 +133,74 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err("empty blank node label".into());
         }
-        let label = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid UTF-8 in blank node".to_string())?
-            .to_owned();
-        Ok(Term::Blank(label))
+        Ok(TermRef::Blank(self.slice(start, self.pos)))
     }
 
-    fn parse_literal(&mut self) -> Result<Term, String> {
+    fn parse_literal(&mut self) -> Result<TermRef<'a>, String> {
         debug_assert_eq!(self.peek(), Some(b'"'));
         self.pos += 1;
-        let mut lexical = String::new();
+        let start = self.pos;
+        // Fast path: scan for the closing quote; borrow if escape-free.
+        let lexical: Cow<'a, str> = loop {
+            match self.peek() {
+                None => return Err("unterminated literal".into()),
+                Some(b'"') => {
+                    let s = self.slice(start, self.pos);
+                    self.pos += 1;
+                    break Cow::Borrowed(s);
+                }
+                Some(b'\\') => break Cow::Owned(self.parse_escaped_tail(start)?),
+                Some(_) => self.pos += 1,
+            }
+        };
+        // Optional @lang or ^^<datatype>.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err("empty language tag".into());
+                }
+                Ok(TermRef::Literal(LiteralRef {
+                    lexical,
+                    lang: Some(self.slice(start, self.pos)),
+                    datatype: None,
+                }))
+            }
+            Some(b'^') => {
+                if self.bytes.get(self.pos + 1) != Some(&b'^') {
+                    return Err("expected '^^<datatype>'".into());
+                }
+                self.pos += 2;
+                if self.peek() != Some(b'<') {
+                    return Err("datatype must be an IRI".into());
+                }
+                let datatype = self.parse_iri()?;
+                Ok(TermRef::Literal(LiteralRef { lexical, lang: None, datatype: Some(datatype) }))
+            }
+            _ => Ok(TermRef::Literal(LiteralRef { lexical, lang: None, datatype: None })),
+        }
+    }
+
+    /// Slow path, entered at the first backslash: copies the escape-free
+    /// prefix `[start..pos]` then decodes escapes until the closing quote.
+    fn parse_escaped_tail(&mut self, start: usize) -> Result<String, String> {
+        debug_assert_eq!(self.peek(), Some(b'\\'));
+        let mut lexical = String::with_capacity(self.pos - start + 16);
+        lexical.push_str(self.slice(start, self.pos));
         loop {
             match self.peek() {
                 None => return Err("unterminated literal".into()),
                 Some(b'"') => {
                     self.pos += 1;
-                    break;
+                    return Ok(lexical);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -155,48 +217,18 @@ impl<'a> Cursor<'a> {
                         other => return Err(format!("unknown escape \\{}", char::from(other))),
                     }
                 }
+                Some(b) if b < 0x80 => {
+                    lexical.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in literal".to_string())?;
-                    let ch = rest.chars().next().unwrap();
+                    // Copy one multi-byte UTF-8 scalar.
+                    let rest = &self.line[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty rest");
                     lexical.push(ch);
                     self.pos += ch.len_utf8();
                 }
             }
-        }
-        // Optional @lang or ^^<datatype>.
-        match self.peek() {
-            Some(b'@') => {
-                self.pos += 1;
-                let start = self.pos;
-                while let Some(b) = self.peek() {
-                    if b.is_ascii_alphanumeric() || b == b'-' {
-                        self.pos += 1;
-                    } else {
-                        break;
-                    }
-                }
-                if self.pos == start {
-                    return Err("empty language tag".into());
-                }
-                let lang = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .unwrap()
-                    .to_owned();
-                Ok(Term::Literal(Literal::lang_tagged(lexical, lang)))
-            }
-            Some(b'^') => {
-                if self.bytes.get(self.pos + 1) != Some(&b'^') {
-                    return Err("expected '^^<datatype>'".into());
-                }
-                self.pos += 2;
-                if self.peek() != Some(b'<') {
-                    return Err("datatype must be an IRI".into());
-                }
-                let datatype = self.parse_iri()?;
-                Ok(Term::Literal(Literal::typed(lexical, datatype)))
-            }
-            _ => Ok(Term::Literal(Literal::plain(lexical))),
         }
     }
 
@@ -208,43 +240,68 @@ impl<'a> Cursor<'a> {
             .map_err(|_| "invalid unicode escape".to_string())?;
         self.pos += digits;
         let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid hex in unicode escape")?;
+        // Surrogate-range escapes appear in real dumps produced by UTF-16
+        // systems; decode them to U+FFFD rather than rejecting the file.
+        if (0xD800..=0xDFFF).contains(&code) {
+            return Ok('\u{FFFD}');
+        }
         char::from_u32(code).ok_or_else(|| "invalid code point".into())
     }
 }
 
 /// Serializes a [`Graph`] back to N-Triples (one triple per line, insertion
-/// order preserved).
+/// order preserved). Appends into one output buffer — no per-term
+/// allocation.
 pub fn write_ntriples(graph: &Graph) -> String {
-    let mut out = String::new();
+    // Pre-size: average real-world triple lines run ~100 bytes.
+    let mut out = String::with_capacity(graph.len() * 96);
     for t in graph.triples() {
-        let s = graph.dict.term(t.s);
-        let p = graph.dict.term(t.p);
-        let o = graph.dict.term(t.o);
-        let _ = writeln!(out, "{} {} {} .", fmt_term(s), fmt_term(p), fmt_term(o));
+        write_term(graph.dict.term(t.s), &mut out);
+        out.push(' ');
+        write_term(graph.dict.term(t.p), &mut out);
+        out.push(' ');
+        write_term(graph.dict.term(t.o), &mut out);
+        out.push_str(" .\n");
     }
     out
 }
 
-fn fmt_term(term: &Term) -> String {
+/// Appends one term in N-Triples syntax.
+pub fn write_term(term: &Term, out: &mut String) {
     match term {
-        Term::Iri(s) => format!("<{s}>"),
-        Term::Blank(s) => format!("_:{s}"),
+        Term::Iri(s) => {
+            out.push('<');
+            out.push_str(s);
+            out.push('>');
+        }
+        Term::Blank(s) => {
+            out.push_str("_:");
+            out.push_str(s);
+        }
         Term::Literal(l) => {
-            let mut escaped = String::with_capacity(l.lexical.len() + 2);
+            out.push('"');
             for ch in l.lexical.chars() {
                 match ch {
-                    '"' => escaped.push_str("\\\""),
-                    '\\' => escaped.push_str("\\\\"),
-                    '\n' => escaped.push_str("\\n"),
-                    '\r' => escaped.push_str("\\r"),
-                    '\t' => escaped.push_str("\\t"),
-                    c => escaped.push(c),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
                 }
             }
+            out.push('"');
             match (&l.lang, &l.datatype) {
-                (Some(lang), _) => format!("\"{escaped}\"@{lang}"),
-                (None, Some(dt)) => format!("\"{escaped}\"^^<{dt}>"),
-                (None, None) => format!("\"{escaped}\""),
+                (Some(lang), _) => {
+                    out.push('@');
+                    out.push_str(lang);
+                }
+                (None, Some(dt)) => {
+                    out.push_str("^^<");
+                    out.push_str(dt);
+                    out.push('>');
+                }
+                (None, None) => {}
             }
         }
     }
@@ -253,6 +310,7 @@ fn fmt_term(term: &Term) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::term::Literal;
     use crate::vocab;
 
     #[test]
@@ -297,6 +355,21 @@ _:b0 <http://x/label> "blank"@en .
     }
 
     #[test]
+    fn surrogate_escape_decodes_to_replacement_char() {
+        let src = "<http://x/a> <http://x/p> \"bad \\uD83D surrogate\" .\n";
+        let g = parse_ntriples(src).unwrap();
+        let o = g.triples()[0].o;
+        assert_eq!(g.dict.term(o).as_literal().unwrap().lexical, "bad \u{FFFD} surrogate");
+    }
+
+    #[test]
+    fn crlf_and_comments_accepted() {
+        let src = "# header\r\n<http://x/a> <http://x/p> \"v\" .\r\n\r\n<http://x/b> <http://x/p> \"w\" .\r\n";
+        let g = parse_ntriples(src).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
     fn datatype_and_lang_roundtrip() {
         let mut g = Graph::new();
         g.insert(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::int(7));
@@ -327,5 +400,18 @@ _:b0 <http://x/label> "blank"@en .
     fn rejects_missing_dot() {
         let err = parse_ntriples("<http://x/a> <http://x/p> <http://x/b>\n").unwrap_err();
         assert!(err.message.contains('.'));
+    }
+
+    #[test]
+    fn borrowed_terms_are_zero_copy() {
+        let line = "<http://x/a> <http://x/p> \"plain value\" .";
+        let (s, _, o) = parse_line_ref(line).unwrap();
+        assert!(matches!(s, TermRef::Iri("http://x/a")));
+        match o {
+            TermRef::Literal(LiteralRef { lexical: Cow::Borrowed(v), .. }) => {
+                assert_eq!(v, "plain value");
+            }
+            other => panic!("expected borrowed literal, got {other:?}"),
+        }
     }
 }

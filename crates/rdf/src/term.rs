@@ -1,5 +1,6 @@
 //! RDF terms and literal value typing.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A literal value: lexical form plus either a language tag or a datatype IRI.
@@ -136,6 +137,76 @@ impl fmt::Display for Term {
                 }
                 Ok(())
             }
+        }
+    }
+}
+
+/// A borrowed literal: the zero-copy view the N-Triples parser produces.
+///
+/// `lexical` is a [`Cow`] because escape-free literals (the overwhelming
+/// majority in real dumps) borrow straight from the input buffer, while
+/// escape-bearing ones decode into an owned spill string. Language tags and
+/// datatype IRIs never contain escapes, so they always borrow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiteralRef<'a> {
+    /// The (unescaped) lexical form.
+    pub lexical: Cow<'a, str>,
+    /// Language tag, mutually exclusive with `datatype`.
+    pub lang: Option<&'a str>,
+    /// Datatype IRI; `None` means a plain literal.
+    pub datatype: Option<&'a str>,
+}
+
+impl LiteralRef<'_> {
+    /// Materializes an owned [`Literal`].
+    pub fn to_literal(&self) -> Literal {
+        Literal {
+            lexical: self.lexical.clone().into_owned(),
+            lang: self.lang.map(str::to_owned),
+            datatype: self.datatype.map(str::to_owned),
+        }
+    }
+}
+
+/// A borrowed RDF term — slices into a parse buffer, no per-term `String`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TermRef<'a> {
+    /// IRI reference.
+    Iri(&'a str),
+    /// Blank node label.
+    Blank(&'a str),
+    /// Literal.
+    Literal(LiteralRef<'a>),
+}
+
+impl TermRef<'_> {
+    /// Materializes an owned [`Term`] (allocates; done once per *distinct*
+    /// term by the dictionary, not once per occurrence).
+    pub fn to_term(&self) -> Term {
+        match self {
+            TermRef::Iri(s) => Term::Iri((*s).to_owned()),
+            TermRef::Blank(s) => Term::Blank((*s).to_owned()),
+            TermRef::Literal(l) => Term::Literal(l.to_literal()),
+        }
+    }
+
+    /// `true` for IRIs and blank nodes.
+    pub fn is_resource(&self) -> bool {
+        !matches!(self, TermRef::Literal(_))
+    }
+}
+
+impl Term {
+    /// The borrowed view of this term.
+    pub fn as_ref(&self) -> TermRef<'_> {
+        match self {
+            Term::Iri(s) => TermRef::Iri(s),
+            Term::Blank(s) => TermRef::Blank(s),
+            Term::Literal(l) => TermRef::Literal(LiteralRef {
+                lexical: Cow::Borrowed(&l.lexical),
+                lang: l.lang.as_deref(),
+                datatype: l.datatype.as_deref(),
+            }),
         }
     }
 }

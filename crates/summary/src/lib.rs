@@ -83,7 +83,7 @@ impl Summary {
 
 /// Collects, for every subject, its set of outgoing data properties
 /// (excluding `rdf:type`, which RDFQuotient handles separately).
-fn subject_property_sets(graph: &mut Graph) -> HashMap<TermId, Vec<TermId>> {
+fn subject_property_sets(graph: &Graph) -> HashMap<TermId, Vec<TermId>> {
     let rdf_type = graph.rdf_type_id();
     let mut sets: HashMap<TermId, Vec<TermId>> = HashMap::new();
     for s in graph.subjects().collect::<Vec<_>>() {
@@ -103,7 +103,7 @@ fn subject_property_sets(graph: &mut Graph) -> HashMap<TermId, Vec<TermId>> {
 }
 
 /// The characteristic-set quotient: equivalence = identical property sets.
-pub fn characteristic_sets(graph: &mut Graph) -> Summary {
+pub fn characteristic_sets(graph: &Graph) -> Summary {
     let sets = subject_property_sets(graph);
     let mut groups: HashMap<Vec<TermId>, Vec<TermId>> = HashMap::new();
     for (node, props) in sets {
@@ -117,7 +117,7 @@ pub fn characteristic_sets(graph: &mut Graph) -> Summary {
 /// Properties `p, q` are in the same source clique when some subject has
 /// both outgoing (transitive closure); nodes are equivalent when their
 /// property sets fall in the same clique.
-pub fn weak_summary(graph: &mut Graph) -> Summary {
+pub fn weak_summary(graph: &Graph) -> Summary {
     let sets = subject_property_sets(graph);
     // Union properties co-occurring on a subject.
     let mut prop_index: HashMap<TermId, usize> = HashMap::new();
@@ -170,8 +170,8 @@ mod tests {
 
     #[test]
     fn characteristic_sets_partition_by_shape() {
-        let mut g = two_shape_graph();
-        let summary = characteristic_sets(&mut g);
+        let g = two_shape_graph();
+        let summary = characteristic_sets(&g);
         assert_eq!(summary.len(), 2);
         assert_eq!(summary.classes[0].members.len(), 3);
         assert_eq!(summary.classes[1].members.len(), 2);
@@ -187,9 +187,9 @@ mod tests {
         g.insert(iri("n2"), iri("name"), Term::lit("b"));
         g.insert(iri("n2"), iri("netWorth"), Term::int(1));
         g.insert(iri("n3"), iri("netWorth"), Term::int(2));
-        let cs = characteristic_sets(&mut g);
+        let cs = characteristic_sets(&g);
         assert_eq!(cs.len(), 3);
-        let weak = weak_summary(&mut g);
+        let weak = weak_summary(&g);
         assert_eq!(weak.len(), 1);
         assert_eq!(weak.classes[0].members.len(), 3);
         assert_eq!(weak.classes[0].properties.len(), 2);
@@ -197,8 +197,8 @@ mod tests {
 
     #[test]
     fn weak_summary_keeps_disconnected_cliques_apart() {
-        let mut g = two_shape_graph();
-        let summary = weak_summary(&mut g);
+        let g = two_shape_graph();
+        let summary = weak_summary(&g);
         assert_eq!(summary.len(), 2);
     }
 
@@ -208,7 +208,7 @@ mod tests {
         g.insert(iri("n1"), Term::iri(spade_rdf::vocab::RDF_TYPE), iri("CEO"));
         g.insert(iri("n1"), iri("name"), Term::lit("a"));
         g.insert(iri("n2"), iri("name"), Term::lit("b"));
-        let summary = characteristic_sets(&mut g);
+        let summary = characteristic_sets(&g);
         // The extra type triple must not split n1 from n2.
         assert_eq!(summary.len(), 1);
         assert_eq!(summary.classes[0].members.len(), 2);
@@ -216,10 +216,10 @@ mod tests {
 
     #[test]
     fn class_lookup_roundtrips() {
-        let mut g = two_shape_graph();
+        let g = two_shape_graph();
         let n1 = g.dict.id_of(&iri("n1")).unwrap();
         let c1 = g.dict.id_of(&iri("c1")).unwrap();
-        let summary = characteristic_sets(&mut g);
+        let summary = characteristic_sets(&g);
         let class_n1 = summary.class_of(n1).unwrap();
         assert!(class_n1.members.contains(&n1));
         assert_ne!(summary.class_of(c1).unwrap().id, class_n1.id);
@@ -230,8 +230,8 @@ mod tests {
 
     #[test]
     fn classes_sorted_largest_first() {
-        let mut g = two_shape_graph();
-        let summary = characteristic_sets(&mut g);
+        let g = two_shape_graph();
+        let summary = characteristic_sets(&g);
         for w in summary.classes.windows(2) {
             assert!(w[0].members.len() >= w[1].members.len());
         }

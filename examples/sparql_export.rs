@@ -14,7 +14,7 @@ use spade::core::{analysis, cfs, offline, AttrKind};
 use spade::prelude::*;
 
 fn main() {
-    let mut graph = spade::datagen::ceos_figure1();
+    let graph = spade::datagen::ceos_figure1();
     let config = SpadeConfig {
         min_cfs_size: 2,
         min_support: 0.4,
@@ -25,7 +25,7 @@ fn main() {
     // Steps 1–2 of the pipeline, to obtain analyzed attributes.
     let stats = offline::analyze(&graph);
     let (derived, _) = offline::enumerate_derivations(&graph, &stats, &config);
-    let cfs_list = cfs::select(&mut graph, &[cfs::CfsStrategy::TypeBased], &config);
+    let cfs_list = cfs::select(&graph, &[cfs::CfsStrategy::TypeBased], &config);
     let ceo_cfs = cfs_list.iter().find(|c| c.name == "type:CEO").expect("CEO CFS");
     let a = analysis::analyze_cfs(&graph, ceo_cfs, &derived, &config);
 

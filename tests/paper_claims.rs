@@ -10,7 +10,7 @@ use spade::prelude::*;
 /// Builds the Example 3 cube spec from the Figure 1 *graph* via the actual
 /// offline + online analysis (path derivation included).
 fn example3_via_pipeline() -> (spade::core::CfsAnalysis, Vec<usize>, usize) {
-    let mut graph = spade::datagen::ceos_figure1();
+    let graph = spade::datagen::ceos_figure1();
     let config = SpadeConfig {
         min_cfs_size: 2,
         min_support: 0.4,
@@ -19,7 +19,7 @@ fn example3_via_pipeline() -> (spade::core::CfsAnalysis, Vec<usize>, usize) {
     };
     let stats = offline::analyze(&graph);
     let (derived, _) = offline::enumerate_derivations(&graph, &stats, &config);
-    let cfs_list = cfs::select(&mut graph, &[cfs::CfsStrategy::TypeBased], &config);
+    let cfs_list = cfs::select(&graph, &[cfs::CfsStrategy::TypeBased], &config);
     let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
     let a = analysis::analyze_cfs(&graph, ceo, &derived, &config);
     let idx = |name: &str| {
