@@ -11,8 +11,9 @@
 //!
 //! Run: `cargo run -p spade-bench --release --bin ablation [-- --scale N]`
 
-use spade_bench::{analyzed_lattices, build_spec, experiment_config, ms, regen_graph, timed,
-    HarnessArgs};
+use spade_bench::{
+    analyzed_lattices, build_spec, experiment_config, ms, regen_graph, timed, HarnessArgs,
+};
 use spade_core::evaluate::evaluate_cfs;
 use spade_cube::{mvd_cube, mvd_cube_with_earlystop, EarlyStopConfig, MvdCubeOptions};
 use spade_datagen::{synthetic, RealisticConfig, SyntheticConfig};
@@ -44,11 +45,8 @@ fn main() {
     for chunk in [1u32, 2, 4, 8, 16, 32, 101] {
         let opts = MvdCubeOptions { chunk_size: Some(chunk), ..Default::default() };
         let (result, t) = timed(|| mvd_cube(&spec, &opts));
-        let parts: u64 = spec
-            .domain_sizes()
-            .iter()
-            .map(|&d| d.div_ceil(chunk.min(d)) as u64)
-            .product();
+        let parts: u64 =
+            spec.domain_sizes().iter().map(|&d| d.div_ceil(chunk.min(d)) as u64).product();
         println!("{:<16} {:>12} {:>14}", chunk, ms(t), parts);
         std::hint::black_box(result.total_groups());
     }
@@ -57,7 +55,8 @@ fn main() {
 
     // —— 2. cross-lattice sharing on/off (CEOs workload) ——
     let config = experiment_config();
-    let mut graph = regen_graph("CEOs", &RealisticConfig { scale: args.scale, seed: args.seed });
+    let mut graph =
+        regen_graph("CEOs", &RealisticConfig { scale: args.scale, seed: args.seed });
     let prepared = analyzed_lattices(&mut graph, &config);
     let (with_sharing, t_sharing) = timed(|| {
         prepared
@@ -91,7 +90,8 @@ fn main() {
     println!("{:<10} {:>8} {:>12} {:>10}", "(off)", "-", ms(t_plain), "-");
     for sample in [20usize, 60, 120] {
         for batches in [1usize, 2, 4] {
-            let es = EarlyStopConfig { k: 10, sample_size: sample, batches, ..Default::default() };
+            let es =
+                EarlyStopConfig { k: 10, sample_size: sample, batches, ..Default::default() };
             let ((_, outcome), t) =
                 timed(|| mvd_cube_with_earlystop(&spec, &MvdCubeOptions::default(), &es));
             println!(

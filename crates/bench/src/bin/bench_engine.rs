@@ -9,25 +9,20 @@
 //! exact agreement, so the bench doubles as a correctness smoke test.
 //!
 //! Usage: `cargo run --release -p spade-bench --bin bench_engine
-//! [--scale <facts>] [--seed <n>] [--out <path>]`
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
+//! (`--threads` fans the untimed corpus generation out; the measured
+//! engine runs stay single-threaded so speedups are comparable across PRs)
 
-use spade_bench::HarnessArgs;
+use spade_bench::{geo_mean, HarnessArgs};
 use spade_cube::engine_baseline::run_engine_baseline;
 use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
+use spade_datagen::corpus::{SyntheticCase, SYNTHETIC_CASES};
 use spade_datagen::synthetic::generate_columns;
-use spade_datagen::SyntheticConfig;
+use spade_datagen::ColumnSet;
 use spade_storage::AggFn;
 use std::collections::HashMap;
 use std::time::Instant;
-
-/// One measured configuration.
-struct Case {
-    name: &'static str,
-    dim_values: Vec<u32>,
-    multi_valued_prob: f64,
-    chunk_size: Option<u32>,
-}
 
 struct Outcome {
     name: String,
@@ -51,16 +46,12 @@ fn check_agreement(a: &CubeResult, b: &CubeResult, case: &str) {
     }
 }
 
-fn run_case(case: &Case, scale: usize, seed: u64, repeats: usize) -> Outcome {
-    let cfg = SyntheticConfig {
-        n_facts: scale,
-        dim_values: case.dim_values.clone(),
-        n_measures: 3,
-        sparsity: 0.1,
-        multi_valued_prob: case.multi_valued_prob,
-        seed,
-    };
-    let columns = generate_columns(&cfg);
+fn run_case(
+    case: &SyntheticCase,
+    columns: &ColumnSet,
+    scale: usize,
+    repeats: usize,
+) -> Outcome {
     let measures: Vec<MeasureSpec<'_>> = columns
         .measures
         .iter()
@@ -75,11 +66,8 @@ fn run_case(case: &Case, scale: usize, seed: u64, repeats: usize) -> Outcome {
     // Data translation is identical for both engines and not part of the
     // Aggregate Evaluation step being measured: prepare once, untimed.
     let (lattice, translation) = prepare(&spec, &options, None);
-    let all_alive: HashMap<u32, Vec<bool>> = lattice
-        .nodes()
-        .iter()
-        .map(|&m| (m, vec![true; spec.mdas().len()]))
-        .collect();
+    let all_alive: HashMap<u32, Vec<bool>> =
+        lattice.nodes().iter().map(|&m| (m, vec![true; spec.mdas().len()])).collect();
 
     // Warm-up + agreement check (not timed).
     let reference = run_engine_baseline(&spec, &lattice, &translation, None);
@@ -118,40 +106,19 @@ fn main() {
     // This bench defaults to a larger graph than the shared harness
     // (30k facts give representative engine-vs-baseline ratios); an
     // explicit --scale always wins, whatever its value.
-    let scale = if std::env::args().any(|a| a == "--scale") { args.scale } else { 30_000 };
-    let out_path = args
-        .rest
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.rest.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let scale = args.scale_or(30_000);
+    let out_path = args.out_path("BENCH_engine.json");
+    let seed = args.seed;
 
-    let cases = [
-        Case {
-            name: "single_valued_100x10x5",
-            dim_values: vec![100, 10, 5],
-            multi_valued_prob: 0.0,
-            chunk_size: None,
-        },
-        Case {
-            name: "multi_valued_100x10x5",
-            dim_values: vec![100, 10, 5],
-            multi_valued_prob: 0.3,
-            chunk_size: None,
-        },
-        // Chunk 12 ≈ the auto heuristic's memory-bounded operating point
-        // for these domains (⌈|D|/4⌉ ≈ 13).
-        Case {
-            name: "chunked_50x20x10",
-            dim_values: vec![50, 20, 10],
-            multi_valued_prob: 0.1,
-            chunk_size: Some(12),
-        },
-    ];
+    // Corpus generation is untimed, so it may fan out over --threads.
+    let column_sets: Vec<ColumnSet> =
+        spade_parallel::map(SYNTHETIC_CASES.to_vec(), args.threads, |case| {
+            generate_columns(&case.config(scale, seed))
+        });
 
     let mut outcomes = Vec::new();
-    for case in &cases {
-        let o = run_case(case, scale, args.seed, 3);
+    for (case, columns) in SYNTHETIC_CASES.iter().zip(&column_sets) {
+        let o = run_case(case, columns, scale, 3);
         eprintln!(
             "{:28} baseline {:8.1} ms ({:9.0} facts/s) | engine {:8.1} ms ({:9.0} facts/s) | speedup {:.2}x",
             o.name,
@@ -164,8 +131,8 @@ fn main() {
         outcomes.push(o);
     }
 
-    let geo_mean_speedup =
-        (outcomes.iter().map(|o| o.speedup.ln()).sum::<f64>() / outcomes.len() as f64).exp();
+    let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
+    let geo_mean_speedup = geo_mean(&speedups);
 
     // Hand-rolled JSON (no external crates offline).
     let mut json = String::from("{\n");

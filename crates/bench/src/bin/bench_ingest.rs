@@ -12,19 +12,12 @@
 //! correctness smoke test.
 //!
 //! Usage: `cargo run --release -p spade-bench --bin bench_ingest
-//! [--scale <facts>] [--seed <n>] [--out <path>]`
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
 
-use spade_bench::HarnessArgs;
-use spade_datagen::{nt_corpus, RealisticConfig};
+use spade_bench::{geo_mean, HarnessArgs};
+use spade_datagen::corpus::{NtCase, NT_CASES};
 use spade_rdf::{ingest, ingest_baseline, saturate_baseline, saturate_with_threads, Graph};
 use std::time::Instant;
-
-struct Case {
-    name: &'static str,
-    dataset: &'static str,
-    scale_mul: usize,
-    ontology_depth: usize,
-}
 
 struct Outcome {
     name: String,
@@ -52,20 +45,19 @@ fn sorted_triples(g: &Graph) -> Vec<spade_rdf::Triple> {
     v
 }
 
-fn run_case(case: &Case, scale: usize, seed: u64, repeats: usize) -> Outcome {
-    let cfg = RealisticConfig { scale: scale * case.scale_mul, seed };
-    let nt = nt_corpus(case.dataset, &cfg, case.ontology_depth);
+fn run_case(case: &NtCase, scale: usize, seed: u64, threads: usize, repeats: usize) -> Outcome {
+    let nt = case.generate(scale, seed);
     let n_triples = nt.lines().count();
 
     // Agreement check (not timed): both paths parse and saturate to the
     // same graph.
     let mut reference = ingest_baseline(&nt).expect("baseline parse");
-    let optimized = ingest(&nt, 0).expect("optimized parse");
+    let optimized = ingest(&nt, threads).expect("optimized parse");
     check_agreement(&optimized, &reference, case.name);
     let derived = saturate_baseline(&mut reference);
     let mut optimized = optimized;
     assert_eq!(
-        saturate_with_threads(&mut optimized, 0),
+        saturate_with_threads(&mut optimized, threads),
         derived,
         "{}: derivation count",
         case.name
@@ -89,8 +81,8 @@ fn run_case(case: &Case, scale: usize, seed: u64, repeats: usize) -> Outcome {
         std::hint::black_box(&g);
 
         let t = Instant::now();
-        let mut g = ingest(&nt, 0).unwrap();
-        saturate_with_threads(&mut g, 0);
+        let mut g = ingest(&nt, threads).unwrap();
+        saturate_with_threads(&mut g, threads);
         optimized_secs = optimized_secs.min(t.elapsed().as_secs_f64());
         std::hint::black_box(&g);
     }
@@ -111,26 +103,12 @@ fn main() {
     let args = HarnessArgs::parse();
     // Larger default than the shared harness: ingestion throughput needs
     // enough lines to swamp constant costs. An explicit --scale always wins.
-    let scale = if std::env::args().any(|a| a == "--scale") { args.scale } else { 2_000 };
-    let out_path = args
-        .rest
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.rest.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_ingest.json".to_owned());
-
-    let cases = [
-        // Heterogeneous, path-rich graph; shallow ontology.
-        Case { name: "ceos_ont4", dataset: "CEOs", scale_mul: 1, ontology_depth: 4 },
-        // Type-heavy graph with mass/launch properties; mid ontology.
-        Case { name: "nasa_ont8", dataset: "NASA", scale_mul: 1, ontology_depth: 8 },
-        // Saturation-dominated: deep subclass chains over every class.
-        Case { name: "nobel_ont24", dataset: "Nobel", scale_mul: 1, ontology_depth: 24 },
-    ];
+    let scale = args.scale_or(2_000);
+    let out_path = args.out_path("BENCH_ingest.json");
 
     let mut outcomes = Vec::new();
-    for case in &cases {
-        let o = run_case(case, scale, args.seed, 3);
+    for case in &NT_CASES {
+        let o = run_case(case, scale, args.seed, args.threads, 3);
         eprintln!(
             "{:14} {:7} triples (+{:6} derived) | baseline {:8.1} ms ({:9.0} t/s) | optimized {:8.1} ms ({:9.0} t/s) | speedup {:.2}x",
             o.name,
@@ -145,8 +123,8 @@ fn main() {
         outcomes.push(o);
     }
 
-    let geo_mean_speedup =
-        (outcomes.iter().map(|o| o.speedup.ln()).sum::<f64>() / outcomes.len() as f64).exp();
+    let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
+    let geo_mean_speedup = geo_mean(&speedups);
 
     // Hand-rolled JSON (no external crates offline).
     let mut json = String::from("{\n");

@@ -1,0 +1,192 @@
+//! `bench_store` — the snapshot-store trajectory: offline phase vs. load.
+//!
+//! For each Table-2-like corpus of the shared catalog
+//! (`spade_datagen::corpus::NT_CASES`) this bench measures how long it takes
+//! to make the offline state servable two ways:
+//!
+//! * **offline** — what `Spade::run_ntriples` does before the online steps:
+//!   parallel zero-copy parse + dictionary intern + index build, RDFS
+//!   saturation, and offline attribute analysis;
+//! * **snapshot** — `Snapshot::open(..).load(..)` on the file written once
+//!   by the snapshot store, plus rebuilding `OfflineStats` from its records.
+//!
+//! The loaded state is cross-checked against the freshly computed one for
+//! exact agreement (ids, triple order, indexes, statistics) and saturation
+//! idempotence, so the bench doubles as a correctness smoke test. Results
+//! land in `BENCH_store.json` (triples/sec both ways and the speedup).
+//!
+//! Usage: `cargo run --release -p spade-bench --bin bench_store
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
+
+use spade_bench::{geo_mean, HarnessArgs};
+use spade_core::offline;
+use spade_datagen::corpus::{NtCase, NT_CASES};
+use spade_rdf::{ingest, saturate_with_threads, Graph};
+use spade_store::{write_snapshot, Snapshot};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Outcome {
+    name: String,
+    n_input_lines: usize,
+    n_triples: usize,
+    file_bytes: usize,
+    offline_secs: f64,
+    load_secs: f64,
+    offline_triples_per_sec: f64,
+    load_triples_per_sec: f64,
+    speedup: f64,
+}
+
+fn check_agreement(loaded: &Graph, fresh: &Graph, case: &str) {
+    assert_eq!(loaded.triples(), fresh.triples(), "{case}: triple order");
+    assert_eq!(loaded.dict.len(), fresh.dict.len(), "{case}: dictionary size");
+    for (id, term) in fresh.dict.iter() {
+        assert_eq!(loaded.dict.term(id), term, "{case}: term {id}");
+    }
+    assert_eq!(loaded.rdf_type_id(), fresh.rdf_type_id(), "{case}: rdf:type id");
+    for p in fresh.properties() {
+        assert_eq!(loaded.property_pairs(p), fresh.property_pairs(p), "{case}: property {p}");
+    }
+    for s in fresh.subjects() {
+        assert_eq!(loaded.outgoing(s), fresh.outgoing(s), "{case}: subject {s}");
+    }
+    for c in fresh.classes() {
+        assert_eq!(loaded.type_extent_raw(c), fresh.type_extent_raw(c), "{case}: class {c}");
+    }
+}
+
+fn run_case(
+    case: &NtCase,
+    scale: usize,
+    seed: u64,
+    threads: usize,
+    repeats: usize,
+    dir: &Path,
+) -> Outcome {
+    let nt = case.generate(scale, seed);
+    let n_input_lines = nt.lines().count();
+
+    // The offline phase runs once (untimed here) to produce the state the
+    // snapshot captures.
+    let mut graph = ingest(&nt, threads).expect("corpus parses");
+    saturate_with_threads(&mut graph, threads);
+    let stats = offline::analyze(&graph);
+    let records = offline::to_records(&stats);
+    let path = dir.join(format!("{}.spade", case.name));
+    write_snapshot(&path, &graph, &records).expect("snapshot writes");
+    let file_bytes = std::fs::metadata(&path).expect("snapshot file").len() as usize;
+
+    // Round-trip identity: the loaded state is the computed state, bit for
+    // bit, and saturating it again derives nothing.
+    let loaded =
+        Snapshot::open(&path, threads).expect("snapshot opens").load(threads).expect("loads");
+    check_agreement(&loaded.graph, &graph, case.name);
+    assert_eq!(loaded.stats, records, "{}: statistics records", case.name);
+    let mut resaturate = Snapshot::open(&path, threads).unwrap().load(threads).unwrap().graph;
+    assert_eq!(
+        saturate_with_threads(&mut resaturate, threads),
+        0,
+        "{}: loaded graph is already saturated",
+        case.name
+    );
+
+    let mut offline_secs = f64::INFINITY;
+    let mut load_secs = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let mut g = ingest(&nt, threads).unwrap();
+        saturate_with_threads(&mut g, threads);
+        let s = offline::analyze(&g);
+        offline_secs = offline_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box((&g, &s));
+
+        let t = Instant::now();
+        let loaded = Snapshot::open(&path, threads).unwrap().load(threads).unwrap();
+        let s = offline::from_records(&loaded.graph, &loaded.stats);
+        load_secs = load_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box((&loaded.graph, &s));
+    }
+    std::fs::remove_file(&path).ok();
+
+    let n_triples = graph.len();
+    Outcome {
+        name: case.name.to_owned(),
+        n_input_lines,
+        n_triples,
+        file_bytes,
+        offline_secs,
+        load_secs,
+        offline_triples_per_sec: n_triples as f64 / offline_secs,
+        load_triples_per_sec: n_triples as f64 / load_secs,
+        speedup: offline_secs / load_secs,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Same default corpus size as bench_ingest, so the two artifacts
+    // describe the same offline workload.
+    let scale = args.scale_or(2_000);
+    let out_path = args.out_path("BENCH_store.json");
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("spade_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    let mut outcomes = Vec::new();
+    for case in &NT_CASES {
+        let o = run_case(case, scale, args.seed, args.threads, 3, &dir);
+        eprintln!(
+            "{:14} {:7} triples ({:8} B file) | offline {:8.1} ms ({:9.0} t/s) | load {:8.2} ms ({:9.0} t/s) | speedup {:.1}x",
+            o.name,
+            o.n_triples,
+            o.file_bytes,
+            o.offline_secs * 1e3,
+            o.offline_triples_per_sec,
+            o.load_secs * 1e3,
+            o.load_triples_per_sec,
+            o.speedup,
+        );
+        outcomes.push(o);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
+    let geo_mean_speedup = geo_mean(&speedups);
+
+    // Hand-rolled JSON (no external crates offline).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"snapshot_store\",\n");
+    json.push_str(
+        "  \"offline\": \"parallel ingest + semi-naive saturation + offline analysis (run_ntriples offline phase)\",\n",
+    );
+    json.push_str(
+        "  \"snapshot\": \"Snapshot::open + zero-copy load + stats reconstitution\",\n",
+    );
+    json.push_str(&format!("  \"geo_mean_speedup\": {geo_mean_speedup:.4},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n_input_lines\": {}, \"n_triples\": {}, \
+             \"file_bytes\": {}, \"offline_secs\": {:.6}, \"load_secs\": {:.6}, \
+             \"offline_triples_per_sec\": {:.1}, \"load_triples_per_sec\": {:.1}, \
+             \"speedup\": {:.4}}}{}\n",
+            o.name,
+            o.n_input_lines,
+            o.n_triples,
+            o.file_bytes,
+            o.offline_secs,
+            o.load_secs,
+            o.offline_triples_per_sec,
+            o.load_triples_per_sec,
+            o.speedup,
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
+    println!("{json}");
+    eprintln!("geo-mean snapshot-load speedup {geo_mean_speedup:.1}x → {out_path}");
+}

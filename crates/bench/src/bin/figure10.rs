@@ -34,8 +34,7 @@ fn main() {
         // Our PGCube^d rewrites fact counts as count(distinct CF), which
         // repairs them fully, so its count-ratio row is empty by design;
         // PGCube*'s row shows the unrepaired count errors.
-        for (system, report) in
-            [("PGCube*", &c.star_report), ("PGCube^d", &c.distinct_report)]
+        for (system, report) in [("PGCube*", &c.star_report), ("PGCube^d", &c.distinct_report)]
         {
             for kind in ["count", "sum"] {
                 let mut ratios: Vec<f64> = report

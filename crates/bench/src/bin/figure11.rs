@@ -21,9 +21,7 @@ fn main() {
     // Paper: |CFS| = 1M. Scaled: 50k × (scale/400).
     let n_facts = 50_000 * args.scale / spade_bench::DEFAULT_SCALE;
 
-    println!(
-        "Figure 11: online pipeline step times, ms (|CFS| = {n_facts}, paper used 1M)"
-    );
+    println!("Figure 11: online pipeline step times, ms (|CFS| = {n_facts}, paper used 1M)");
     println!(
         "{:<12} {:>8} {:>10} {:>8} {:>10} {:>8} {:>10}",
         "config", "CFSsel", "attrAnal", "enum", "eval", "topk", "total"

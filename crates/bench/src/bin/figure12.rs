@@ -40,14 +40,7 @@ fn run_config(cfg: &SyntheticConfig) -> (Duration, Duration, Duration) {
 
 fn print_row(label: &str, t: (Duration, Duration, Duration)) {
     let speedup = t.0.as_secs_f64() / t.1.as_secs_f64().max(1e-9);
-    println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>9.2}x",
-        label,
-        ms(t.0),
-        ms(t.1),
-        ms(t.2),
-        speedup
-    );
+    println!("{:<14} {:>12} {:>12} {:>12} {:>9.2}x", label, ms(t.0), ms(t.1), ms(t.2), speedup);
 }
 
 fn header(title: &str) {

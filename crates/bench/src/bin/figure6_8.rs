@@ -18,8 +18,7 @@ fn main() {
     let args = HarnessArgs::parse();
     let cfg = RealisticConfig { scale: args.scale, seed: args.seed };
 
-    for (name, mut graph) in
-        [("CEOs", realistic::ceos(&cfg)), ("NASA", realistic::nasa(&cfg))]
+    for (name, mut graph) in [("CEOs", realistic::ceos(&cfg)), ("NASA", realistic::nasa(&cfg))]
     {
         let config = SpadeConfig { k: 8, ..experiment_config() };
         let report = Spade::new(config).run(&mut graph);

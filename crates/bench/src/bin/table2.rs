@@ -21,8 +21,7 @@ fn main() {
     for dataset in realistic::all(&cfg) {
         // Without derivations.
         let mut g1 = dataset.graph;
-        let wod_report =
-            Spade::new(experiment_config().without_derivations()).run(&mut g1);
+        let wod_report = Spade::new(experiment_config().without_derivations()).run(&mut g1);
         // With derivations (fresh copy of the graph: saturation mutates).
         let mut g2 = regenerate(dataset.name, &cfg);
         let wd_report = Spade::new(experiment_config()).run(&mut g2);

@@ -16,7 +16,10 @@ fn main() {
     let cfg = RealisticConfig { scale: args.scale, seed: args.seed };
     let config = experiment_config();
 
-    println!("Table 3: PGCube* and PGCube^d errors on real-graph aggregates (scale {})", args.scale);
+    println!(
+        "Table 3: PGCube* and PGCube^d errors on real-graph aggregates (scale {})",
+        args.scale
+    );
     println!(
         "{:<10} {:>8} {:>12} {:>8} {:>12} {:>8}",
         "Dataset", "#aggs", "#wrong(*)", "%", "#wrong(^d)", "%"

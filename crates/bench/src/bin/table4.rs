@@ -39,8 +39,7 @@ fn main() {
                 h: Interestingness::Variance,
                 ..EarlyStopConfig::default()
             };
-            let (es, pruned, total, t_es) =
-                evaluate_all_mvd_es(&prepared, &config, &es_cfg);
+            let (es, pruned, total, t_es) = evaluate_all_mvd_es(&prepared, &config, &es_cfg);
             let gain = 100.0 * (t_full.as_secs_f64() - t_es.as_secs_f64())
                 / t_full.as_secs_f64().max(1e-9);
             let pruned_pct = 100.0 * pruned as f64 / total.max(1) as f64;

@@ -7,8 +7,9 @@
 //! by what factor, where the crossovers are — is what the reproduction
 //! targets (see `EXPERIMENTS.md`).
 
-use spade_core::{analysis::analyze_cfs, cfs, enumeration, offline, CfsAnalysis, LatticeSpec,
-    SpadeConfig};
+use spade_core::{
+    analysis::analyze_cfs, cfs, enumeration, offline, CfsAnalysis, LatticeSpec, SpadeConfig,
+};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
 use spade_rdf::Graph;
 use std::time::{Duration, Instant};
@@ -16,42 +17,81 @@ use std::time::{Duration, Instant};
 /// Default `--scale` for the simulated graphs.
 pub const DEFAULT_SCALE: usize = 400;
 
-/// Parses `--scale <n>` / `--seed <n>` style CLI arguments.
+/// Parses the shared `--scale <n>` / `--seed <n>` / `--threads <n>` /
+/// `--out <path>` CLI arguments every experiment binary accepts.
 pub struct HarnessArgs {
     /// Graph scale (primary fact count of the smallest dataset).
     pub scale: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for parallel pipeline stages (`0` = all cores).
+    pub threads: usize,
+    /// Output path override for benches that write a JSON artifact.
+    pub out: Option<String>,
     /// Free-standing (non-flag) arguments.
     pub rest: Vec<String>,
+    scale_is_explicit: bool,
 }
 
 impl HarnessArgs {
     /// Parses `std::env::args`.
     pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (exposed for tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut scale = DEFAULT_SCALE;
+        let mut scale_is_explicit = false;
         let mut seed = 7u64;
+        let mut threads = 0usize;
+        let mut out = None;
         let mut rest = Vec::new();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
+        let int = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs an integer"))
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--scale" => {
-                    scale = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--scale needs an integer");
+                    scale = int(&mut args, "--scale");
+                    scale_is_explicit = true;
                 }
-                "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
-                }
+                "--seed" => seed = int(&mut args, "--seed") as u64,
+                "--threads" => threads = int(&mut args, "--threads"),
+                "--out" => out = Some(args.next().expect("--out needs a path")),
                 other => rest.push(other.to_owned()),
             }
         }
-        HarnessArgs { scale, seed, rest }
+        HarnessArgs { scale, seed, threads, out, rest, scale_is_explicit }
     }
+
+    /// The scale to use for a bench whose default differs from
+    /// [`DEFAULT_SCALE`]: an explicit `--scale` always wins; otherwise
+    /// `default`.
+    pub fn scale_or(&self, default: usize) -> usize {
+        if self.scale_is_explicit {
+            self.scale
+        } else {
+            default
+        }
+    }
+
+    /// The artifact path: `--out` if given, else `default`.
+    pub fn out_path(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_owned())
+    }
+}
+
+/// Geometric mean of per-case speedups — the headline number every bench
+/// artifact reports.
+pub fn geo_mean(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() {
+        return 1.0;
+    }
+    (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
 }
 
 /// The pipeline configuration all experiments share (matches the paper's
@@ -211,10 +251,9 @@ pub fn ms(d: Duration) -> String {
 pub fn regen_graph(name: &str, cfg: &spade_datagen::RealisticConfig) -> Graph {
     use spade_datagen::realistic;
     match name {
-        "Airline" => realistic::airline(&spade_datagen::RealisticConfig {
-            scale: cfg.scale * 8,
-            ..*cfg
-        }),
+        "Airline" => {
+            realistic::airline(&spade_datagen::RealisticConfig { scale: cfg.scale * 8, ..*cfg })
+        }
         "CEOs" => realistic::ceos(cfg),
         "DBLP" => {
             realistic::dblp(&spade_datagen::RealisticConfig { scale: cfg.scale * 4, ..*cfg })
@@ -287,6 +326,35 @@ pub fn rule(width: usize) {
 mod tests {
     use super::*;
     use spade_datagen::{realistic, RealisticConfig};
+
+    #[test]
+    fn harness_args_parse_shared_flags() {
+        fn to_args(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(str::to_owned)
+        }
+        let args = HarnessArgs::parse_from(to_args(
+            "--scale 123 --seed 9 --threads 4 --out custom.json extra",
+        ));
+        assert_eq!(args.scale, 123);
+        assert_eq!(args.scale_or(999), 123, "explicit --scale wins");
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.out_path("default.json"), "custom.json");
+        assert_eq!(args.rest, vec!["extra".to_owned()]);
+
+        let defaults = HarnessArgs::parse_from(to_args(""));
+        assert_eq!(defaults.scale, DEFAULT_SCALE);
+        assert_eq!(defaults.scale_or(999), 999, "bench default applies");
+        assert_eq!(defaults.threads, 0);
+        assert_eq!(defaults.out_path("default.json"), "default.json");
+    }
+
+    #[test]
+    fn geo_mean_of_speedups() {
+        assert_eq!(geo_mean(&[]), 1.0);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
 
     #[test]
     fn harness_pipeline_produces_lattices() {

@@ -328,21 +328,16 @@ impl Container {
 
     pub fn intersect_len(&self, other: &Container) -> u32 {
         match (self, other) {
-            (Container::Bitset(a), Container::Bitset(b)) => a
-                .words
-                .iter()
-                .zip(b.words.iter())
-                .map(|(x, y)| (x & y).count_ones())
-                .sum(),
+            (Container::Bitset(a), Container::Bitset(b)) => {
+                a.words.iter().zip(b.words.iter()).map(|(x, y)| (x & y).count_ones()).sum()
+            }
             (Container::Array(a), b @ Container::Bitset(_)) => {
                 a.iter().filter(|&&v| b.contains(v)).count() as u32
             }
             (a @ Container::Bitset(_), Container::Array(b)) => {
                 b.iter().filter(|&&v| a.contains(v)).count() as u32
             }
-            (Container::Array(_), Container::Array(_)) => {
-                self.intersect(other).cardinality()
-            }
+            (Container::Array(_), Container::Array(_)) => self.intersect(other).cardinality(),
         }
     }
 

@@ -230,11 +230,8 @@ impl Bitmap {
         let own_keys = std::mem::take(&mut self.keys);
         let mut own_slots: Vec<Option<Container>> =
             std::mem::take(&mut self.containers).into_iter().map(Some).collect();
-        let mut refs: Vec<(u16, Src<'_>)> = own_keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| (k, Src::Own(i)))
-            .collect();
+        let mut refs: Vec<(u16, Src<'_>)> =
+            own_keys.iter().enumerate().map(|(i, &k)| (k, Src::Own(i))).collect();
         for other in others {
             refs.extend(
                 other.keys.iter().copied().zip(other.containers.iter().map(Src::Other)),
@@ -441,13 +438,7 @@ impl std::fmt::Debug for Bitmap {
         if card <= 16 {
             write!(f, "Bitmap{:?}", self.to_vec())
         } else {
-            write!(
-                f,
-                "Bitmap{{card={}, min={:?}, max={:?}}}",
-                card,
-                self.min(),
-                self.max()
-            )
+            write!(f, "Bitmap{{card={}, min={:?}, max={:?}}}", card, self.min(), self.max())
         }
     }
 }
@@ -643,19 +634,13 @@ mod kway_tests {
             // Overlapping single-chunk arrays.
             (bm(&[1, 5, 9]), vec![bm(&[2, 5]), bm(&[9, 10, 11]), bm(&[0])]),
             // Chunks unique to self, to one source, and shared.
-            (
-                bm(&[3, 70_000]),
-                vec![bm(&[200_000, 200_001]), bm(&[70_001, 3])],
-            ),
+            (bm(&[3, 70_000]), vec![bm(&[200_000, 200_001]), bm(&[70_001, 3])]),
             // Empty self, empty source.
             (Bitmap::new(), vec![bm(&[8, 9]), Bitmap::new(), bm(&[8])]),
             // Dense: cross the array→bitset threshold during the union.
             (
                 Bitmap::from_iter(0..3000u32),
-                vec![
-                    Bitmap::from_iter(2000..5000u32),
-                    Bitmap::from_iter(4000..4096u32),
-                ],
+                vec![Bitmap::from_iter(2000..5000u32), Bitmap::from_iter(4000..4096u32)],
             ),
             // A source that is already a bitset container.
             (bm(&[1]), vec![Bitmap::from_iter(0..6000u32)]),
@@ -666,11 +651,7 @@ mod kway_tests {
             kway.union_with_all(&refs);
             let folded = pairwise(base, &refs);
             assert_eq!(kway.to_vec(), folded.to_vec(), "case {i}: values");
-            assert_eq!(
-                kway.cardinality(),
-                folded.cardinality(),
-                "case {i}: cardinality"
-            );
+            assert_eq!(kway.cardinality(), folded.cardinality(), "case {i}: cardinality");
             // Same representation choice as the pairwise path, so
             // downstream memory accounting and equality agree.
             assert_eq!(

@@ -8,10 +8,7 @@ use std::collections::BTreeSet;
 fn values() -> impl Strategy<Value = Vec<u32>> {
     // Mix of small dense values (exercising bitset containers via clustering)
     // and scattered large values (exercising many chunks).
-    prop::collection::vec(
-        prop_oneof![0u32..10_000, 60_000u32..70_000, any::<u32>()],
-        0..600,
-    )
+    prop::collection::vec(prop_oneof![0u32..10_000, 60_000u32..70_000, any::<u32>()], 0..600)
 }
 
 proptest! {

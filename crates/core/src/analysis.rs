@@ -73,13 +73,11 @@ impl CfsAnalysis {
 
 /// Enumerates the direct properties of the CFS's facts.
 fn direct_properties(graph: &Graph, cfs: &CandidateFactSet) -> Vec<TermId> {
-    let rdf_type = graph
-        .dict
-        .id_of(&spade_rdf::Term::iri(spade_rdf::vocab::RDF_TYPE));
+    let rdf_type = graph.rdf_type_id();
     let mut props: HashSet<TermId> = HashSet::new();
     for &node in &cfs.members {
         for &(p, _) in graph.outgoing(node) {
-            if Some(p) != rdf_type {
+            if p != rdf_type {
                 props.insert(p);
             }
         }
@@ -146,8 +144,7 @@ pub fn analyze_cfs(
             && distinct <= config.max_distinct_values
             && (distinct as f64) <= config.max_distinct_ratio * n as f64;
         let measure_ok = numeric_support >= min_support_count;
-        let numeric =
-            (numeric_support > 0).then(|| num.build(n).preaggregate());
+        let numeric = (numeric_support > 0).then(|| num.build(n).preaggregate());
         attributes.push(AnalyzedAttribute {
             def,
             categorical: Some(categorical),

@@ -214,8 +214,7 @@ mod tests {
     #[test]
     fn path_derivation_company_area() {
         let g = sample_graph();
-        let a =
-            AttributeDef::new(AttrKind::Path(id(&g, "company"), id(&g, "area")), &g);
+        let a = AttributeDef::new(AttrKind::Path(id(&g, "company"), id(&g, "area")), &g);
         let ceo = id(&g, "ceo");
         assert_eq!(a.name, "company/area");
         assert_eq!(a.string_values(&g, ceo, 4), vec!["Diamond", "Natural gas"]);

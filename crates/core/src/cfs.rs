@@ -70,11 +70,7 @@ pub fn select(
             CfsStrategy::PropertyBased(names) => {
                 let props: Vec<TermId> = names
                     .iter()
-                    .filter_map(|n| {
-                        graph
-                            .properties()
-                            .find(|&p| graph.dict.display(p) == *n)
-                    })
+                    .filter_map(|n| graph.properties().find(|&p| graph.dict.display(p) == *n))
                     .collect();
                 if props.len() == names.len() && !props.is_empty() {
                     let members = graph.subjects_with_properties(&props);
@@ -179,11 +175,8 @@ mod tests {
     #[test]
     fn duplicates_across_strategies_removed() {
         let g = ceos_figure1();
-        let both = select(
-            &g,
-            &[CfsStrategy::TypeBased, CfsStrategy::SummaryBased],
-            &small_config(),
-        );
+        let both =
+            select(&g, &[CfsStrategy::TypeBased, CfsStrategy::SummaryBased], &small_config());
         // No two CFSs may have identical member sets.
         let mut sets: Vec<&[TermId]> = both.iter().map(|c| c.members.as_slice()).collect();
         sets.sort();

@@ -115,8 +115,12 @@ mod tests {
 
     #[test]
     fn with_early_stop_propagates_k_and_h() {
-        let c = SpadeConfig { k: 3, interestingness: Interestingness::Skewness, ..Default::default() }
-            .with_early_stop();
+        let c = SpadeConfig {
+            k: 3,
+            interestingness: Interestingness::Skewness,
+            ..Default::default()
+        }
+        .with_early_stop();
         let es = c.early_stop.unwrap();
         assert_eq!(es.k, 3);
         assert_eq!(es.h, Interestingness::Skewness);

@@ -37,7 +37,10 @@ impl LatticeSpec {
 /// Whether two attributes may share a lattice: neither may be derived from
 /// the other's base property ("does not contain attributes that are derived
 /// one from the other").
-fn compatible(a: &crate::analysis::AnalyzedAttribute, b: &crate::analysis::AnalyzedAttribute) -> bool {
+fn compatible(
+    a: &crate::analysis::AnalyzedAttribute,
+    b: &crate::analysis::AnalyzedAttribute,
+) -> bool {
     let a_from = a.def.derived_from();
     let b_from = b.def.derived_from();
     let a_base = a.def.base_property();
@@ -61,14 +64,12 @@ pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpe
         .map(|&ai| {
             let col = analysis.attributes[ai].categorical.as_ref().expect("dims have columns");
             let tidset = Bitmap::from_iter(
-                (0..analysis.n_facts() as u32)
-                    .filter(|&f| !col.codes_of(FactId(f)).is_empty()),
+                (0..analysis.n_facts() as u32).filter(|&f| !col.codes_of(FactId(f)).is_empty()),
             );
             Item { attr: ai, tidset }
         })
         .collect();
-    let min_count =
-        ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
+    let min_count = ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
     let roots = maximal_frequent_sets(&items, min_count, config.max_lattice_dims, |a, b| {
         compatible(&analysis.attributes[a], &analysis.attributes[b])
     });

@@ -186,10 +186,8 @@ mod tests {
             return;
         }
         let eval = evaluate_cfs(&analysis, &lattices, &config);
-        let independent: usize = lattices
-            .iter()
-            .map(|l| l.mda_count(config.agg_fns.len()))
-            .sum();
+        let independent: usize =
+            lattices.iter().map(|l| l.mda_count(config.agg_fns.len())).sum();
         assert!(
             eval.enumerated_aggregates <= independent,
             "sharing cannot increase the aggregate count"

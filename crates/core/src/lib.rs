@@ -41,4 +41,10 @@ pub use cfs::{CandidateFactSet, CfsStrategy};
 pub use config::SpadeConfig;
 pub use enumeration::LatticeSpec;
 pub use offline::{OfflineStats, PropertyStats};
-pub use pipeline::{DatasetProfile, Spade, SpadeReport, StepTimings, TopAggregate};
+pub use pipeline::{
+    DatasetProfile, SnapshotPipelineError, Spade, SpadeReport, StepTimings, TopAggregate,
+};
+
+/// The snapshot store serving this pipeline's offline state (re-exported so
+/// downstream users need not depend on `spade-store` directly).
+pub use spade_store as store;

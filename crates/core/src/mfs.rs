@@ -39,9 +39,8 @@ pub fn maximal_frequent_sets(
 ) -> Vec<Vec<usize>> {
     // Frequent single items, by descending support (dense-first ordering
     // makes long sets appear early, improving subsumption pruning).
-    let mut order: Vec<usize> = (0..items.len())
-        .filter(|&i| items[i].tidset.cardinality() >= min_count)
-        .collect();
+    let mut order: Vec<usize> =
+        (0..items.len()).filter(|&i| items[i].tidset.cardinality() >= min_count).collect();
     order.sort_by(|&a, &b| {
         items[b]
             .tidset
@@ -83,7 +82,14 @@ pub fn maximal_frequent_sets(
                 let new_tids = tids.intersect(&items[i].tidset);
                 current.push(attr);
                 extend(
-                    items, order, pos + 1, &new_tids, current, maximal, min_count, max_size,
+                    items,
+                    order,
+                    pos + 1,
+                    &new_tids,
+                    current,
+                    maximal,
+                    min_count,
+                    max_size,
                     compatible,
                 );
                 current.pop();
@@ -146,12 +152,7 @@ mod tests {
     fn finds_the_natural_maximal_set() {
         // Attributes 0,1,2 co-occur on facts 0–7; attribute 3 only on 0–2.
         let all: Vec<u32> = (0..8).collect();
-        let items = vec![
-            item(0, &all),
-            item(1, &all),
-            item(2, &all),
-            item(3, &[0, 1, 2]),
-        ];
+        let items = vec![item(0, &all), item(1, &all), item(2, &all), item(3, &[0, 1, 2])];
         let sets = maximal_frequent_sets(&items, 4, 4, |_, _| true);
         assert_eq!(sets, vec![vec![0, 1, 2]]);
         // Lowering the threshold pulls attribute 3 in.

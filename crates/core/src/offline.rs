@@ -145,9 +145,59 @@ pub fn analyze(graph: &Graph) -> OfflineStats {
             numeric_bounds: bounds,
         });
     }
-    stats.properties.sort_by(|a, b| b.triples.cmp(&a.triples).then(a.property.cmp(&b.property)));
-    stats.by_id =
-        stats.properties.iter().enumerate().map(|(i, s)| (s.property, i)).collect();
+    stats
+        .properties
+        .sort_by(|a, b| b.triples.cmp(&a.triples).then(a.property.cmp(&b.property)));
+    stats.by_id = stats.properties.iter().enumerate().map(|(i, s)| (s.property, i)).collect();
+    stats
+}
+
+/// Flattens the offline statistics into the snapshot store's fixed-width
+/// records (same order as [`OfflineStats::properties`]). Display names are
+/// *not* stored — they are derived data, rebuilt from the dictionary by
+/// [`from_records`].
+pub fn to_records(stats: &OfflineStats) -> Vec<spade_store::PropertyStatsRecord> {
+    stats
+        .properties
+        .iter()
+        .map(|ps| spade_store::PropertyStatsRecord {
+            property: ps.property,
+            triples: ps.triples as u64,
+            subjects: ps.subjects as u64,
+            distinct_values: ps.distinct_values as u64,
+            multi_valued_subjects: ps.multi_valued_subjects as u64,
+            numeric_values: ps.numeric_values as u64,
+            link_values: ps.link_values as u64,
+            text_values: ps.text_values as u64,
+            numeric_bounds: ps.numeric_bounds,
+        })
+        .collect()
+}
+
+/// Reconstitutes [`OfflineStats`] from snapshot records, restoring display
+/// names from `graph`'s dictionary. The inverse of [`to_records`]: a
+/// round trip reproduces the stats of a fresh [`analyze`] bit for bit.
+pub fn from_records(
+    graph: &Graph,
+    records: &[spade_store::PropertyStatsRecord],
+) -> OfflineStats {
+    let mut stats = OfflineStats::default();
+    stats.properties = records
+        .iter()
+        .map(|r| PropertyStats {
+            property: r.property,
+            name: graph.dict.display(r.property),
+            triples: r.triples as usize,
+            subjects: r.subjects as usize,
+            distinct_values: r.distinct_values as usize,
+            multi_valued_subjects: r.multi_valued_subjects as usize,
+            numeric_values: r.numeric_values as usize,
+            link_values: r.link_values as usize,
+            text_values: r.text_values as usize,
+            numeric_bounds: r.numeric_bounds,
+        })
+        .collect();
+    stats.by_id = stats.properties.iter().enumerate().map(|(i, s)| (s.property, i)).collect();
     stats
 }
 
@@ -291,6 +341,30 @@ mod tests {
         let (defs, counts) = enumerate_derivations(&g, &s, &cfg);
         assert!(defs.is_empty());
         assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn stats_records_roundtrip_exactly() {
+        let (g, s) = stats_for_figure1();
+        let records = to_records(&s);
+        assert_eq!(records.len(), s.property_count());
+        let back = from_records(&g, &records);
+        assert_eq!(back.property_count(), s.property_count());
+        for (a, b) in s.properties.iter().zip(&back.properties) {
+            assert_eq!(a.property, b.property);
+            assert_eq!(a.name, b.name, "display name rebuilt from the dictionary");
+            assert_eq!(a.triples, b.triples);
+            assert_eq!(a.subjects, b.subjects);
+            assert_eq!(a.distinct_values, b.distinct_values);
+            assert_eq!(a.multi_valued_subjects, b.multi_valued_subjects);
+            assert_eq!(a.numeric_values, b.numeric_values);
+            assert_eq!(a.link_values, b.link_values);
+            assert_eq!(a.text_values, b.text_values);
+            assert_eq!(a.numeric_bounds, b.numeric_bounds);
+        }
+        for p in s.properties.iter().map(|ps| ps.property) {
+            assert_eq!(back.get(p).unwrap().property, s.get(p).unwrap().property);
+        }
     }
 
     #[test]

@@ -11,10 +11,12 @@ use crate::cfs::{select, CfsStrategy};
 use crate::config::SpadeConfig;
 use crate::enumeration::{enumerate, LatticeSpec};
 use crate::evaluate::evaluate_cfs;
-use crate::offline::{self, DerivationCounts};
+use crate::offline::{self, DerivationCounts, OfflineStats};
 use spade_cube::arm::top_k_of_result;
 use spade_cube::result::NULL_CODE;
-use spade_rdf::Graph;
+use spade_rdf::{Graph, NtParseError};
+use spade_store::{LoadedSnapshot, Snapshot, SnapshotError};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Wall-clock duration of each pipeline step (Figure 11's bar segments).
@@ -23,6 +25,10 @@ pub struct StepTimings {
     /// Offline: N-Triples ingestion (parse + dictionary + graph build).
     /// Zero when the pipeline was handed an already-built [`Graph`].
     pub ingest: Duration,
+    /// Offline: snapshot load (file read, validation, reconstitution).
+    /// Non-zero only for [`Spade::run_snapshot`]-style runs, which replace
+    /// ingestion, saturation, and attribute analysis entirely.
+    pub snapshot_load: Duration,
     /// Offline: RDFS saturation.
     pub saturation: Duration,
     /// Offline: attribute statistics + derivation enumeration.
@@ -45,7 +51,10 @@ pub struct StepTimings {
 impl StepTimings {
     /// Total online time (offline excluded, as in Figure 11).
     pub fn online_total(&self) -> Duration {
-        self.cfs_selection + self.attribute_analysis + self.enumeration + self.evaluation
+        self.cfs_selection
+            + self.attribute_analysis
+            + self.enumeration
+            + self.evaluation
             + self.topk
     }
 }
@@ -108,6 +117,38 @@ pub struct SpadeReport {
     pub pruned_by_es: usize,
 }
 
+/// Everything that can fail building or serving from a snapshot.
+#[derive(Debug)]
+pub enum SnapshotPipelineError {
+    /// The N-Triples input of [`Spade::snapshot_ntriples`] did not parse.
+    Parse(NtParseError),
+    /// The snapshot file could not be written, read, or validated.
+    Store(SnapshotError),
+}
+
+impl std::fmt::Display for SnapshotPipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotPipelineError::Parse(e) => write!(f, "{e}"),
+            SnapshotPipelineError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotPipelineError {}
+
+impl From<NtParseError> for SnapshotPipelineError {
+    fn from(e: NtParseError) -> Self {
+        SnapshotPipelineError::Parse(e)
+    }
+}
+
+impl From<SnapshotError> for SnapshotPipelineError {
+    fn from(e: SnapshotError) -> Self {
+        SnapshotPipelineError::Store(e)
+    }
+}
+
 /// The Spade engine.
 pub struct Spade {
     config: SpadeConfig,
@@ -147,17 +188,81 @@ impl Spade {
     /// Runs the full pipeline on `graph` (saturated in place).
     pub fn run(&self, graph: &mut Graph) -> SpadeReport {
         let mut report = SpadeReport::default();
-
-        // —— offline phase (parse/saturate splits recorded separately) ——
         let t = Instant::now();
         spade_rdf::saturate_with_threads(graph, self.config.threads);
         report.timings.saturation = t.elapsed();
         let t = Instant::now();
         let stats = offline::analyze(graph);
-        let (derived, derivation_counts) =
-            offline::enumerate_derivations(graph, &stats, &self.config);
         report.timings.offline_analysis = t.elapsed();
-        report.timings.offline = report.timings.saturation + report.timings.offline_analysis;
+        self.run_analyzed(graph, &stats, report)
+    }
+
+    /// Runs the **offline phase only** (ingestion, saturation, offline
+    /// attribute analysis) on N-Triples text and writes the complete
+    /// offline state to the snapshot file at `path`. A subsequent
+    /// [`Spade::run_snapshot`] serves from that file without redoing any of
+    /// it.
+    pub fn snapshot_ntriples(
+        &self,
+        input: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<(), SnapshotPipelineError> {
+        let mut graph = spade_rdf::ingest(input, self.config.threads)?;
+        spade_rdf::saturate_with_threads(&mut graph, self.config.threads);
+        let stats = offline::analyze(&graph);
+        spade_store::write_snapshot(path, &graph, &offline::to_records(&stats))?;
+        Ok(())
+    }
+
+    /// Runs the pipeline from a snapshot file: the offline phase collapses
+    /// to one zero-copy load ([`StepTimings::snapshot_load`]); saturation
+    /// and attribute analysis are **not** re-run — their outputs come from
+    /// the file.
+    pub fn run_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<SpadeReport, SnapshotPipelineError> {
+        let t = Instant::now();
+        let loaded = Snapshot::open(path, self.config.threads)?.load(self.config.threads)?;
+        Ok(self.run_loaded(loaded, t.elapsed()))
+    }
+
+    /// [`Spade::run_snapshot`] over an in-memory snapshot image (e.g. one
+    /// fetched from object storage instead of the filesystem).
+    pub fn run_snapshot_bytes(
+        &self,
+        bytes: &[u8],
+    ) -> Result<SpadeReport, SnapshotPipelineError> {
+        let t = Instant::now();
+        let loaded =
+            Snapshot::from_bytes(bytes, self.config.threads)?.load(self.config.threads)?;
+        Ok(self.run_loaded(loaded, t.elapsed()))
+    }
+
+    fn run_loaded(&self, loaded: LoadedSnapshot, load_time: Duration) -> SpadeReport {
+        let stats = offline::from_records(&loaded.graph, &loaded.stats);
+        let mut report = SpadeReport::default();
+        report.timings.snapshot_load = load_time;
+        self.run_analyzed(&loaded.graph, &stats, report)
+    }
+
+    /// The shared tail of every entry point: derivation enumeration (the
+    /// config-dependent rest of the offline phase) followed by the five
+    /// online steps. `report` carries whatever offline timings the caller
+    /// already accumulated.
+    fn run_analyzed(
+        &self,
+        graph: &Graph,
+        stats: &OfflineStats,
+        mut report: SpadeReport,
+    ) -> SpadeReport {
+        let t = Instant::now();
+        let (derived, derivation_counts) =
+            offline::enumerate_derivations(graph, stats, &self.config);
+        report.timings.offline_analysis += t.elapsed();
+        report.timings.offline = report.timings.snapshot_load
+            + report.timings.saturation
+            + report.timings.offline_analysis;
         report.profile.triples = graph.len();
         report.profile.direct_properties = stats.property_count();
         report.profile.derivations = derivation_counts;
@@ -204,10 +309,13 @@ impl Spade {
             report.pruned_by_es += e.pruned_by_es;
         }
 
-        // —— Step 5: top-k ——
+        // —— Step 5: top-k (parallel per lattice result) ——
         let t = Instant::now();
         // Score first with a light record; only the k winners get their
         // display details (dimension names, group samples) materialized.
+        // Scoring fans out over the per-lattice results and merges in input
+        // order, so the concatenation below — and therefore the tie-broken
+        // sort — is identical for every thread count.
         struct Scored {
             cfs_idx: usize,
             lattice_idx: usize,
@@ -216,23 +324,36 @@ impl Spade {
             score: f64,
             groups: usize,
         }
-        let mut scored: Vec<Scored> = Vec::new();
-        for (cfs_idx, evaluation) in evaluations.iter().enumerate() {
-            for (lattice_idx, result) in evaluation.results.iter().enumerate() {
-                for s in top_k_of_result(result, self.config.interestingness, usize::MAX) {
-                    if s.score > 0.0 {
-                        scored.push(Scored {
-                            cfs_idx,
-                            lattice_idx,
-                            id: s.id,
-                            label: s.mda_label,
-                            score: s.score,
-                            groups: s.group_count,
-                        });
-                    }
-                }
-            }
-        }
+        let score_inputs: Vec<(usize, usize, &spade_cube::CubeResult)> = evaluations
+            .iter()
+            .enumerate()
+            .flat_map(|(cfs_idx, evaluation)| {
+                evaluation
+                    .results
+                    .iter()
+                    .enumerate()
+                    .map(move |(lattice_idx, result)| (cfs_idx, lattice_idx, result))
+            })
+            .collect();
+        let per_result: Vec<Vec<Scored>> = crate::parallel::map(
+            score_inputs,
+            self.config.threads,
+            |(cfs_idx, lattice_idx, result)| {
+                top_k_of_result(result, self.config.interestingness, usize::MAX)
+                    .into_iter()
+                    .filter(|s| s.score > 0.0)
+                    .map(|s| Scored {
+                        cfs_idx,
+                        lattice_idx,
+                        id: s.id,
+                        label: s.mda_label,
+                        score: s.score,
+                        groups: s.group_count,
+                    })
+                    .collect()
+            },
+        );
+        let mut scored: Vec<Scored> = per_result.into_iter().flatten().collect();
         scored.sort_by(|a, b| {
             b.score
                 .total_cmp(&a.score)
@@ -360,10 +481,10 @@ mod tests {
         // like numOf(company)) must appear among the top aggregates — the
         // graph is tiny, so ties decide which specific one surfaces.
         assert!(
-            report.top.iter().any(|t| t
-                .dims
+            report
+                .top
                 .iter()
-                .any(|d| d.contains('/') || d.starts_with("numOf"))),
+                .any(|t| t.dims.iter().any(|d| d.contains('/') || d.starts_with("numOf"))),
             "top: {:?}",
             report.top.iter().map(TopAggregate::description).collect::<Vec<_>>()
         );
@@ -384,8 +505,8 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let mut g = realistic::nasa(&RealisticConfig { scale: 150, seed: 3 });
-        let report = Spade::new(SpadeConfig { min_support: 0.3, ..Default::default() })
-            .run(&mut g);
+        let report =
+            Spade::new(SpadeConfig { min_support: 0.3, ..Default::default() }).run(&mut g);
         assert!(report.timings.online_total() > Duration::ZERO);
         assert!(report.timings.evaluation > Duration::ZERO);
         // Offline splits: no ingestion happened, and the offline total is
@@ -406,8 +527,7 @@ mod tests {
         assert!(report.timings.ingest > Duration::ZERO);
         assert_eq!(
             report.timings.offline,
-            report.timings.ingest + report.timings.saturation
-                + report.timings.offline_analysis
+            report.timings.ingest + report.timings.saturation + report.timings.offline_analysis
         );
         assert!(report.profile.triples > 0);
         // Same pipeline on the pre-built graph agrees on the profile.

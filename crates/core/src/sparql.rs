@@ -58,12 +58,7 @@ fn attr_pattern(graph: &Graph, attr: &AttributeDef, var: &str, out: &mut String)
             let _ = writeln!(out, "  ?cf {} ?{var} .", iri_of(graph, *p));
         }
         AttrKind::Path(p, q) => {
-            let _ = writeln!(
-                out,
-                "  ?cf {}/{} ?{var} .",
-                iri_of(graph, *p),
-                iri_of(graph, *q)
-            );
+            let _ = writeln!(out, "  ?cf {}/{} ?{var} .", iri_of(graph, *p), iri_of(graph, *q));
         }
         AttrKind::Count(p) => {
             let _ = writeln!(
@@ -186,12 +181,8 @@ mod tests {
     fn example1_query_shape() {
         // "Sum of the net worth of CEOs … grouped by country of origin".
         let (g, ceo, d_nat, _, _, m_nw) = setup();
-        let q = mda_to_sparql(
-            &g,
-            Some(ceo),
-            &[&d_nat],
-            SparqlMeasure::Measure(&m_nw, AggFn::Sum),
-        );
+        let q =
+            mda_to_sparql(&g, Some(ceo), &[&d_nat], SparqlMeasure::Measure(&m_nw, AggFn::Sum));
         assert!(q.contains("SELECT ?d0 (SUM(?cfSum) AS ?value)"), "{q}");
         assert!(q.contains("?cf a <http://x/CEO> ."));
         assert!(q.contains("?cf <http://x/nationality> ?d0 ."));
@@ -219,12 +210,8 @@ mod tests {
         // Variation 2's correct semantics: sum of per-fact sums over sum of
         // per-fact counts — NOT AVG over the join.
         let (g, ceo, d_nat, _, _, m_nw) = setup();
-        let q = mda_to_sparql(
-            &g,
-            Some(ceo),
-            &[&d_nat],
-            SparqlMeasure::Measure(&m_nw, AggFn::Avg),
-        );
+        let q =
+            mda_to_sparql(&g, Some(ceo), &[&d_nat], SparqlMeasure::Measure(&m_nw, AggFn::Avg));
         assert!(q.contains("(SUM(?cfSum)/SUM(?cfCount) AS ?value)"), "{q}");
         assert!(!q.contains("AVG(?mv) AS ?value"));
     }

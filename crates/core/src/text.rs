@@ -9,12 +9,32 @@ const STOPWORDS_EN: [&str; 24] = [
     "be", "by", "at", "as", "that", "this", "from", "it", "its", "into",
 ];
 const STOPWORDS_FR: [&str; 22] = [
-    "le", "la", "les", "un", "une", "des", "et", "ou", "de", "du", "dans", "sur", "pour",
-    "avec", "est", "sont", "par", "au", "aux", "que", "qui", "mélanger",
+    "le",
+    "la",
+    "les",
+    "un",
+    "une",
+    "des",
+    "et",
+    "ou",
+    "de",
+    "du",
+    "dans",
+    "sur",
+    "pour",
+    "avec",
+    "est",
+    "sont",
+    "par",
+    "au",
+    "aux",
+    "que",
+    "qui",
+    "mélanger",
 ];
 const STOPWORDS_DE: [&str; 16] = [
-    "der", "die", "das", "ein", "eine", "und", "oder", "von", "im", "auf", "für", "mit",
-    "ist", "sind", "durch", "dem",
+    "der", "die", "das", "ein", "eine", "und", "oder", "von", "im", "auf", "für", "mit", "ist",
+    "sind", "durch", "dem",
 ];
 const STOPWORDS_ES: [&str; 16] = [
     "el", "la", "los", "las", "un", "una", "y", "o", "de", "del", "en", "para", "con", "es",

@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn truncates_long_group_lists() {
-        let groups: Vec<(String, f64)> =
-            (0..40).map(|i| (format!("g{i}"), i as f64)).collect();
+        let groups: Vec<(String, f64)> = (0..40).map(|i| (format!("g{i}"), i as f64)).collect();
         let a = TopAggregate {
             cfs: "x".into(),
             dims: vec!["d".into()],

@@ -20,11 +20,9 @@ fn brute_force_maximal(
                 if mask & (1 << i) != 0 {
                     inter = Some(match inter {
                         None => tidsets[i].clone(),
-                        Some(prev) => prev
-                            .iter()
-                            .copied()
-                            .filter(|v| tidsets[i].contains(v))
-                            .collect(),
+                        Some(prev) => {
+                            prev.iter().copied().filter(|v| tidsets[i].contains(v)).collect()
+                        }
                     });
                 }
             }
@@ -36,8 +34,9 @@ fn brute_force_maximal(
     let mut maximal: Vec<Vec<usize>> = masks
         .iter()
         .filter(|&&m| {
-            !masks.iter().any(|&other| other != m && other & m == m
-                && (other.count_ones() as usize) <= max_size)
+            !masks.iter().any(|&other| {
+                other != m && other & m == m && (other.count_ones() as usize) <= max_size
+            })
         })
         .map(|&m| (0..n).filter(|i| m & (1 << i) != 0).collect())
         .collect();

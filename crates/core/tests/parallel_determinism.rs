@@ -26,9 +26,10 @@ fn assert_results_identical(a: &CubeResult, b: &CubeResult, context: &str) {
         let nb = &b.nodes[&mask];
         assert_eq!(na.groups.len(), nb.groups.len(), "{context}: node {mask:b} group count");
         for (key, va) in &na.groups {
-            let vb = nb.groups.get(key).unwrap_or_else(|| {
-                panic!("{context}: node {mask:b} missing group {key:?}")
-            });
+            let vb = nb
+                .groups
+                .get(key)
+                .unwrap_or_else(|| panic!("{context}: node {mask:b} missing group {key:?}"));
             assert_eq!(va.len(), vb.len());
             for (i, (x, y)) in va.iter().zip(vb).enumerate() {
                 let same = match (x, y) {
@@ -70,17 +71,12 @@ fn evaluation_is_bit_identical_across_thread_counts() {
 
 fn run_pipeline(threads: usize, early_stop: bool) -> Vec<(String, u64, usize)> {
     let mut g = realistic::ceos(&RealisticConfig { scale: 300, seed: 2 });
-    let mut config =
-        SpadeConfig { k: 8, min_support: 0.3, threads, ..Default::default() };
+    let mut config = SpadeConfig { k: 8, min_support: 0.3, threads, ..Default::default() };
     if early_stop {
         config = config.with_early_stop();
     }
     let report = Spade::new(config).run(&mut g);
-    report
-        .top
-        .iter()
-        .map(|t| (t.description(), t.score.to_bits(), t.groups))
-        .collect()
+    report.top.iter().map(|t| (t.description(), t.score.to_bits(), t.groups)).collect()
 }
 
 #[test]

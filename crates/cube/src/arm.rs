@@ -71,10 +71,7 @@ impl AggregateResultManager {
             for (_, values) in groups {
                 for (mda, v) in values.iter().enumerate() {
                     if let Some(v) = v {
-                        stats
-                            .entry(AggregateId { node_mask: mask, mda })
-                            .or_default()
-                            .push(*v);
+                        stats.entry(AggregateId { node_mask: mask, mda }).or_default().push(*v);
                     }
                 }
             }
@@ -111,11 +108,7 @@ impl AggregateResultManager {
                 group_count: m.count() as usize,
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.id.cmp(&b.id))
-        });
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
         scored.truncate(k);
         scored
     }

@@ -97,8 +97,13 @@ impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
 
     fn plan_emit(&self, _alive: &[bool]) {}
 
-    fn emit(&self, cell: &ArrayCell, alive: &[bool], _plan: &(), _scratch: &mut ())
-        -> Vec<Option<f64>> {
+    fn emit(
+        &self,
+        cell: &ArrayCell,
+        alive: &[bool],
+        _plan: &(),
+        _scratch: &mut (),
+    ) -> Vec<Option<f64>> {
         self.mdas
             .iter()
             .zip(alive)
@@ -209,8 +214,8 @@ mod tests {
         use spade_storage::{CategoricalColumn, NumericColumn};
         let d1 = CategoricalColumn::from_rows("a", &[vec!["x"], vec!["y"], vec!["x"]]);
         let d2 = CategoricalColumn::from_rows("b", &[vec!["1"], vec![], vec!["2"]]);
-        let m = NumericColumn::from_rows("v", &[vec![10.0], vec![20.0], vec![30.0]])
-            .preaggregate();
+        let m =
+            NumericColumn::from_rows("v", &[vec![10.0], vec![20.0], vec![30.0]]).preaggregate();
         let spec = CubeSpec::new(
             vec![&d1, &d2],
             vec![MeasureSpec { preagg: &m, fns: vec![AggFn::Sum, AggFn::Avg, AggFn::Count] }],

@@ -73,10 +73,8 @@ pub fn compare_results(
     baseline: &CubeResult,
     rel_eps: f64,
 ) -> ComparisonReport {
-    let mut report = ComparisonReport {
-        total_aggregates: correct.aggregate_count(),
-        ..Default::default()
-    };
+    let mut report =
+        ComparisonReport { total_aggregates: correct.aggregate_count(), ..Default::default() };
     let n_mdas = correct.mda_labels.len();
 
     for (mask, correct_node) in &correct.nodes {
@@ -143,10 +141,7 @@ mod tests {
         let correct = mvd_cube(&spec, &opts);
         let star = pg_cube(&spec, PgCubeVariant::Star, &opts);
         let distinct = pg_cube(&spec, PgCubeVariant::Distinct, &opts);
-        (
-            compare_results(&correct, &star, 1e-9),
-            compare_results(&correct, &distinct, 1e-9),
-        )
+        (compare_results(&correct, &star, 1e-9), compare_results(&correct, &distinct, 1e-9))
     }
 
     #[test]

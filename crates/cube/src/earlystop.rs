@@ -218,11 +218,8 @@ pub fn prune(
     let mut batches_run = 0usize;
 
     // Nodes worth estimating (see `estimation_group_cap`).
-    let estimable: Vec<u32> = masks
-        .iter()
-        .copied()
-        .filter(|m| node_samples.contains_key(m))
-        .collect();
+    let estimable: Vec<u32> =
+        masks.iter().copied().filter(|m| node_samples.contains_key(m)).collect();
 
     // Per (node, MDA): running per-group moments, extended batch by batch —
     // the incremental estimate update of Section 5.1 ("After scanning a
@@ -255,8 +252,7 @@ pub fn prune(
             let ns = &node_samples[&mask];
             let alive_mdas: Vec<usize> = (0..mdas.len())
                 .filter(|&mi| {
-                    alive[&mask][mi]
-                        && matches!(mdas[mi].kind, MdaKind::Measure { .. })
+                    alive[&mask][mi] && matches!(mdas[mi].kind, MdaKind::Measure { .. })
                 })
                 .collect();
             if alive_mdas.is_empty() {
@@ -292,11 +288,11 @@ pub fn prune(
                 filtered.clear();
                 match measure {
                     None => filtered.extend(state.iter().copied()),
-                    Some(_) => filtered
-                        .extend(state.iter().filter(|g| g.moments.count() > 0).copied()),
+                    Some(_) => {
+                        filtered.extend(state.iter().filter(|g| g.moments.count() > 0).copied())
+                    }
                 }
-                let bounds = measure
-                    .and_then(|m| spec.measures[m].preagg.global_bounds());
+                let bounds = measure.and_then(|m| spec.measures[m].preagg.global_bounds());
                 let interval = ci.interval(estimator, &filtered, bounds);
                 intervals.push((mask, mi, interval));
             }
@@ -421,8 +417,7 @@ mod tests {
             400,
         );
         let config = EarlyStopConfig { k: 100, ..Default::default() };
-        let (_, outcome) =
-            mvd_cube_with_earlystop(&spec, &MvdCubeOptions::default(), &config);
+        let (_, outcome) = mvd_cube_with_earlystop(&spec, &MvdCubeOptions::default(), &config);
         assert_eq!(outcome.pruned, 0);
         assert_eq!(outcome.batches_run, 0);
     }

@@ -190,7 +190,10 @@ fn node_geom(lattice: &Lattice, mask: u32, policy: CellStorePolicy) -> NodeGeom 
     let chunk32: Vec<u32> = dims.iter().map(|&i| lattice.chunks[i]).collect();
     let n_chunks_all = lattice.n_chunks();
     let chunks32: Vec<u32> = dims.iter().map(|&i| n_chunks_all[i]).collect();
-    let capacity = chunk32.iter().map(|&c| c as u64).try_fold(1u64, u64::checked_mul)
+    let capacity = chunk32
+        .iter()
+        .map(|&c| c as u64)
+        .try_fold(1u64, u64::checked_mul)
         .expect("region capacity overflows u64");
     let dense = match policy {
         CellStorePolicy::Auto => capacity <= DENSE_CAPACITY_LIMIT,
@@ -358,8 +361,7 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
             let geom = &self.geoms[&mask];
             let plan = &self.plans[&mask];
             let algebra = self.algebra;
-            let node =
-                self.result.nodes.entry(mask).or_insert_with(|| NodeResult::new(mask));
+            let node = self.result.nodes.entry(mask).or_insert_with(|| NodeResult::new(mask));
             let key_buf = &mut self.key_buf;
             let emit_scratch = &mut self.emit_scratch;
             store.for_each(|local, cell| {
@@ -392,7 +394,9 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
             } else {
                 let batch: Vec<(u64, ProjectedCell<'_, A::Cell>)> = store
                     .iter_cells()
-                    .map(|(l, c)| (project(l, local_d, local_below), ProjectedCell::Borrowed(c)))
+                    .map(|(l, c)| {
+                        (project(l, local_d, local_below), ProjectedCell::Borrowed(c))
+                    })
                     .collect();
                 self.merge_batch(child, child_region, batch);
             }
@@ -455,8 +459,7 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
                             if run.is_empty() {
                                 algebra.merge(existing, first.get());
                             } else {
-                                let mut refs: Vec<&A::Cell> =
-                                    Vec::with_capacity(run.len() + 1);
+                                let mut refs: Vec<&A::Cell> = Vec::with_capacity(run.len() + 1);
                                 refs.push(first.get());
                                 refs.extend(run.iter().map(ProjectedCell::get));
                                 algebra.merge_run(existing, &refs);
@@ -485,8 +488,7 @@ impl<'a, A: CubeAlgebra> Engine<'a, A> {
                     }
                     let mut base = first.into_owned();
                     if !run.is_empty() {
-                        let refs: Vec<&A::Cell> =
-                            run.iter().map(ProjectedCell::get).collect();
+                        let refs: Vec<&A::Cell> = run.iter().map(ProjectedCell::get).collect();
                         algebra.merge_run(&mut base, &refs);
                     }
                     coalesced.push((idx, base));
@@ -517,7 +519,8 @@ fn merge_sorted<C>(
             (None, Some(_)) => false,
             (None, None) => break,
         };
-        let (key, cell) = if take_old { old_it.next().unwrap() } else { new_it.next().unwrap() };
+        let (key, cell) =
+            if take_old { old_it.next().unwrap() } else { new_it.next().unwrap() };
         match out.last_mut() {
             Some((k, existing)) if *k == key => merge(existing, &cell),
             _ => out.push((key, cell)),
@@ -553,9 +556,8 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         .nodes()
         .iter()
         .map(|&m| {
-            let flags = alive
-                .and_then(|a| a.get(&m).cloned())
-                .unwrap_or_else(|| vec![true; n_mdas]);
+            let flags =
+                alive.and_then(|a| a.get(&m).cloned()).unwrap_or_else(|| vec![true; n_mdas]);
             assert_eq!(flags.len(), n_mdas);
             (m, flags)
         })
@@ -646,12 +648,8 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         for (global, facts) in &partition.cells {
             store.push_sorted(geom.global_to_local(*global), algebra.root_cell(facts));
         }
-        let region: u64 = partition
-            .coords
-            .iter()
-            .zip(&region_strides)
-            .map(|(&c, &s)| c as u64 * s)
-            .sum();
+        let region: u64 =
+            partition.coords.iter().zip(&region_strides).map(|(&c, &s)| c as u64 * s).sum();
         engine.flush(root, region, store);
     }
     engine.result
@@ -704,7 +702,8 @@ mod tests {
         let mut out = Vec::new();
         for a in 0..4u64 {
             for b in 0..5u64 {
-                let region = (a / 2) * geom.region_strides[0] + (b / 2) * geom.region_strides[1];
+                let region =
+                    (a / 2) * geom.region_strides[0] + (b / 2) * geom.region_strides[1];
                 let local = (a % 2) * geom.local_strides[0] + (b % 2) * geom.local_strides[1];
                 geom.decode_into(region, local, &mut out);
                 let expect = |c: u64, d: u64| {

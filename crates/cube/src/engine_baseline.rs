@@ -72,7 +72,12 @@ fn project(idx: u64, d: u64, below: u64) -> u64 {
 
 /// The historical per-fact measure computation (one pre-aggregate lookup
 /// per fact per measure, interleaved).
-fn emit_cell(spec: &CubeSpec<'_>, mdas: &[crate::spec::Mda], cell: &Bitmap, alive: &[bool]) -> Vec<Option<f64>> {
+fn emit_cell(
+    spec: &CubeSpec<'_>,
+    mdas: &[crate::spec::Mda],
+    cell: &Bitmap,
+    alive: &[bool],
+) -> Vec<Option<f64>> {
     let n_measures = spec.measures.len();
     let mut counts = vec![0u64; n_measures];
     let mut sums = vec![0.0f64; n_measures];
@@ -148,7 +153,8 @@ impl<'a, 'b> Engine<'a, 'b> {
     fn flush(&mut self, mask: u32, region: u64, cells: HashMap<u64, Bitmap>) {
         if self.alive[&mask].iter().any(|&a| a) {
             let geom = &self.geoms[&mask];
-            let mut emitted: Vec<(Vec<u32>, Vec<Option<f64>>)> = Vec::with_capacity(cells.len());
+            let mut emitted: Vec<(Vec<u32>, Vec<Option<f64>>)> =
+                Vec::with_capacity(cells.len());
             for (&cell_idx, cell) in &cells {
                 let key = geom.decode(cell_idx);
                 let values = emit_cell(self.spec, &self.mdas, cell, &self.alive[&mask]);
@@ -171,7 +177,8 @@ impl<'a, 'b> Engine<'a, 'b> {
                 continue;
             }
             let child_region = project(region, region_d, region_below);
-            let child_mem = self.memory.get_mut(&child).unwrap().entry(child_region).or_default();
+            let child_mem =
+                self.memory.get_mut(&child).unwrap().entry(child_region).or_default();
             for (&cell_idx, cell) in &cells {
                 let child_idx = project(cell_idx, cell_d, cell_below);
                 match child_mem.get_mut(&child_idx) {
@@ -248,9 +255,8 @@ pub fn run_engine_baseline(
         .nodes()
         .iter()
         .map(|&m| {
-            let flags = alive
-                .and_then(|a| a.get(&m).cloned())
-                .unwrap_or_else(|| vec![true; n_mdas]);
+            let flags =
+                alive.and_then(|a| a.get(&m).cloned()).unwrap_or_else(|| vec![true; n_mdas]);
             assert_eq!(flags.len(), n_mdas);
             (m, flags)
         })
@@ -296,12 +302,8 @@ pub fn run_engine_baseline(
     for partition in &translation.partitions {
         let cells: HashMap<u64, Bitmap> =
             partition.cells.iter().map(|(idx, facts)| (*idx, facts.clone())).collect();
-        let region: u64 = partition
-            .coords
-            .iter()
-            .zip(&region_strides)
-            .map(|(&c, &s)| c as u64 * s)
-            .sum();
+        let region: u64 =
+            partition.coords.iter().zip(&region_strides).map(|(&c, &s)| c as u64 * s).sum();
         engine.flush(root, region, cells);
     }
     engine.result

@@ -41,11 +41,7 @@ impl Lattice {
     pub fn new(domains: Vec<u32>, chunks: Vec<u32>) -> Self {
         assert_eq!(domains.len(), chunks.len());
         assert!(!domains.is_empty() && domains.len() <= 20, "1..=20 dimensions supported");
-        let chunks = domains
-            .iter()
-            .zip(chunks)
-            .map(|(&d, c)| c.clamp(1, d.max(1)))
-            .collect();
+        let chunks = domains.iter().zip(chunks).map(|(&d, c)| c.clamp(1, d.max(1))).collect();
         Lattice { domains, chunks }
     }
 
@@ -254,9 +250,7 @@ mod tests {
         for (n, d, c) in [(2usize, 10u32, 3u32), (3, 8, 2), (4, 5, 2)] {
             let l = Lattice::new(vec![d + 1; n], vec![c; n]); // +1 = null slot
             let total = l.mmst().total_memory();
-            let bound = (c as u128).pow(n as u32)
-                + ((d + 1 + c) as u128).pow(n as u32 - 1)
-                + 1;
+            let bound = (c as u128).pow(n as u32) + ((d + 1 + c) as u128).pow(n as u32 - 1) + 1;
             assert!(total <= bound, "N={n} d={d} c={c}: {total} > {bound}");
         }
     }
@@ -267,8 +261,7 @@ mod tests {
         let mmst = l.mmst();
         let order = mmst.topological();
         assert_eq!(order.len(), 8);
-        let pos: HashMap<u32, usize> =
-            order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let pos: HashMap<u32, usize> = order.iter().enumerate().map(|(i, &m)| (m, i)).collect();
         for (&child, &(parent, _)) in &mmst.parent {
             assert!(pos[&parent] < pos[&child]);
         }
@@ -285,11 +278,8 @@ mod tests {
         assert!(l.retains_all_multi_valued(0b011, &[1]));
         assert!(!l.retains_all_multi_valued(0b101, &[1]));
         // The count of retaining nodes equals 2^{N-K}.
-        let retaining = l
-            .nodes()
-            .iter()
-            .filter(|&&m| l.retains_all_multi_valued(m, &[1]))
-            .count() as u64;
+        let retaining =
+            l.nodes().iter().filter(|&&m| l.retains_all_multi_valued(m, &[1])).count() as u64;
         assert_eq!(retaining, l.max_correct_nodes(&[1]));
     }
 

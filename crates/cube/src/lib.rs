@@ -28,12 +28,12 @@
 //! * [`compare`] — error measurement between a correct and a baseline result
 //!   (Experiments 2–3: #wrong aggregates, error-ratio distributions).
 
-mod engine;
 pub mod arm;
-pub mod engine_baseline;
 pub mod arraycube;
 pub mod compare;
 pub mod earlystop;
+mod engine;
+pub mod engine_baseline;
 pub mod lattice;
 pub mod mvdcube;
 pub mod pgcube;

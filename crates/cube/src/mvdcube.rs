@@ -297,11 +297,8 @@ mod tests {
         let area_node = result.node(0b100).unwrap();
         // area labels sorted: Automotive(0), Diamond(1), Manufacturer(2),
         // Natural gas(3), null(4).
-        let counts: Vec<(u32, f64)> = area_node
-            .groups
-            .iter()
-            .map(|(k, v)| (k[0], v[0].unwrap()))
-            .collect();
+        let counts: Vec<(u32, f64)> =
+            area_node.groups.iter().map(|(k, v)| (k[0], v[0].unwrap())).collect();
         let get = |code: u32| counts.iter().find(|(c, _)| *c == code).map(|(_, v)| *v);
         assert_eq!(get(0), Some(1.0)); // Automotive: Ghosn
         assert_eq!(get(1), Some(1.0)); // Diamond: Dos Santos
@@ -390,10 +387,8 @@ mod tests {
             vec![MeasureSpec { preagg: &data.age, fns: vec![AggFn::Avg, AggFn::Sum] }],
             2,
         );
-        let whole = mvd_cube(
-            &spec,
-            &MvdCubeOptions { chunk_size: Some(64), ..Default::default() },
-        );
+        let whole =
+            mvd_cube(&spec, &MvdCubeOptions { chunk_size: Some(64), ..Default::default() });
         for chunk in [1u32, 2, 3] {
             let chunked = mvd_cube(
                 &spec,
@@ -401,7 +396,11 @@ mod tests {
             );
             for (mask, node) in &whole.nodes {
                 let other = chunked.node(*mask).unwrap();
-                assert_eq!(node.groups.len(), other.groups.len(), "mask {mask:b} chunk {chunk}");
+                assert_eq!(
+                    node.groups.len(),
+                    other.groups.len(),
+                    "mask {mask:b} chunk {chunk}"
+                );
                 for (key, vals) in &node.groups {
                     assert_eq!(&other.groups[key], vals, "mask {mask:b} chunk {chunk}");
                 }

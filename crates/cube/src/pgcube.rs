@@ -132,8 +132,7 @@ pub fn symmetric_chains(n: usize) -> Vec<Vec<u32>> {
             next.push(c1);
             // C2: e added to every element but the last (empty when |c|=1).
             if chain.len() > 1 {
-                let c2: Vec<u32> =
-                    chain[..chain.len() - 1].iter().map(|s| s | e).collect();
+                let c2: Vec<u32> = chain[..chain.len() - 1].iter().map(|s| s | e).collect();
                 next.push(c2);
             }
         }
@@ -313,12 +312,7 @@ pub fn pg_cube(
                     if accums[li].started {
                         let values = accums[li].emit(&mdas, variant);
                         let key = std::mem::take(&mut accums[li].key);
-                        result
-                            .nodes
-                            .get_mut(&mask)
-                            .unwrap()
-                            .groups
-                            .insert(key, values);
+                        result.nodes.get_mut(&mask).unwrap().groups.insert(key, values);
                     }
                     accums[li].reset(key_for(row, mask));
                 }
@@ -364,9 +358,8 @@ mod tests {
             }
             assert_eq!(seen.len(), 1 << n);
             // Minimal chain count C(n, n/2).
-            let binom = |n: u64, k: u64| -> u64 {
-                (1..=k).fold(1u64, |acc, i| acc * (n - k + i) / i)
-            };
+            let binom =
+                |n: u64, k: u64| -> u64 { (1..=k).fold(1u64, |acc, i| acc * (n - k + i) / i) };
             assert_eq!(chains.len() as u64, binom(n as u64, n as u64 / 2));
         }
     }
@@ -448,7 +441,8 @@ mod tests {
     fn pgcube_correct_without_multi_valued_dims() {
         use spade_storage::{CategoricalColumn, NumericColumn};
         let d1 = CategoricalColumn::from_rows("a", &[vec!["x"], vec!["y"], vec!["x"], vec![]]);
-        let d2 = CategoricalColumn::from_rows("b", &[vec!["1"], vec!["2"], vec!["2"], vec!["1"]]);
+        let d2 =
+            CategoricalColumn::from_rows("b", &[vec!["1"], vec!["2"], vec!["2"], vec!["1"]]);
         let m = NumericColumn::from_rows("v", &[vec![1.0], vec![2.0], vec![4.0], vec![8.0]])
             .preaggregate();
         let spec = CubeSpec::new(

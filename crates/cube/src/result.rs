@@ -66,8 +66,7 @@ impl NodeResult {
     /// The values of MDA `mda` across *visible* groups, skipping missing
     /// ones — the vector `{t₁.v, …, t_W.v}` handed to `h`.
     pub fn mda_values(&self, mda: usize) -> Vec<f64> {
-        let mut vals: Vec<f64> =
-            self.visible_groups().filter_map(|(_, v)| v[mda]).collect();
+        let mut vals: Vec<f64> = self.visible_groups().filter_map(|(_, v)| v[mda]).collect();
         // Deterministic order for reproducible scoring.
         vals.sort_by(f64::total_cmp);
         vals

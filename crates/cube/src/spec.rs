@@ -68,7 +68,12 @@ impl<'a> CubeSpec<'a> {
             assert_eq!(d.n_facts(), n_facts, "dimension {} has wrong fact count", d.name());
         }
         for m in &measures {
-            assert_eq!(m.preagg.n_facts(), n_facts, "measure {} has wrong fact count", m.preagg.name());
+            assert_eq!(
+                m.preagg.n_facts(),
+                n_facts,
+                "measure {} has wrong fact count",
+                m.preagg.name()
+            );
         }
         CubeSpec { dims, measures, n_facts, count_facts: true }
     }

@@ -182,7 +182,10 @@ pub fn translate(
                 i += 1;
             }
             if let (Some(cap), Some(groups)) = (sample_capacity, sample_groups.as_mut()) {
-                groups.insert(cell, (sample_run(&fact_buf, cap, &mut rng), fact_buf.len() as u64));
+                groups.insert(
+                    cell,
+                    (sample_run(&fact_buf, cap, &mut rng), fact_buf.len() as u64),
+                );
             }
             cells.push((cell, Bitmap::from_sorted(&fact_buf)));
         }
@@ -220,18 +223,19 @@ mod tests {
         let spec = CubeSpec::new(vec![&nat, &gender], vec![], 2);
         let lattice = Lattice::new(spec.domain_sizes(), vec![4, 2]);
         let t = translate(&spec, &lattice, None, 0);
-        let total_pairs: usize =
-            t.partitions.iter().flat_map(|p| p.cells.iter()).map(|(_, b)| b.cardinality() as usize).sum();
+        let total_pairs: usize = t
+            .partitions
+            .iter()
+            .flat_map(|p| p.cells.iter())
+            .map(|(_, b)| b.cardinality() as usize)
+            .sum();
         // fact 0: 1 combination; fact 1: 2 nationalities × 1 null gender.
         assert_eq!(total_pairs, 3);
         // Nationality domain = {Angola, Brazil, France} + null = 4;
         // gender = {Female} + null = 2. Fact 1's cells: (Brazil, null) and
         // (France, null) → indexes 1*2+1=3 and 2*2+1=5.
-        let all_cells: Vec<u64> = t
-            .partitions
-            .iter()
-            .flat_map(|p| p.cells.iter().map(|(c, _)| *c))
-            .collect();
+        let all_cells: Vec<u64> =
+            t.partitions.iter().flat_map(|p| p.cells.iter().map(|(c, _)| *c)).collect();
         assert!(all_cells.contains(&3) && all_cells.contains(&5));
         // Fact 0: (Angola=0, Female=0) → cell 0.
         assert!(all_cells.contains(&0));

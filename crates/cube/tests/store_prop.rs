@@ -55,7 +55,11 @@ fn build_columns(data: &RawData) -> (Vec<CategoricalColumn>, spade_storage::PreA
     (dims, builder.build(n).preaggregate())
 }
 
-fn assert_identical(a: &CubeResult, b: &CubeResult, context: &str) -> Result<(), TestCaseError> {
+fn assert_identical(
+    a: &CubeResult,
+    b: &CubeResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
     let mut masks: Vec<u32> = a.nodes.keys().copied().collect();
     masks.sort_unstable();
     let mut other: Vec<u32> = b.nodes.keys().copied().collect();
@@ -79,7 +83,12 @@ fn assert_identical(a: &CubeResult, b: &CubeResult, context: &str) -> Result<(),
                 prop_assert!(
                     same,
                     "{}: node {:b} group {:?} mda {}: {:?} vs {:?}",
-                    context, mask, key, i, x, y
+                    context,
+                    mask,
+                    key,
+                    i,
+                    x,
+                    y
                 );
             }
         }

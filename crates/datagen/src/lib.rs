@@ -18,10 +18,13 @@
 //! * [`nt`] — N-Triples corpus generation (serialization + deterministic
 //!   RDFS ontology overlays), feeding the `bench_ingest` offline-phase
 //!   benchmark;
+//! * [`corpus`] — the shared bench-corpus catalog (`bench_ingest`,
+//!   `bench_store`, and `bench_engine` all measure the same named cases);
 //! * [`mini`] — the exact running-example graph of Figure 1 (Dos Santos,
 //!   Ghosn, their companies and political connections), used by examples
 //!   and tests.
 
+pub mod corpus;
 pub mod mini;
 pub mod nt;
 pub mod realistic;

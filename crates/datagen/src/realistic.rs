@@ -60,7 +60,13 @@ const COUNTRIES: [&str; 16] = [
     "China", "Italy", "Spain", "Mexico", "Canada", "Kenya", "Poland",
 ];
 const AREAS: [&str; 8] = [
-    "Automotive", "Diamond", "Manufacturer", "Natural gas", "Banking", "Telecom", "Retail",
+    "Automotive",
+    "Diamond",
+    "Manufacturer",
+    "Natural gas",
+    "Banking",
+    "Telecom",
+    "Retail",
     "Software",
 ];
 const ROLES: [&str; 4] = ["President", "Minister", "Senator", "Governor"];
@@ -157,8 +163,14 @@ pub fn ceos(cfg: &RealisticConfig) -> Graph {
 const DISCIPLINES: [&str; 6] =
     ["Human crew", "Microgravity", "Life sciences", "Repair", "Astronomy", "Communications"];
 const LAUNCH_SITES: [&str; 8] = [
-    "Plesetsk", "Baikonur", "Cape Canaveral", "Vandenberg Base", "Kourou", "Tanegashima",
-    "Jiuquan", "Wallops",
+    "Plesetsk",
+    "Baikonur",
+    "Cape Canaveral",
+    "Vandenberg Base",
+    "Kourou",
+    "Tanegashima",
+    "Jiuquan",
+    "Wallops",
 ];
 const AGENCIES: [&str; 5] = ["USSR", "USA", "ESA", "JAXA", "CNSA"];
 
@@ -232,8 +244,18 @@ pub fn nasa(cfg: &RealisticConfig) -> Graph {
 }
 
 const KEYWORD_POOL: [&str; 12] = [
-    "database", "graph", "learning", "query", "neural", "distributed", "semantic", "stream",
-    "optimization", "privacy", "index", "transaction",
+    "database",
+    "graph",
+    "learning",
+    "query",
+    "neural",
+    "distributed",
+    "semantic",
+    "stream",
+    "optimization",
+    "privacy",
+    "index",
+    "transaction",
 ];
 
 /// DBLP-like graph: one homogeneous publication CFS; `year` is the only
@@ -266,8 +288,20 @@ pub fn dblp(cfg: &RealisticConfig) -> Graph {
 }
 
 const INGREDIENTS: [&str; 14] = [
-    "flour", "sugar", "butter", "tomato", "basil", "garlic", "onion", "rice", "beans", "chili",
-    "lemon", "salt", "olive oil", "cumin",
+    "flour",
+    "sugar",
+    "butter",
+    "tomato",
+    "basil",
+    "garlic",
+    "onion",
+    "rice",
+    "beans",
+    "chili",
+    "lemon",
+    "salt",
+    "olive oil",
+    "cumin",
 ];
 
 /// Foodista-like graph: text + multi-valued ingredients; no direct numeric
@@ -329,13 +363,15 @@ pub fn nobel(cfg: &RealisticConfig) -> Graph {
                 iri(ns, "gender"),
                 // Peace/Literature are far less male-dominated — a
                 // skew the category × gender aggregate surfaces.
-                Term::lit(if matches!(cat, "Peace" | "Literature") && rng.gen_bool(0.35)
-                    || rng.gen_bool(0.06)
-                {
-                    "female"
-                } else {
-                    "male"
-                }),
+                Term::lit(
+                    if matches!(cat, "Peace" | "Literature") && rng.gen_bool(0.35)
+                        || rng.gen_bool(0.06)
+                    {
+                        "female"
+                    } else {
+                        "male"
+                    },
+                ),
             );
         }
         g.insert(
@@ -400,10 +436,19 @@ pub fn airline(cfg: &RealisticConfig) -> Graph {
 /// (Airline ≫ DBLP > Foodista > CEOs ≈ NASA ≈ Nobel).
 pub fn all(cfg: &RealisticConfig) -> Vec<RealGraph> {
     vec![
-        RealGraph { name: "Airline", graph: airline(&RealisticConfig { scale: cfg.scale * 8, ..*cfg }) },
+        RealGraph {
+            name: "Airline",
+            graph: airline(&RealisticConfig { scale: cfg.scale * 8, ..*cfg }),
+        },
         RealGraph { name: "CEOs", graph: ceos(cfg) },
-        RealGraph { name: "DBLP", graph: dblp(&RealisticConfig { scale: cfg.scale * 4, ..*cfg }) },
-        RealGraph { name: "Foodista", graph: foodista(&RealisticConfig { scale: cfg.scale * 2, ..*cfg }) },
+        RealGraph {
+            name: "DBLP",
+            graph: dblp(&RealisticConfig { scale: cfg.scale * 4, ..*cfg }),
+        },
+        RealGraph {
+            name: "Foodista",
+            graph: foodista(&RealisticConfig { scale: cfg.scale * 2, ..*cfg }),
+        },
         RealGraph { name: "NASA", graph: nasa(cfg) },
         RealGraph { name: "Nobel", graph: nobel(cfg) },
     ]
@@ -443,10 +488,8 @@ mod tests {
         let mut angolan = Vec::new();
         let mut other = Vec::new();
         for c in g.nodes_of_type(ceo_ty) {
-            let worth: f64 = g
-                .objects(c, nw)
-                .filter_map(|o| g.dict.term(o).numeric_value())
-                .sum();
+            let worth: f64 =
+                g.objects(c, nw).filter_map(|o| g.dict.term(o).numeric_value()).sum();
             if g.objects(c, nat).any(|n| n == angola) {
                 angolan.push(worth);
             } else {

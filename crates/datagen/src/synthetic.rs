@@ -62,11 +62,7 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// The paper's graph label, e.g. `100:5:2`.
     pub fn label(&self) -> String {
-        self.dim_values
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join(":")
+        self.dim_values.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(":")
     }
 }
 
@@ -86,10 +82,7 @@ pub struct ColumnSet {
 fn effective_widths(cfg: &SyntheticConfig) -> Vec<u32> {
     let n = cfg.dim_values.len() as f64;
     let shrink = cfg.sparsity.clamp(0.0001, 1.0).powf(1.0 / n);
-    cfg.dim_values
-        .iter()
-        .map(|&d| ((d as f64 * shrink).ceil() as u32).clamp(1, d))
-        .collect()
+    cfg.dim_values.iter().map(|&d| ((d as f64 * shrink).ceil() as u32).clamp(1, d)).collect()
 }
 
 /// Generates the column representation directly (no RDF round-trip).
@@ -157,7 +150,11 @@ pub fn generate_graph(cfg: &SyntheticConfig) -> Graph {
         g.insert(node.clone(), type_prop.clone(), fact_type.clone());
         for (di, &w) in widths.iter().enumerate() {
             let v = rng.gen_range(0..w);
-            g.insert(node.clone(), Term::iri(format!("http://bench/d{di}")), Term::int(v as i64));
+            g.insert(
+                node.clone(),
+                Term::iri(format!("http://bench/d{di}")),
+                Term::int(v as i64),
+            );
             if cfg.multi_valued_prob > 0.0 && rng.gen_bool(cfg.multi_valued_prob) {
                 let extra = rng.gen_range(0..w);
                 if extra != v {

@@ -21,8 +21,8 @@
 //! `< k` and in chunk-local first-seen order, the merged id assignment is
 //! bit-identical to a serial first-seen scan — for every thread count.
 
-use crate::term::{LiteralRef, Term, TermRef};
-use std::collections::HashMap;
+use crate::term::{Literal, LiteralRef, Term, TermRef};
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// The FxHash algorithm (rustc's internal hasher): multiply-xor over 8-byte
@@ -79,8 +79,14 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
-/// A dense identifier for an interned [`Term`].
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A dense identifier for an interned [`Term`]. `repr(transparent)` so id
+/// columns can be reinterpreted as `u32` columns (and back) in place —
+/// the snapshot store's zero-copy load relies on it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct TermId(pub u32);
 
 impl TermId {
@@ -115,7 +121,19 @@ pub fn encode_term_ref(term: &TermRef<'_>, out: &mut String) {
             out.push_str(s);
         }
         TermRef::Literal(LiteralRef { lexical, lang, datatype }) => match (lang, datatype) {
-            (Some(lang), _) => {
+            // `lang` and `datatype` are mutually exclusive by construction,
+            // but the fields are public — encode both when both are set so
+            // the encoding stays injective (and reversible) over every
+            // representable term.
+            (Some(lang), Some(dt)) => {
+                out.push('H');
+                push_len(out, lang.len());
+                out.push_str(lang);
+                push_len(out, dt.len());
+                out.push_str(dt);
+                out.push_str(lexical);
+            }
+            (Some(lang), None) => {
                 out.push('G');
                 push_len(out, lang.len());
                 out.push_str(lang);
@@ -153,11 +171,90 @@ fn push_len(out: &mut String, len: usize) {
     out.push(';');
 }
 
+/// Decodes a canonical key encoding (as produced by [`encode_term_ref`])
+/// back into an owned [`Term`]. Returns `None` on malformed input — the
+/// encoding is injective *and* fully reversible, which is what lets the
+/// snapshot store serialize the dictionary as nothing but its key blob.
+pub fn decode_term(key: &str) -> Option<Term> {
+    let (&tag, _) = key.as_bytes().split_first()?;
+    let rest = key.get(1..)?; // None when the first byte opens a multi-byte char
+    match tag {
+        b'I' => Some(Term::Iri(rest.to_owned())),
+        b'B' => Some(Term::Blank(rest.to_owned())),
+        b'L' => Some(Term::Literal(Literal::plain(rest))),
+        b'G' => {
+            let (lang, lexical) = split_len_prefixed(rest)?;
+            Some(Term::Literal(Literal::lang_tagged(lexical, lang)))
+        }
+        b'D' => {
+            let (datatype, lexical) = split_len_prefixed(rest)?;
+            Some(Term::Literal(Literal::typed(lexical, datatype)))
+        }
+        b'H' => {
+            let (lang, rest) = split_len_prefixed(rest)?;
+            let (datatype, lexical) = split_len_prefixed(rest)?;
+            Some(Term::Literal(Literal {
+                lexical: lexical.to_owned(),
+                lang: Some(lang.to_owned()),
+                datatype: Some(datatype.to_owned()),
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Splits `<decimal len>;<field of len bytes><rest>` into `(field, rest)`.
+fn split_len_prefixed(s: &str) -> Option<(&str, &str)> {
+    let semi = s.find(';')?;
+    let digits = &s[..semi];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let len: usize = digits.parse().ok()?;
+    let body = &s[semi + 1..];
+    Some((body.get(..len)?, body.get(len..)?))
+}
+
+/// The dictionary flattened into serializable columns: every term's
+/// canonical key encoding concatenated into one UTF-8 blob, plus each
+/// term's **end** offset (term `i` occupies `ends[i-1]..ends[i]`, with an
+/// implicit 0 before the first). This is the exact on-disk representation
+/// of the snapshot store's dictionary section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictionaryParts {
+    /// Concatenated canonical encodings, in id order.
+    pub blob: String,
+    /// End byte offset of each term's encoding within `blob`.
+    pub ends: Vec<u64>,
+}
+
+/// A term slice failed to decode while rebuilding a dictionary from parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermDecodeError {
+    /// Index of the offending term (its would-be id).
+    pub index: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TermDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "term {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TermDecodeError {}
+
 /// Bidirectional term ↔ id mapping.
+///
+/// The id → term direction is the dense `terms` vector. The term → id map
+/// is built **lazily** from it on first use: a dictionary reconstituted
+/// from a snapshot that is only ever *read* (`term`, `display`, `iter`)
+/// never pays for re-keying its terms.
 #[derive(Default)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    ids: FxHashMap<Box<str>, TermId>,
+    ids: std::sync::OnceLock<FxHashMap<Box<str>, TermId>>,
     scratch: String,
 }
 
@@ -173,10 +270,33 @@ impl Dictionary {
         Self::default()
     }
 
-    fn next_id(&self) -> TermId {
-        TermId(
-            u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"),
-        )
+    fn next_id(terms: &[Term]) -> TermId {
+        TermId(u32::try_from(terms.len()).expect("dictionary overflow: more than 2^32 terms"))
+    }
+
+    /// Builds the term → id map by re-encoding every term.
+    fn build_ids(terms: &[Term]) -> FxHashMap<Box<str>, TermId> {
+        let mut ids: FxHashMap<Box<str>, TermId> = FxHashMap::default();
+        ids.reserve(terms.len());
+        let mut scratch = String::new();
+        for (i, term) in terms.iter().enumerate() {
+            encode_term_ref(&term.as_ref(), &mut scratch);
+            ids.insert(scratch.as_str().into(), TermId(i as u32));
+        }
+        ids
+    }
+
+    /// The term → id map, built on first use.
+    fn ids_map(&self) -> &FxHashMap<Box<str>, TermId> {
+        self.ids.get_or_init(|| Self::build_ids(&self.terms))
+    }
+
+    /// Ensures the term → id map exists, so the `intern*` paths can take a
+    /// field-level re-borrow of it while still pushing to `terms`.
+    fn ensure_ids(&mut self) {
+        if self.ids.get().is_none() {
+            let _ = self.ids.set(Self::build_ids(&self.terms));
+        }
     }
 
     /// Interns a borrowed term, returning its (possibly pre-existing) id.
@@ -184,12 +304,14 @@ impl Dictionary {
     pub fn intern_ref(&mut self, term: &TermRef<'_>) -> TermId {
         let mut scratch = std::mem::take(&mut self.scratch);
         encode_term_ref(term, &mut scratch);
-        let id = match self.ids.get(scratch.as_str()) {
+        self.ensure_ids();
+        let ids = self.ids.get_mut().expect("initialized above");
+        let id = match ids.get(scratch.as_str()) {
             Some(&id) => id,
             None => {
-                let id = self.next_id();
+                let id = Self::next_id(&self.terms);
                 self.terms.push(term.to_term());
-                self.ids.insert(scratch.as_str().into(), id);
+                ids.insert(scratch.as_str().into(), id);
                 id
             }
         };
@@ -201,11 +323,13 @@ impl Dictionary {
     pub fn intern(&mut self, term: Term) -> TermId {
         let mut scratch = std::mem::take(&mut self.scratch);
         encode_term_ref(&term.as_ref(), &mut scratch);
-        let id = match self.ids.get(scratch.as_str()) {
+        self.ensure_ids();
+        let ids = self.ids.get_mut().expect("initialized above");
+        let id = match ids.get(scratch.as_str()) {
             Some(&id) => id,
             None => {
-                let id = self.next_id();
-                self.ids.insert(scratch.as_str().into(), id);
+                let id = Self::next_id(&self.terms);
+                ids.insert(scratch.as_str().into(), id);
                 self.terms.push(term);
                 id
             }
@@ -219,11 +343,13 @@ impl Dictionary {
     /// keys instead of re-encoding. `key` **must** equal
     /// [`encode_term_ref`]`(&term.as_ref(), ..)`.
     pub fn intern_entry(&mut self, key: Box<str>, term: Term) -> TermId {
-        match self.ids.get(&*key) {
+        self.ensure_ids();
+        let ids = self.ids.get_mut().expect("initialized above");
+        match ids.get(&*key) {
             Some(&id) => id,
             None => {
-                let id = self.next_id();
-                self.ids.insert(key, id);
+                let id = Self::next_id(&self.terms);
+                ids.insert(key, id);
                 self.terms.push(term);
                 id
             }
@@ -239,7 +365,7 @@ impl Dictionary {
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
         let mut key = String::new();
         encode_term_ref(&term.as_ref(), &mut key);
-        self.ids.get(key.as_str()).copied()
+        self.ids_map().get(key.as_str()).copied()
     }
 
     /// Looks up the id of an IRI string.
@@ -247,7 +373,7 @@ impl Dictionary {
         let mut key = String::with_capacity(iri.len() + 1);
         key.push('I');
         key.push_str(iri);
-        self.ids.get(key.as_str()).copied()
+        self.ids_map().get(key.as_str()).copied()
     }
 
     /// The term for `id`. Panics on an id from another dictionary.
@@ -277,6 +403,78 @@ impl Dictionary {
     /// Iterates `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
         self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Flattens the dictionary into its serializable columns (canonical key
+    /// blob + end offsets). The inverse is [`Dictionary::from_parts`].
+    pub fn to_parts(&self) -> DictionaryParts {
+        let mut blob = String::new();
+        let mut ends = Vec::with_capacity(self.terms.len());
+        let mut scratch = String::new();
+        for term in &self.terms {
+            encode_term_ref(&term.as_ref(), &mut scratch);
+            blob.push_str(&scratch);
+            ends.push(blob.len() as u64);
+        }
+        DictionaryParts { blob, ends }
+    }
+
+    /// Reconstitutes a dictionary from its columns: term text is **borrowed
+    /// by offset** out of `blob` (no intermediate per-term buffers) and
+    /// terms decode in parallel over `threads` workers (`0` = auto), ids
+    /// `0..n` in slice order. The term → id map is *not* rebuilt here — it
+    /// materializes lazily on the first `id_of`/`intern`, which the
+    /// snapshot serving path never reaches.
+    ///
+    /// Fails (never panics) if an offset is out of range, not a char
+    /// boundary, non-monotone, or a slice is not a valid canonical
+    /// encoding. Slices are trusted to be distinct (the writer emits each
+    /// interned term once; the snapshot checksum guards the file).
+    pub fn from_parts(
+        blob: &str,
+        ends: &[u64],
+        threads: usize,
+    ) -> Result<Dictionary, TermDecodeError> {
+        let err = |index: usize, message: &str| TermDecodeError {
+            index,
+            message: message.to_owned(),
+        };
+        if ends.last().copied().unwrap_or(0) != blob.len() as u64 {
+            return Err(err(ends.len().saturating_sub(1), "blob length mismatch"));
+        }
+        // Cut the blob into per-term slices, validating monotonicity and
+        // char boundaries (`str::get` refuses both bad cases).
+        let mut slices: Vec<&str> = Vec::with_capacity(ends.len());
+        let mut start = 0u64;
+        for (i, &end) in ends.iter().enumerate() {
+            if end < start {
+                return Err(err(i, "non-monotone offsets"));
+            }
+            let slice = blob
+                .get(start as usize..end as usize)
+                .ok_or_else(|| err(i, "offset out of range or not a char boundary"))?;
+            slices.push(slice);
+            start = end;
+        }
+        // Decode in parallel; chunk boundaries depend only on the data, so
+        // the result is thread-count-independent.
+        let ranges = spade_parallel::chunk_ranges(slices.len(), 1 << 11);
+        let slices_ref = &slices;
+        let chunks: Vec<Result<Vec<Term>, TermDecodeError>> =
+            spade_parallel::map(ranges, threads, |(a, b)| {
+                slices_ref[a..b]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        decode_term(s).ok_or_else(|| err(a + i, "invalid canonical encoding"))
+                    })
+                    .collect()
+            });
+        let mut terms = Vec::with_capacity(slices.len());
+        for chunk in chunks {
+            terms.extend(chunk?);
+        }
+        Ok(Dictionary { terms, ids: std::sync::OnceLock::new(), scratch: String::new() })
     }
 }
 
@@ -396,6 +594,76 @@ mod tests {
         let ia = a.intern(term.clone());
         let ib = b.intern_entry(key.into(), term);
         assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let terms = [
+            Term::iri("http://x/a"),
+            Term::blank("b0"),
+            Term::lit(""),
+            Term::lit("x;y\0z"),
+            Term::Literal(crate::term::Literal::lang_tagged("héllo;", "fr")),
+            Term::Literal(crate::term::Literal::typed("1;2", "http://t;u")),
+            // Dual-tagged literal (only reachable via the public fields):
+            // must round-trip rather than collapse to the lang-only form.
+            Term::Literal(crate::term::Literal {
+                lexical: "x".into(),
+                lang: Some("en".into()),
+                datatype: Some("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString".into()),
+            }),
+            Term::int(-7),
+        ];
+        let mut key = String::new();
+        for t in &terms {
+            encode_term_ref(&t.as_ref(), &mut key);
+            assert_eq!(decode_term(&key).as_ref(), Some(t), "key {key:?}");
+        }
+        for bad in ["", "X", "G;x", "Gx;y", "G9;ab", "D2x", "G2"] {
+            assert_eq!(decode_term(bad), None, "bad key {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_bit_identical() {
+        let mut d = Dictionary::new();
+        d.intern(Term::iri("http://x/a"));
+        d.intern(Term::Literal(crate::term::Literal::lang_tagged("x;3", "en")));
+        d.intern(Term::lit("plain"));
+        d.intern(Term::blank("n1"));
+        let parts = d.to_parts();
+        for threads in [1, 2, 8] {
+            let back = Dictionary::from_parts(&parts.blob, &parts.ends, threads).unwrap();
+            assert_eq!(back.len(), d.len());
+            for (id, term) in d.iter() {
+                assert_eq!(back.term(id), term);
+                assert_eq!(back.id_of(term), Some(id), "id map rebuilt");
+            }
+            // The rebuilt dictionary interns new terms after the loaded ones.
+            let mut back = back;
+            assert_eq!(back.intern(Term::lit("fresh")).index(), d.len());
+        }
+        assert!(Dictionary::from_parts("", &[], 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_columns() {
+        let parts = {
+            let mut d = Dictionary::new();
+            d.intern(Term::iri("http://x/a"));
+            d.intern(Term::lit("v"));
+            d.to_parts()
+        };
+        // Wrong total length.
+        assert!(Dictionary::from_parts(&parts.blob, &[parts.ends[0]], 1).is_err());
+        // Non-monotone offsets.
+        assert!(
+            Dictionary::from_parts(&parts.blob, &[parts.ends[1], parts.ends[1]], 1).is_err()
+        );
+        // Offset not on a char boundary.
+        assert!(Dictionary::from_parts("Iaé", &[2, 4], 1).is_err());
+        // Invalid tag byte.
+        assert!(Dictionary::from_parts("Zoops", &[5], 1).is_err());
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! `rdf:type` is interned once at construction, so every read accessor
 //! (including [`Graph::rdf_type_id`]) borrows `&self`.
 
-use crate::dict::{Dictionary, TermId};
+use crate::dict::{Dictionary, FxHashMap, FxHashSet, TermId};
 use crate::term::Term;
 use crate::vocab;
-use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
-/// A dictionary-encoded RDF triple.
+/// A dictionary-encoded RDF triple. `repr(C)` so a `[s, p, o]` id column
+/// (as the snapshot store lays it out on disk) reinterprets in place.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Triple {
     /// Subject id.
     pub s: TermId,
@@ -36,12 +38,28 @@ pub struct Graph {
     /// Term dictionary; public so downstream crates can decode ids.
     pub dict: Dictionary,
     triples: Vec<Triple>,
-    seen: HashSet<Triple>,
-    by_property: HashMap<TermId, Vec<(TermId, TermId)>>,
-    outgoing: HashMap<TermId, Vec<(TermId, TermId)>>,
-    type_extents: HashMap<TermId, Vec<TermId>>,
+    /// Triple membership set, built **lazily** from `triples` on first use
+    /// (duplicate checks during mutation, [`Graph::contains`]): a graph
+    /// that is only *read* — the snapshot serving path — never pays for it.
+    seen: OnceLock<FxHashSet<Triple>>,
+    by_property: FxHashMap<TermId, Vec<(TermId, TermId)>>,
+    outgoing: FxHashMap<TermId, Vec<(TermId, TermId)>>,
+    type_extents: FxHashMap<TermId, Vec<TermId>>,
     rdf_type: TermId,
 }
+
+/// Externally supplied graph parts were inconsistent (see
+/// [`Graph::from_indexed_parts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphPartsError(pub String);
+
+impl std::fmt::Display for GraphPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid graph parts: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphPartsError {}
 
 impl Default for Graph {
     fn default() -> Self {
@@ -58,12 +76,26 @@ impl Graph {
         Graph {
             dict,
             triples: Vec::new(),
-            seen: HashSet::new(),
-            by_property: HashMap::new(),
-            outgoing: HashMap::new(),
-            type_extents: HashMap::new(),
+            seen: OnceLock::new(),
+            by_property: FxHashMap::default(),
+            outgoing: FxHashMap::default(),
+            type_extents: FxHashMap::default(),
             rdf_type,
         }
+    }
+
+    /// The membership set, initialized from the triple list on first use.
+    fn seen_set(&self) -> &FxHashSet<Triple> {
+        self.seen.get_or_init(|| self.triples.iter().copied().collect())
+    }
+
+    /// Mutable access to the membership set, initializing it first.
+    fn seen_set_mut(&mut self) -> &mut FxHashSet<Triple> {
+        if self.seen.get().is_none() {
+            let set: FxHashSet<Triple> = self.triples.iter().copied().collect();
+            let _ = self.seen.set(set);
+        }
+        self.seen.get_mut().expect("just initialized")
     }
 
     /// The id of `rdf:type` in this graph's dictionary.
@@ -101,21 +133,26 @@ impl Graph {
         let firsts = spade_parallel::par_sort(firsts, threads);
         let triples: Vec<Triple> = firsts.into_iter().map(|(_, t)| t).collect();
 
-        let seen: HashSet<Triple> = triples.iter().copied().collect();
-
         // Index construction by stable counting-sort scatter over the dense
         // TermId key space: one counting pass, one scatter pass in input
         // order (so each group keeps insertion order, matching the
         // incremental push-per-insert layout), and one map insert per
         // *distinct* key instead of per triple.
         let n_terms = dict.len();
-        let by_property =
-            group_by_key(&triples, n_terms, |t| (t.p, (t.s, t.o)));
+        let by_property = group_by_key(&triples, n_terms, |t| (t.p, (t.s, t.o)));
         let outgoing = group_by_key(&triples, n_terms, |t| (t.s, (t.p, t.o)));
         let typed: Vec<Triple> = triples.iter().filter(|t| t.p == rdf_type).copied().collect();
         let type_extents = group_by_key(&typed, n_terms, |t| (t.o, t.s));
 
-        Graph { dict, triples, seen, by_property, outgoing, type_extents, rdf_type }
+        Graph {
+            dict,
+            triples,
+            seen: OnceLock::new(),
+            by_property,
+            outgoing,
+            type_extents,
+            rdf_type,
+        }
     }
 
     /// Inserts a triple of [`Term`]s; returns `false` if it was a duplicate.
@@ -129,7 +166,7 @@ impl Graph {
     /// Inserts a triple given pre-interned ids.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let t = Triple { s, p, o };
-        if !self.seen.insert(t) {
+        if !self.seen_set_mut().insert(t) {
             return false;
         }
         self.triples.push(t);
@@ -147,11 +184,14 @@ impl Graph {
     /// one map probe per *distinct* key instead of several per triple —
     /// which is what makes the saturation merge allocation-lean.
     pub fn insert_batch(&mut self, batch: &[Triple]) -> usize {
-        self.seen.reserve(batch.len());
+        self.seen_set_mut();
+        // Field-level re-borrow, so `triples` stays pushable in the loop.
+        let seen = self.seen.get_mut().expect("initialized above");
+        seen.reserve(batch.len());
         self.triples.reserve(batch.len());
         let mut fresh: Vec<Triple> = Vec::with_capacity(batch.len());
         for &t in batch {
-            if self.seen.insert(t) {
+            if seen.insert(t) {
                 self.triples.push(t);
                 fresh.push(t);
             }
@@ -188,7 +228,7 @@ impl Graph {
 
     /// Membership test.
     pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.seen.contains(&Triple { s, p, o })
+        self.seen_set().contains(&Triple { s, p, o })
     }
 
     /// The distinct properties occurring in the graph.
@@ -216,6 +256,14 @@ impl Graph {
         self.type_extents.keys().copied()
     }
 
+    /// The raw per-class extent — the subjects of `(?, rdf:type, c)` in
+    /// insertion order, duplicates included (a node typed twice appears
+    /// twice). This is the exact index column the snapshot store persists;
+    /// use [`Graph::nodes_of_type`] for the deduplicated view.
+    pub fn type_extent_raw(&self, c: TermId) -> &[TermId] {
+        self.type_extents.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// The subjects typed with class `c` (with duplicates removed).
     pub fn nodes_of_type(&self, c: TermId) -> Vec<TermId> {
         let mut nodes = self.type_extents.get(&c).cloned().unwrap_or_default();
@@ -240,10 +288,10 @@ impl Graph {
         let Some((first, rest)) = props.split_first() else {
             return Vec::new();
         };
-        let mut nodes: HashSet<TermId> =
+        let mut nodes: FxHashSet<TermId> =
             self.property_pairs(*first).iter().map(|(s, _)| *s).collect();
         for p in rest {
-            let with_p: HashSet<TermId> =
+            let with_p: FxHashSet<TermId> =
                 self.property_pairs(*p).iter().map(|(s, _)| *s).collect();
             nodes.retain(|s| with_p.contains(s));
         }
@@ -256,6 +304,72 @@ impl Graph {
     pub fn subject_count(&self) -> usize {
         self.outgoing.len()
     }
+
+    /// Reassembles a graph from an already-deduplicated triple list **and**
+    /// prebuilt indexes — the snapshot-load path, which replaces the
+    /// sort + dedup + counting-sort work of [`Graph::from_parts`] with
+    /// cheap linear validation:
+    ///
+    /// * every triple id must be interned in `dict`;
+    /// * `rdf:type` must be interned (graphs always intern it eagerly);
+    /// * each index must account for exactly the right number of entries
+    ///   (`by_property` and `outgoing` one per triple, `type_extents` one
+    ///   per `rdf:type` triple).
+    ///
+    /// The triple list is trusted to be duplicate-free, and index
+    /// *contents* beyond the count checks are trusted too: the snapshot
+    /// store guards both with its checksum, and the round-trip property
+    /// tests pin writer/loader agreement. The membership set rebuilds
+    /// lazily if the graph is ever mutated again.
+    ///
+    /// `rdf_type` is taken as a parameter (and verified against the
+    /// dictionary) instead of looked up, so the dictionary's lazy term → id
+    /// map stays unbuilt on the read-only serving path.
+    pub fn from_indexed_parts(
+        dict: Dictionary,
+        rdf_type: TermId,
+        triples: Vec<Triple>,
+        by_property: FxHashMap<TermId, Vec<(TermId, TermId)>>,
+        outgoing: FxHashMap<TermId, Vec<(TermId, TermId)>>,
+        type_extents: FxHashMap<TermId, Vec<TermId>>,
+    ) -> Result<Graph, GraphPartsError> {
+        let err = |m: String| GraphPartsError(m);
+        if rdf_type.index() >= dict.len()
+            || dict.term(rdf_type).as_iri() != Some(vocab::RDF_TYPE)
+        {
+            return Err(err(format!("{rdf_type} is not rdf:type")));
+        }
+        let n_terms =
+            u32::try_from(dict.len()).map_err(|_| err("dictionary too large".into()))?;
+        let mut max_id = 0u32;
+        let mut typed = 0usize;
+        for t in &triples {
+            max_id = max_id.max(t.s.0).max(t.p.0).max(t.o.0);
+            typed += usize::from(t.p == rdf_type);
+        }
+        if !triples.is_empty() && max_id >= n_terms {
+            return Err(err(format!("triples reference unknown term id {max_id}")));
+        }
+        let check_total = |name: &str, got: usize, want: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(err(format!("{name} index covers {got} entries, expected {want}")))
+            }
+        };
+        check_total("property", by_property.values().map(Vec::len).sum(), triples.len())?;
+        check_total("subject", outgoing.values().map(Vec::len).sum(), triples.len())?;
+        check_total("type", type_extents.values().map(Vec::len).sum(), typed)?;
+        Ok(Graph {
+            dict,
+            triples,
+            seen: OnceLock::new(),
+            by_property,
+            outgoing,
+            type_extents,
+            rdf_type,
+        })
+    }
 }
 
 /// Groups triples by a dense [`TermId`] key with a stable counting-sort
@@ -266,9 +380,9 @@ fn group_by_key<V: Copy>(
     triples: &[Triple],
     n_terms: usize,
     key_val: impl Fn(&Triple) -> (TermId, V),
-) -> HashMap<TermId, Vec<V>> {
+) -> FxHashMap<TermId, Vec<V>> {
     let Some(first) = triples.first() else {
-        return HashMap::new();
+        return FxHashMap::default();
     };
     let fill = key_val(first).1;
     let mut counts = vec![0u32; n_terms];
@@ -290,13 +404,10 @@ fn group_by_key<V: Copy>(
         flat[*pos as usize] = v;
         *pos += 1;
     }
-    let mut out: HashMap<TermId, Vec<V>> = HashMap::new();
+    let mut out: FxHashMap<TermId, Vec<V>> = FxHashMap::default();
     for (idx, (&start, &end)) in starts.iter().zip(offsets.iter()).enumerate() {
         if end > start {
-            out.insert(
-                TermId(idx as u32),
-                flat[start as usize..end as usize].to_vec(),
-            );
+            out.insert(TermId(idx as u32), flat[start as usize..end as usize].to_vec());
         }
     }
     out
@@ -411,11 +522,7 @@ mod tests {
             let p = dict.intern(p.clone());
             let o = dict.intern(o.clone());
             ids.push(Triple { s, p, o });
-            incremental.insert(
-                spec_term(s, &dict),
-                spec_term(p, &dict),
-                spec_term(o, &dict),
-            );
+            incremental.insert(spec_term(s, &dict), spec_term(p, &dict), spec_term(o, &dict));
         }
         for threads in [1, 2, 8] {
             let bulk = Graph::from_parts(clone_dict(&dict), ids.clone(), threads);
@@ -436,6 +543,101 @@ mod tests {
                 assert_eq!(bulk.outgoing(s), incremental.outgoing(s));
             }
         }
+    }
+
+    /// Extracts the index columns of `g` the way the snapshot store does.
+    #[allow(clippy::type_complexity)]
+    fn extract_parts(
+        g: &Graph,
+    ) -> (
+        Dictionary,
+        Vec<Triple>,
+        FxHashMap<TermId, Vec<(TermId, TermId)>>,
+        FxHashMap<TermId, Vec<(TermId, TermId)>>,
+        FxHashMap<TermId, Vec<TermId>>,
+    ) {
+        let parts = g.dict.to_parts();
+        let dict = Dictionary::from_parts(&parts.blob, &parts.ends, 1).unwrap();
+        let by_property = g.properties().map(|p| (p, g.property_pairs(p).to_vec())).collect();
+        let outgoing = g.subjects().map(|s| (s, g.outgoing(s).to_vec())).collect();
+        let type_extents = g.classes().map(|c| (c, g.type_extent_raw(c).to_vec())).collect();
+        (dict, g.triples().to_vec(), by_property, outgoing, type_extents)
+    }
+
+    #[test]
+    fn from_indexed_parts_reassembles_identically() {
+        let mut g = Graph::new();
+        let ty = Term::iri(vocab::RDF_TYPE);
+        g.insert(t("a"), t("p"), Term::lit("1"));
+        g.insert(t("b"), ty.clone(), t("CEO"));
+        g.insert(t("b"), ty.clone(), t("CEO")); // duplicate, dropped
+        g.insert(t("a"), t("q"), t("b"));
+        let (dict, triples, by_property, outgoing, type_extents) = extract_parts(&g);
+        let back = Graph::from_indexed_parts(
+            dict,
+            g.rdf_type_id(),
+            triples,
+            by_property,
+            outgoing,
+            type_extents,
+        )
+        .unwrap();
+        assert_eq!(back.triples(), g.triples());
+        assert_eq!(back.rdf_type_id(), g.rdf_type_id());
+        for p in g.properties() {
+            assert_eq!(back.property_pairs(p), g.property_pairs(p));
+        }
+        for s in g.subjects() {
+            assert_eq!(back.outgoing(s), g.outgoing(s));
+        }
+        for c in g.classes() {
+            assert_eq!(back.type_extent_raw(c), g.type_extent_raw(c));
+        }
+        let (s, p, o) = (g.triples()[0].s, g.triples()[0].p, g.triples()[0].o);
+        assert!(back.contains(s, p, o));
+        // The reassembled graph keeps working as a mutable graph.
+        let mut back = back;
+        assert!(back.insert(t("c"), t("p"), Term::lit("2")));
+    }
+
+    #[test]
+    fn from_indexed_parts_rejects_inconsistencies() {
+        let mut g = Graph::new();
+        g.insert(t("a"), t("p"), Term::lit("1"));
+        g.insert(t("b"), Term::iri(vocab::RDF_TYPE), t("CEO"));
+
+        let ty = g.rdf_type_id();
+
+        // Out-of-range term id.
+        let (dict, mut triples, bp, og, te) = extract_parts(&g);
+        triples[0].o = TermId(9999);
+        assert!(Graph::from_indexed_parts(dict, ty, triples, bp, og, te).is_err());
+
+        // An extra triple the indexes do not account for.
+        let (dict, mut triples, bp, og, te) = extract_parts(&g);
+        triples.push(triples[0]);
+        assert!(Graph::from_indexed_parts(dict, ty, triples, bp, og, te).is_err());
+
+        // Index entry-count mismatch.
+        let (dict, triples, mut bp, og, te) = extract_parts(&g);
+        bp.values_mut().next().unwrap().pop();
+        assert!(Graph::from_indexed_parts(dict, ty, triples, bp, og, te).is_err());
+
+        // An id that is not rdf:type.
+        let (dict, triples, bp, og, te) = extract_parts(&g);
+        let not_type = g.triples()[0].p;
+        assert!(Graph::from_indexed_parts(dict, not_type, triples, bp, og, te).is_err());
+
+        // rdf:type out of dictionary range.
+        assert!(Graph::from_indexed_parts(
+            Dictionary::new(),
+            TermId(0),
+            Vec::new(),
+            FxHashMap::default(),
+            FxHashMap::default(),
+            FxHashMap::default()
+        )
+        .is_err());
     }
 
     fn spec_term(id: TermId, dict: &Dictionary) -> Term {

@@ -67,7 +67,10 @@ pub fn ingest_chunked(
     let mut line_offset = 0usize;
     for out in &outs {
         if let Some((local_line, message)) = &out.error {
-            return Err(NtParseError { line: line_offset + local_line, message: message.clone() });
+            return Err(NtParseError {
+                line: line_offset + local_line,
+                message: message.clone(),
+            });
         }
         line_offset += out.lines;
     }

@@ -29,8 +29,8 @@ pub mod ontology;
 pub mod term;
 pub mod vocab;
 
-pub use dict::{Dictionary, TermId};
-pub use graph::{Graph, Triple};
+pub use dict::{Dictionary, DictionaryParts, TermId};
+pub use graph::{Graph, GraphPartsError, Triple};
 pub use ingest::{ingest, ingest_baseline, ingest_chunked};
 pub use ntriples::{parse_ntriples, write_ntriples, NtParseError};
 pub use ontology::{saturate, saturate_baseline, saturate_with_threads};

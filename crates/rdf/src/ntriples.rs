@@ -183,7 +183,11 @@ impl<'a> Cursor<'a> {
                     return Err("datatype must be an IRI".into());
                 }
                 let datatype = self.parse_iri()?;
-                Ok(TermRef::Literal(LiteralRef { lexical, lang: None, datatype: Some(datatype) }))
+                Ok(TermRef::Literal(LiteralRef {
+                    lexical,
+                    lang: None,
+                    datatype: Some(datatype),
+                }))
             }
             _ => Ok(TermRef::Literal(LiteralRef { lexical, lang: None, datatype: None })),
         }

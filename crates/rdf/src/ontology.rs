@@ -79,12 +79,8 @@ pub fn saturate_with_threads(graph: &mut Graph, threads: usize) -> usize {
         }
         let mut plans: HashMap<TermId, Plan> = HashMap::new();
         let relevant: Vec<TermId> = {
-            let mut v: Vec<TermId> = sp_reach
-                .keys()
-                .chain(dom_map.keys())
-                .chain(rng_map.keys())
-                .copied()
-                .collect();
+            let mut v: Vec<TermId> =
+                sp_reach.keys().chain(dom_map.keys()).chain(rng_map.keys()).copied().collect();
             v.sort_unstable();
             v.dedup();
             v
@@ -94,7 +90,8 @@ pub fn saturate_with_threads(graph: &mut Graph, threads: usize) -> usize {
             let mut subj_types = Vec::new();
             let mut obj_types = Vec::new();
             for q in std::iter::once(p).chain(supers.iter().copied()) {
-                for (declared, types) in [(&dom_map, &mut subj_types), (&rng_map, &mut obj_types)]
+                for (declared, types) in
+                    [(&dom_map, &mut subj_types), (&rng_map, &mut obj_types)]
                 {
                     if let Some(classes) = declared.get(&q) {
                         for &c in classes {
@@ -139,9 +136,11 @@ pub fn saturate_with_threads(graph: &mut Graph, threads: usize) -> usize {
                 out.extend(plan.subj_types.iter().map(|&c| Triple { s, p: rdf_type, o: c }));
                 // Literals cannot be typed; only resources gain types.
                 if !plan.obj_types.is_empty() && graph_ref.dict.term(o).is_resource() {
-                    out.extend(
-                        plan.obj_types.iter().map(|&c| Triple { s: o, p: rdf_type, o: c }),
-                    );
+                    out.extend(plan.obj_types.iter().map(|&c| Triple {
+                        s: o,
+                        p: rdf_type,
+                        o: c,
+                    }));
                 }
             };
             let mut out = Vec::new();
@@ -185,9 +184,8 @@ pub fn saturate_with_threads(graph: &mut Graph, threads: usize) -> usize {
         });
 
         // ---- Phase 3: sorted merge, diff, bulk insert. ----
-        let mut derived: Vec<Triple> = Vec::with_capacity(
-            chunk_outs.iter().map(Vec::len).sum(),
-        );
+        let mut derived: Vec<Triple> =
+            Vec::with_capacity(chunk_outs.iter().map(Vec::len).sum());
         for chunk in chunk_outs {
             derived.extend(chunk);
         }
@@ -483,8 +481,11 @@ mod tests {
         // A property declared subPropertyOf rdfs:subClassOf turns data
         // triples into schema triples — the outer loop must pick them up.
         let mut g = Graph::new();
-        g.insert(iri("isKindOf"), Term::iri(vocab::RDFS_SUBPROPERTYOF),
-                 Term::iri(vocab::RDFS_SUBCLASSOF));
+        g.insert(
+            iri("isKindOf"),
+            Term::iri(vocab::RDFS_SUBPROPERTYOF),
+            Term::iri(vocab::RDFS_SUBCLASSOF),
+        );
         g.insert(iri("Cat"), iri("isKindOf"), iri("Animal"));
         g.insert(iri("felix"), type_term(), iri("Cat"));
         saturate(&mut g);
@@ -508,7 +509,11 @@ mod tests {
                 (iri("n"), type_term(), iri("A")),
             ],
             vec![
-                (iri("politicalConnection"), Term::iri(vocab::RDFS_SUBPROPERTYOF), iri("connection")),
+                (
+                    iri("politicalConnection"),
+                    Term::iri(vocab::RDFS_SUBPROPERTYOF),
+                    iri("connection"),
+                ),
                 (iri("n1"), iri("politicalConnection"), iri("n3")),
             ],
             vec![
@@ -533,8 +538,11 @@ mod tests {
             ],
             // Schema-changing derivation.
             vec![
-                (iri("isKindOf"), Term::iri(vocab::RDFS_SUBPROPERTYOF),
-                 Term::iri(vocab::RDFS_SUBCLASSOF)),
+                (
+                    iri("isKindOf"),
+                    Term::iri(vocab::RDFS_SUBPROPERTYOF),
+                    Term::iri(vocab::RDFS_SUBCLASSOF),
+                ),
                 (iri("Cat"), iri("isKindOf"), iri("Animal")),
                 (iri("felix"), type_term(), iri("Cat")),
             ],

@@ -325,10 +325,7 @@ mod tests {
             Term::Literal(Literal::lang_tagged("chat", "fr")).to_string(),
             "\"chat\"@fr"
         );
-        assert_eq!(
-            Term::int(7).to_string(),
-            format!("\"7\"^^<{}>", crate::vocab::XSD_INTEGER)
-        );
+        assert_eq!(Term::int(7).to_string(), format!("\"7\"^^<{}>", crate::vocab::XSD_INTEGER));
     }
 
     #[test]

@@ -14,8 +14,7 @@ fn literal() -> impl Strategy<Value = Term> {
         "[ -~äöüé北京\\n\\t]{0,24}".prop_map(Term::lit),
         any::<i64>().prop_map(Term::int),
         (-1e9f64..1e9).prop_map(Term::num),
-        ("[a-z]{1,6}", "[a-z]{2}")
-            .prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, l))),
+        ("[a-z]{1,6}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, l))),
     ]
 }
 

@@ -200,11 +200,9 @@ impl InterestingnessCi {
 fn fold_to_score(h: Interestingness, raw: f64, half: f64) -> ScoreInterval {
     let (lo, hi) = (raw - half, raw + half);
     match h {
-        Interestingness::Variance => ScoreInterval {
-            estimate: raw.max(0.0),
-            lower: lo.max(0.0),
-            upper: hi.max(0.0),
-        },
+        Interestingness::Variance => {
+            ScoreInterval { estimate: raw.max(0.0), lower: lo.max(0.0), upper: hi.max(0.0) }
+        }
         Interestingness::Skewness | Interestingness::Kurtosis => {
             if lo >= 0.0 {
                 ScoreInterval { estimate: raw.abs(), lower: lo, upper: hi }
@@ -296,7 +294,7 @@ mod tests {
         let ci = InterestingnessCi::new(Interestingness::Variance, 0.95);
         let iv = ci.interval(EstimatorKind::Min, &[g1, g2], Some((0.0, 100.0)));
         let spread: f64 = 40.0; // max sample-min (40) − global lo (0)
-        // G/(G−1)·¼·spread² = 2·0.25·1600 = 800
+                                // G/(G−1)·¼·spread² = 2·0.25·1600 = 800
         assert!((iv.upper - 2.0 * 0.25 * spread * spread).abs() < 1e-9);
         // Szőkefalvi-Nagy floor: observed range 35, G=2 → 35²/2 = 612.5,
         // capped at the point estimate (unbiased variance of [5,40] = 612.5).
@@ -340,8 +338,7 @@ mod tests {
                     let vals: Vec<f64> = (0..r)
                         .map(|_| {
                             // Approximate N(mu, sigma) via CLT of 12 uniforms.
-                            let u: f64 =
-                                (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                            let u: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
                             mu + sigma * u
                         })
                         .collect();

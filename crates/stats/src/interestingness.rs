@@ -81,10 +81,9 @@ impl Interestingness {
         let m = RunningMoments::from_slice(values);
         let mean = m.mean();
         match self {
-            Interestingness::Variance => values
-                .iter()
-                .map(|&y| 2.0 / (g - 1.0) * (y - mean))
-                .collect(),
+            Interestingness::Variance => {
+                values.iter().map(|&y| 2.0 / (g - 1.0) * (y - mean)).collect()
+            }
             Interestingness::Skewness => {
                 let m2 = m.variance_population();
                 let m3 = m.third_central();
@@ -160,8 +159,7 @@ mod tests {
         // Eq. (1): Ĥ(y) = 1/(G−1) Σ (y_i − ȳ)².
         let y = [1.0f64, 2.0, 3.0, 10.0];
         let mean = 4.0f64;
-        let expected: f64 =
-            y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 3.0;
+        let expected: f64 = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 3.0;
         assert!((Interestingness::Variance.score(&y) - expected).abs() < 1e-12);
     }
 

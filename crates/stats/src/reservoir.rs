@@ -133,10 +133,7 @@ mod tests {
         for (i, &h) in hits.iter().enumerate() {
             let freq = h as f64 / trials as f64;
             // 5-sigma band for a Binomial(20000, 0.1) proportion ≈ ±0.0106.
-            assert!(
-                (freq - 0.1).abs() < 0.011,
-                "element {i} sampled with frequency {freq}"
-            );
+            assert!((freq - 0.1).abs() < 0.011, "element {i} sampled with frequency {freq}");
         }
     }
 

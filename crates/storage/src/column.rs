@@ -138,10 +138,7 @@ mod tests {
         // Ghosn's four nationalities from Figure 1.
         let col = CategoricalColumn::from_rows(
             "nationality",
-            &[
-                vec!["Angola"],
-                vec!["Nigeria", "Lebanon", "France", "Brazil"],
-            ],
+            &[vec!["Angola"], vec!["Nigeria", "Lebanon", "France", "Brazil"]],
         );
         assert_eq!(col.distinct_values(), 5);
         // Sorted: Angola(0), Brazil(1), France(2), Lebanon(3), Nigeria(4).
@@ -168,7 +165,11 @@ mod tests {
     fn multi_valued_statistics() {
         let col = CategoricalColumn::from_rows(
             "area",
-            &[vec!["Diamond", "Manufacturer", "Natural gas"], vec!["Automotive", "Manufacturer"], vec![]],
+            &[
+                vec!["Diamond", "Manufacturer", "Natural gas"],
+                vec!["Automotive", "Manufacturer"],
+                vec![],
+            ],
         );
         assert_eq!(col.support(), 2);
         assert_eq!(col.multi_valued_facts(), 2);

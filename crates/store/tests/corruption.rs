@@ -1,0 +1,142 @@
+//! Corruption tests: a damaged snapshot must always surface a **typed**
+//! [`SnapshotError`] — truncation, bad magic, wrong version, foreign
+//! endianness, checksum mismatch, or a structural `Malformed` — and must
+//! never panic, whatever bytes it contains.
+
+use spade_rdf::{vocab, Graph, Term};
+use spade_store::{snapshot_bytes, update_checksum, Snapshot, SnapshotError};
+
+fn sample_bytes() -> Vec<u8> {
+    let mut g = Graph::new();
+    let iri = |s: &str| Term::iri(format!("http://x/{s}"));
+    g.insert(iri("a"), iri("p"), Term::lit("v1"));
+    g.insert(iri("b"), Term::iri(vocab::RDF_TYPE), iri("CEO"));
+    g.insert(iri("a"), iri("q"), iri("b"));
+    g.insert(iri("b"), iri("p"), Term::Literal(spade_rdf::Literal::lang_tagged("x;y", "en")));
+    snapshot_bytes(&g, &[])
+}
+
+/// Opening + loading, as a serving process would do it.
+fn open_and_load(bytes: &[u8]) -> Result<(), SnapshotError> {
+    Snapshot::from_bytes(bytes, 1)?.load(1).map(|_| ())
+}
+
+#[test]
+fn truncation_at_every_prefix_is_a_typed_error() {
+    let bytes = sample_bytes();
+    assert!(open_and_load(&bytes).is_ok(), "baseline image must load");
+    // Every proper prefix reports `Truncated` — too short for a header, or
+    // shorter than the length the (intact) header declares.
+    for len in 0..bytes.len() {
+        let err = open_and_load(&bytes[..len]).expect_err("truncated image must fail");
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "prefix {len}: got {err:?}");
+    }
+    // Trailing garbage beyond the declared file length is ignored.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(b"trailing junk");
+    assert!(open_and_load(&padded).is_ok());
+}
+
+#[test]
+fn bad_magic_wrong_version_bad_endianness() {
+    let bytes = sample_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(open_and_load(&bad_magic), Err(SnapshotError::BadMagic)));
+
+    let mut foreign = bytes.clone();
+    // The endianness marker, byte-swapped: a big-endian writer's file.
+    foreign[8..12].copy_from_slice(&0x0A0B_0C0Du32.to_be_bytes());
+    assert!(matches!(open_and_load(&foreign), Err(SnapshotError::BadEndianness)));
+
+    let mut future = bytes.clone();
+    future[12..16].copy_from_slice(&99u32.to_le_bytes());
+    match open_and_load(&future) {
+        Err(SnapshotError::UnsupportedVersion { found: 99, supported }) => {
+            assert_eq!(supported, spade_store::VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let bytes = sample_bytes();
+    // Flipping any one bit anywhere — header, section table, payload —
+    // must yield an error (usually ChecksumMismatch), never a panic and
+    // never a successful load of wrong data.
+    for i in 0..bytes.len() {
+        let mut tampered = bytes.clone();
+        tampered[i] ^= 0x01;
+        assert!(open_and_load(&tampered).is_err(), "flip at byte {i} went undetected");
+    }
+}
+
+#[test]
+fn checksum_field_itself_is_checked() {
+    let mut bytes = sample_bytes();
+    bytes[24] ^= 0xFF; // the stored checksum
+    assert!(matches!(open_and_load(&bytes), Err(SnapshotError::ChecksumMismatch { .. })));
+}
+
+/// Re-sealed tampering: fix the checksum after corrupting the payload, so
+/// the deeper structural validation has to catch it.
+#[test]
+fn resealed_structural_corruption_is_malformed_not_panic() {
+    let baseline = sample_bytes();
+
+    // Point a section table entry at a misaligned offset.
+    let mut bad_align = baseline.clone();
+    bad_align[48 + 8] = bad_align[48 + 8].wrapping_add(1);
+    update_checksum(&mut bad_align);
+    assert!(matches!(open_and_load(&bad_align), Err(SnapshotError::Malformed(_))));
+
+    // Point a section past the end of the file.
+    let mut bad_bounds = baseline.clone();
+    bad_bounds[48 + 16..48 + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+    update_checksum(&mut bad_bounds);
+    assert!(matches!(open_and_load(&bad_bounds), Err(SnapshotError::Malformed(_))));
+
+    // An absurd section count.
+    let mut bad_count = baseline.clone();
+    bad_count[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+    update_checksum(&mut bad_count);
+    assert!(matches!(open_and_load(&bad_count), Err(SnapshotError::Malformed(_))));
+
+    // Corrupt every payload byte in turn, re-sealing each time: whatever
+    // structure it hits (term encodings, CSR offsets, triple ids, stats
+    // flags), the loader must return an error or a *consistent* success —
+    // never panic. Successes are possible (e.g. a flipped object id still
+    // in range), so only absence of panics and of Checksum errors is
+    // asserted.
+    let payload_start = 48 + 14 * 24; // header + the 14-section table
+    for i in payload_start..baseline.len() {
+        let mut tampered = baseline.clone();
+        tampered[i] ^= 0x10;
+        update_checksum(&mut tampered);
+        match open_and_load(&tampered) {
+            Ok(()) => {}
+            Err(SnapshotError::ChecksumMismatch { .. }) => {
+                panic!("byte {i}: reseal failed, checksum still mismatching")
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn missing_file_is_io() {
+    let missing = std::env::temp_dir().join("spade-store-definitely-missing.spade");
+    assert!(matches!(Snapshot::open(&missing, 1), Err(SnapshotError::Io(_))));
+}
+
+#[test]
+fn empty_and_tiny_files() {
+    assert!(matches!(
+        open_and_load(&[]),
+        Err(SnapshotError::Truncated { expected: 48, actual: 0 })
+    ));
+    assert!(open_and_load(&[0u8; 47]).is_err());
+    assert!(open_and_load(b"SPADESNP").is_err());
+}

@@ -1,0 +1,151 @@
+//! Round-trip property tests: graph → snapshot → graph must be
+//! **bit-identical** — same `TermId` assignment, same triple order, same
+//! index contents per key, same statistics records — for every thread
+//! count, including terms that stress the canonical encoding (embedded
+//! NULs, semicolons, multi-byte characters, empty lexical forms).
+
+use proptest::prelude::*;
+use spade_rdf::{vocab, Graph, Literal, Term};
+use spade_store::{snapshot_bytes, PropertyStatsRecord, Snapshot};
+
+fn iri() -> impl Strategy<Value = Term> {
+    "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+}
+
+fn literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[ -~äöüé北京;\\n\\t]{0,24}".prop_map(Term::lit),
+        any::<i64>().prop_map(Term::int),
+        (-1e9f64..1e9).prop_map(Term::num),
+        ("[a-z]{0,6}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, l))),
+        ("[ -~;]{0,8}", "[a-z:/;]{1,12}")
+            .prop_map(|(s, d)| Term::Literal(Literal::typed(s, d))),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![iri(), literal(), "[a-z][a-z0-9]{0,6}".prop_map(Term::blank)]
+}
+
+/// A triple generator that includes `rdf:type` triples, so the type index
+/// is non-trivial.
+fn triples() -> impl Strategy<Value = Vec<(Term, Term, Term)>> {
+    prop::collection::vec(
+        prop_oneof![(iri(), iri(), term()), (iri(), Just(Term::iri(vocab::RDF_TYPE)), iri()),],
+        0..100,
+    )
+}
+
+fn stats_for(graph: &Graph) -> Vec<PropertyStatsRecord> {
+    graph
+        .properties()
+        .map(|p| PropertyStatsRecord {
+            property: p,
+            triples: graph.property_pairs(p).len() as u64,
+            subjects: 1,
+            distinct_values: 2,
+            multi_valued_subjects: 0,
+            numeric_values: 3,
+            link_values: 4,
+            text_values: 5,
+            numeric_bounds: if p.index() % 2 == 0 { Some((-1.5, 7.25)) } else { None },
+        })
+        .collect()
+}
+
+fn assert_identical(loaded: &Graph, original: &Graph) {
+    assert_eq!(loaded.triples(), original.triples(), "triple order");
+    assert_eq!(loaded.dict.len(), original.dict.len(), "dictionary size");
+    for (id, term) in original.dict.iter() {
+        assert_eq!(loaded.dict.term(id), term, "term {id}");
+    }
+    assert_eq!(loaded.rdf_type_id(), original.rdf_type_id(), "rdf:type id");
+    for p in original.properties() {
+        assert_eq!(loaded.property_pairs(p), original.property_pairs(p), "property {p}");
+    }
+    for s in original.subjects() {
+        assert_eq!(loaded.outgoing(s), original.outgoing(s), "subject {s}");
+    }
+    for c in original.classes() {
+        assert_eq!(loaded.type_extent_raw(c), original.type_extent_raw(c), "class {c}");
+    }
+    assert_eq!(loaded.subject_count(), original.subject_count());
+}
+
+proptest! {
+    /// Snapshot → load reproduces the graph and the statistics bit for bit,
+    /// at 1/2/8 threads, and the writer itself is deterministic.
+    #[test]
+    fn snapshot_roundtrip_bit_identical(spec in triples()) {
+        let mut graph = Graph::new();
+        for (s, p, o) in spec {
+            graph.insert(s, p, o);
+        }
+        let stats = stats_for(&graph);
+        let bytes = snapshot_bytes(&graph, &stats);
+        prop_assert_eq!(&bytes, &snapshot_bytes(&graph, &stats), "writer determinism");
+        for threads in [1usize, 2, 8] {
+            let snap = Snapshot::from_bytes(&bytes, threads).expect("valid image");
+            let loaded = snap.load(threads).expect("loadable");
+            assert_identical(&loaded.graph, &graph);
+            prop_assert_eq!(&loaded.stats, &stats, "stats at {} threads", threads);
+            // A re-snapshot of the loaded state is byte-identical.
+            prop_assert_eq!(
+                &snapshot_bytes(&loaded.graph, &loaded.stats),
+                &bytes,
+                "second generation at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// The loaded graph still behaves as a graph: membership, lookups, and
+    /// further insertion (id continuity) all work.
+    #[test]
+    fn loaded_graph_stays_usable(spec in triples()) {
+        let mut graph = Graph::new();
+        for (s, p, o) in spec {
+            graph.insert(s, p, o);
+        }
+        let bytes = snapshot_bytes(&graph, &[]);
+        let mut loaded = Snapshot::from_bytes(&bytes, 1).unwrap().load(1).unwrap().graph;
+        for t in graph.triples() {
+            prop_assert!(loaded.contains(t.s, t.p, t.o));
+        }
+        for (id, term) in graph.dict.iter() {
+            prop_assert_eq!(loaded.dict.id_of(term), Some(id), "lazy id map agrees");
+        }
+        // New interning continues after the loaded ids.
+        let next = loaded.dict.intern(Term::iri("http://example.org/definitely-fresh-term"));
+        prop_assert_eq!(next.index(), graph.dict.len());
+        if let Some(&t) = graph.triples().first() {
+            prop_assert!(!loaded.insert_ids(t.s, t.p, t.o), "duplicate re-insert");
+        }
+    }
+}
+
+/// End-to-end on a realistic corpus: ingest + saturate + snapshot, then the
+/// loaded graph is already saturated (re-saturation derives nothing) and
+/// snapshots back to the identical file.
+#[test]
+fn saturated_corpus_roundtrips_and_stays_saturated() {
+    let nt = spade_datagen::nt_corpus(
+        "CEOs",
+        &spade_datagen::RealisticConfig { scale: 60, seed: 11 },
+        6,
+    );
+    let mut graph = spade_rdf::ingest(&nt, 0).expect("corpus parses");
+    let derived = spade_rdf::saturate(&mut graph);
+    assert!(derived > 0, "the overlay must give saturation real work");
+    let bytes = snapshot_bytes(&graph, &[]);
+    for threads in [1usize, 2, 8] {
+        let mut loaded = Snapshot::from_bytes(&bytes, threads).unwrap().load(threads).unwrap();
+        assert_identical(&loaded.graph, &graph);
+        assert_eq!(
+            spade_rdf::saturate_with_threads(&mut loaded.graph, threads),
+            0,
+            "loaded graph is already saturated"
+        );
+        assert_eq!(snapshot_bytes(&loaded.graph, &[]), bytes);
+    }
+}

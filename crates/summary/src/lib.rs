@@ -87,12 +87,8 @@ fn subject_property_sets(graph: &Graph) -> HashMap<TermId, Vec<TermId>> {
     let rdf_type = graph.rdf_type_id();
     let mut sets: HashMap<TermId, Vec<TermId>> = HashMap::new();
     for s in graph.subjects().collect::<Vec<_>>() {
-        let mut props: Vec<TermId> = graph
-            .outgoing(s)
-            .iter()
-            .map(|(p, _)| *p)
-            .filter(|&p| p != rdf_type)
-            .collect();
+        let mut props: Vec<TermId> =
+            graph.outgoing(s).iter().map(|(p, _)| *p).filter(|&p| p != rdf_type).collect();
         props.sort_unstable();
         props.dedup();
         if !props.is_empty() {

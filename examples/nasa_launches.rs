@@ -34,9 +34,10 @@ fn main() {
     }
 
     // Check for the two planted stories.
-    let launch_story = report.top.iter().find(|t| {
-        t.mda.starts_with("count") && t.dims.iter().any(|d| d == "launchsite")
-    });
+    let launch_story = report
+        .top
+        .iter()
+        .find(|t| t.mda.starts_with("count") && t.dims.iter().any(|d| d == "launchsite"));
     let mass_story = report
         .top
         .iter()

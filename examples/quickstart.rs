@@ -13,16 +13,12 @@ fn main() {
     // to demonstrate the parser path a real application would use.
     let nt = spade::rdf::write_ntriples(&spade::datagen::ceos_figure1());
     let mut graph = parse_ntriples(&nt).expect("valid N-Triples");
-    println!(
-        "loaded {} triples over {} subjects\n",
-        graph.len(),
-        graph.subject_count()
-    );
+    println!("loaded {} triples over {} subjects\n", graph.len(), graph.subject_count());
 
     let config = SpadeConfig {
         k: 5,
         interestingness: Interestingness::Variance,
-        min_cfs_size: 2,         // the example graph has only 2 CEOs
+        min_cfs_size: 2, // the example graph has only 2 CEOs
         min_support: 0.4,
         max_distinct_ratio: 5.0, // tiny graph: allow high-cardinality dims
         ..SpadeConfig::default()

@@ -29,13 +29,10 @@ fn main() {
     let ceo_cfs = cfs_list.iter().find(|c| c.name == "type:CEO").expect("CEO CFS");
     let a = analysis::analyze_cfs(&graph, ceo_cfs, &derived, &config);
 
-    let attr = |name: &str| {
-        &a.attributes.iter().find(|x| x.def.name == name).expect("attribute").def
-    };
-    let ceo_class = graph
-        .dict
-        .id_of(&Term::iri("http://ceos.example.org/CEO"))
-        .expect("CEO class");
+    let attr =
+        |name: &str| &a.attributes.iter().find(|x| x.def.name == name).expect("attribute").def;
+    let ceo_class =
+        graph.dict.id_of(&Term::iri("http://ceos.example.org/CEO")).expect("CEO class");
 
     // Example 3: number of CEOs by nationality, gender, company/area.
     println!("--- Example 3: count of CEOs by nationality, gender, company/area ---\n");

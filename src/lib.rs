@@ -38,6 +38,7 @@
 //! | [`stats`] | interestingness functions, Delta-Method CIs, sampling |
 //! | [`cube`] | MVDCube, ArrayCube and PGCube baselines, lattices/MMST, ARM |
 //! | [`core`] | the Spade pipeline: derivations, CFS selection, enumeration, evaluation, top-k |
+//! | [`store`] | zero-copy single-file snapshots of the offline state |
 //! | [`datagen`] | synthetic benchmark and simulated real-world graphs |
 
 pub use spade_bitmap as bitmap;
@@ -47,6 +48,7 @@ pub use spade_datagen as datagen;
 pub use spade_rdf as rdf;
 pub use spade_stats as stats;
 pub use spade_storage as storage;
+pub use spade_store as store;
 pub use spade_summary as summary;
 
 /// The most common imports, re-exported flat.

@@ -16,8 +16,8 @@ use std::collections::{BTreeMap, BTreeSet};
 /// numeric measure.
 #[derive(Clone, Debug)]
 struct RawData {
-    dims: Vec<Vec<Vec<u8>>>,   // dims[d][fact] = distinct value codes
-    measure: Vec<Vec<i32>>,    // measure[fact] = raw values
+    dims: Vec<Vec<Vec<u8>>>, // dims[d][fact] = distinct value codes
+    measure: Vec<Vec<i32>>,  // measure[fact] = raw values
 }
 
 fn raw_data(n_dims: usize, max_facts: usize) -> impl Strategy<Value = RawData> {
@@ -81,7 +81,8 @@ fn brute_force(data: &RawData) -> Reference {
                 entry.0 += 1; // each fact once per group
                 let values = &data.measure[fact];
                 if !values.is_empty() {
-                    let (c, s, lo, hi) = entry.1.get_or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
+                    let (c, s, lo, hi) =
+                        entry.1.get_or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
                     *c += values.len() as u64;
                     *s += values.iter().map(|&v| v as f64).sum::<f64>();
                     *lo = lo.min(*values.iter().min().unwrap() as f64);

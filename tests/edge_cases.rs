@@ -70,8 +70,8 @@ fn unicode_labels_survive_the_pipeline() {
 #[test]
 fn k_zero_and_k_huge() {
     let mut g = spade::datagen::ceos_figure1();
-    let zero = Spade::new(SpadeConfig { k: 0, min_cfs_size: 2, ..lenient_config() })
-        .run(&mut g);
+    let zero =
+        Spade::new(SpadeConfig { k: 0, min_cfs_size: 2, ..lenient_config() }).run(&mut g);
     assert!(zero.top.is_empty());
     let mut g = spade::datagen::ceos_figure1();
     let huge = Spade::new(SpadeConfig {
@@ -101,7 +101,11 @@ fn negative_measure_values() {
         g.insert(
             n.clone(),
             Term::iri("http://x/temp"),
-            Term::num(if i % 3 == 0 { -40.0 - i as f64 * 1.37 } else { 30.0 + i as f64 * 0.61 }),
+            Term::num(if i % 3 == 0 {
+                -40.0 - i as f64 * 1.37
+            } else {
+                30.0 + i as f64 * 0.61
+            }),
         );
     }
     let report = Spade::new(lenient_config()).run(&mut g);
@@ -117,9 +121,21 @@ fn negative_measure_values() {
 fn cyclic_graph_saturation_terminates() {
     // subClassOf cycle: saturation must reach a fixpoint, not loop.
     let mut g = Graph::new();
-    g.insert(Term::iri("http://x/A"), Term::iri(spade::rdf::vocab::RDFS_SUBCLASSOF), Term::iri("http://x/B"));
-    g.insert(Term::iri("http://x/B"), Term::iri(spade::rdf::vocab::RDFS_SUBCLASSOF), Term::iri("http://x/A"));
-    g.insert(Term::iri("http://x/n"), Term::iri(spade::rdf::vocab::RDF_TYPE), Term::iri("http://x/A"));
+    g.insert(
+        Term::iri("http://x/A"),
+        Term::iri(spade::rdf::vocab::RDFS_SUBCLASSOF),
+        Term::iri("http://x/B"),
+    );
+    g.insert(
+        Term::iri("http://x/B"),
+        Term::iri(spade::rdf::vocab::RDFS_SUBCLASSOF),
+        Term::iri("http://x/A"),
+    );
+    g.insert(
+        Term::iri("http://x/n"),
+        Term::iri(spade::rdf::vocab::RDF_TYPE),
+        Term::iri("http://x/A"),
+    );
     spade::rdf::saturate(&mut g);
     let b = g.dict.id_of(&Term::iri("http://x/B")).unwrap();
     assert_eq!(g.nodes_of_type(b).len(), 1);

@@ -5,8 +5,10 @@
 //! checked here.
 
 use spade::prelude::*;
-use spade_bench::{analyzed_lattices, compare_systems, evaluate_all_mvd, evaluate_all_mvd_es,
-    experiment_config, regen_graph, topk_accuracy};
+use spade_bench::{
+    analyzed_lattices, compare_systems, evaluate_all_mvd, evaluate_all_mvd_es,
+    experiment_config, regen_graph, topk_accuracy,
+};
 use spade_cube::EarlyStopConfig;
 use spade_datagen::RealisticConfig;
 
@@ -32,9 +34,7 @@ fn r1_derivations_enrich_the_search_space() {
             wd.profile.aggregates,
             wod.profile.aggregates
         );
-        let best = |r: &spade::core::SpadeReport| {
-            r.top.first().map(|t| t.score).unwrap_or(0.0)
-        };
+        let best = |r: &spade::core::SpadeReport| r.top.first().map(|t| t.score).unwrap_or(0.0);
         assert!(best(&wd) >= best(&wod), "{name}: best wD score regressed");
     }
 }

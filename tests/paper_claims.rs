@@ -3,8 +3,8 @@
 //! hand-built columns).
 
 use spade::core::{analysis, cfs, offline};
-use spade::cube::{mvd_cube, pg_cube, MvdCubeOptions, PgCubeVariant};
 use spade::cube::{compare_results, Lattice};
+use spade::cube::{mvd_cube, pg_cube, MvdCubeOptions, PgCubeVariant};
 use spade::prelude::*;
 
 /// Builds the Example 3 cube spec from the Figure 1 *graph* via the actual
@@ -58,9 +58,8 @@ fn example3_counts_from_real_graph() {
     let result = mvd_cube(&spec, &MvdCubeOptions::default());
     let area_node = result.node(0b100).unwrap();
     let col = a.attributes[dims[2]].categorical.as_ref().unwrap();
-    let manufacturer_code = (0..col.distinct_values() as u32)
-        .find(|&c| col.label(c) == "Manufacturer")
-        .unwrap();
+    let manufacturer_code =
+        (0..col.distinct_values() as u32).find(|&c| col.label(c) == "Manufacturer").unwrap();
     assert_eq!(area_node.groups[&vec![manufacturer_code]][0], Some(2.0));
 }
 

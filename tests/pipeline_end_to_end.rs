@@ -31,11 +31,7 @@ fn pipeline_is_deterministic() {
     let run = || {
         let mut g = realistic::nobel(&RealisticConfig { scale: 150, seed: 77 });
         let report = Spade::new(config()).run(&mut g);
-        report
-            .top
-            .iter()
-            .map(|t| (t.description(), t.score.to_bits()))
-            .collect::<Vec<_>>()
+        report.top.iter().map(|t| (t.description(), t.score.to_bits())).collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
@@ -60,11 +56,9 @@ fn interestingness_function_changes_ranking_dimension() {
     let mut g1 = realistic::ceos(&RealisticConfig { scale: 200, seed: 3 });
     let mut g2 = realistic::ceos(&RealisticConfig { scale: 200, seed: 3 });
     let variance = Spade::new(config()).run(&mut g1);
-    let skew = Spade::new(SpadeConfig {
-        interestingness: Interestingness::Skewness,
-        ..config()
-    })
-    .run(&mut g2);
+    let skew =
+        Spade::new(SpadeConfig { interestingness: Interestingness::Skewness, ..config() })
+            .run(&mut g2);
     // Scores live on different scales; both must produce valid rankings.
     assert!(variance.top[0].score >= variance.top.last().unwrap().score);
     assert!(skew.top[0].score >= skew.top.last().unwrap().score);
@@ -85,11 +79,9 @@ fn early_stop_report_fields_are_consistent() {
 #[test]
 fn stop_list_removes_dimension_from_results() {
     let mut g = realistic::ceos(&RealisticConfig { scale: 200, seed: 3 });
-    let report = Spade::new(SpadeConfig {
-        dimension_stop_list: vec!["nationality".into()],
-        ..config()
-    })
-    .run(&mut g);
+    let report =
+        Spade::new(SpadeConfig { dimension_stop_list: vec!["nationality".into()], ..config() })
+            .run(&mut g);
     for t in &report.top {
         assert!(
             t.dims.iter().all(|d| d != "nationality"),
