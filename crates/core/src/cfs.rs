@@ -45,6 +45,11 @@ impl CandidateFactSet {
 
 /// Runs the given strategies and returns deduplicated CFSs, largest first,
 /// filtered by `min_cfs_size` and capped at `max_cfs`.
+///
+/// Member materialization and normalization (the per-candidate index scans
+/// and sort+dedup) fan out over `config.threads` per strategy, merged in
+/// candidate order; the dedup-and-rank tail stays serial, so the selection
+/// is bit-identical at every thread count.
 pub fn select(
     graph: &Graph,
     strategies: &[CfsStrategy],
@@ -54,18 +59,15 @@ pub fn select(
     let mut seen_member_sets: HashSet<Vec<TermId>> = HashSet::new();
 
     for strategy in strategies {
-        match strategy {
+        let candidates: Vec<(String, Vec<TermId>)> = match strategy {
             CfsStrategy::TypeBased => {
                 let classes: Vec<TermId> = graph.classes().collect();
-                for class in classes {
-                    let members = graph.nodes_of_type(class);
-                    push_unique(
-                        &mut out,
-                        &mut seen_member_sets,
+                spade_parallel::map(classes, config.threads, |class| {
+                    (
                         format!("type:{}", graph.dict.display(class)),
-                        members,
-                    );
-                }
+                        normalized(graph.nodes_of_type(class)),
+                    )
+                })
             }
             CfsStrategy::PropertyBased(names) => {
                 let props: Vec<TermId> = names
@@ -73,26 +75,21 @@ pub fn select(
                     .filter_map(|n| graph.properties().find(|&p| graph.dict.display(p) == *n))
                     .collect();
                 if props.len() == names.len() && !props.is_empty() {
-                    let members = graph.subjects_with_properties(&props);
-                    push_unique(
-                        &mut out,
-                        &mut seen_member_sets,
-                        format!("props:{}", names.join("+")),
-                        members,
-                    );
+                    let members = normalized(graph.subjects_with_properties(&props));
+                    vec![(format!("props:{}", names.join("+")), members)]
+                } else {
+                    Vec::new()
                 }
             }
             CfsStrategy::SummaryBased => {
                 let summary = weak_summary(graph);
-                for class in &summary.classes {
-                    push_unique(
-                        &mut out,
-                        &mut seen_member_sets,
-                        format!("summary:{}", class.id),
-                        class.members.clone(),
-                    );
-                }
+                spade_parallel::map(summary.classes, config.threads, |class| {
+                    (format!("summary:{}", class.id), normalized(class.members))
+                })
             }
+        };
+        for (name, members) in candidates {
+            push_unique(&mut out, &mut seen_member_sets, name, members);
         }
     }
 
@@ -102,14 +99,20 @@ pub fn select(
     out
 }
 
+/// Sorted, deduplicated member list (the per-candidate normalization work
+/// the parallel pass performs).
+fn normalized(mut members: Vec<TermId>) -> Vec<TermId> {
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
 fn push_unique(
     out: &mut Vec<CandidateFactSet>,
     seen: &mut HashSet<Vec<TermId>>,
     name: String,
-    mut members: Vec<TermId>,
+    members: Vec<TermId>,
 ) {
-    members.sort_unstable();
-    members.dedup();
     if members.is_empty() || !seen.insert(members.clone()) {
         return;
     }

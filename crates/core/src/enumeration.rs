@@ -53,43 +53,42 @@ fn compatible(
 }
 
 /// Enumerates the lattices of one analyzed CFS.
+///
+/// The per-attribute tidset construction (a full fact scan per dimension
+/// candidate) and the per-root measure assignment are independent, so both
+/// fan out over `config.threads` with input-order merges — candidate
+/// generation is bit-identical at every thread count.
 pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpec> {
     let dim_attrs = analysis.dimension_attrs();
     if dim_attrs.is_empty() {
         return Vec::new();
     }
     // Tidsets over facts for the frequent-set mining.
-    let items: Vec<Item> = dim_attrs
-        .iter()
-        .map(|&ai| {
-            let col = analysis.attributes[ai].categorical.as_ref().expect("dims have columns");
-            let tidset = Bitmap::from_iter(
-                (0..analysis.n_facts() as u32).filter(|&f| !col.codes_of(FactId(f)).is_empty()),
-            );
-            Item { attr: ai, tidset }
-        })
-        .collect();
+    let items: Vec<Item> = spade_parallel::map(dim_attrs, config.threads, |ai| {
+        let col = analysis.attributes[ai].categorical.as_ref().expect("dims have columns");
+        let tidset = Bitmap::from_iter(
+            (0..analysis.n_facts() as u32).filter(|&f| !col.codes_of(FactId(f)).is_empty()),
+        );
+        Item { attr: ai, tidset }
+    });
     let min_count = ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
     let roots = maximal_frequent_sets(&items, min_count, config.max_lattice_dims, |a, b| {
         compatible(&analysis.attributes[a], &analysis.attributes[b])
     });
 
-    roots
-        .into_iter()
-        .map(|dims| {
-            let measures: Vec<usize> = analysis
-                .measure_attrs()
-                .into_iter()
-                .filter(|&mi| {
-                    !dims.contains(&mi)
-                        && dims.iter().all(|&di| {
-                            compatible(&analysis.attributes[di], &analysis.attributes[mi])
-                        })
-                })
-                .collect();
-            LatticeSpec { dims, measures }
-        })
-        .collect()
+    spade_parallel::map(roots, config.threads, |dims| {
+        let measures: Vec<usize> = analysis
+            .measure_attrs()
+            .into_iter()
+            .filter(|&mi| {
+                !dims.contains(&mi)
+                    && dims.iter().all(|&di| {
+                        compatible(&analysis.attributes[di], &analysis.attributes[mi])
+                    })
+            })
+            .collect();
+        LatticeSpec { dims, measures }
+    })
 }
 
 #[cfg(test)]

@@ -14,13 +14,17 @@
 //! resolves cross-lattice sharing (inherently order-dependent — earlier
 //! lattices claim shared aggregates), then every lattice's translation,
 //! early-stop pruning, and cube evaluation run independently on the
-//! [`crate::parallel`] pool, and a serial fold merges the outcomes in
+//! [`spade_parallel`] pool, and a serial fold merges the outcomes in
 //! lattice order so counters and results are identical at any thread count.
+//! The thread budget splits across the two fan-out levels
+//! ([`spade_parallel::split_budget`]): outer workers run whole lattices,
+//! and each lattice's leftover inner budget drives the region-sharded
+//! engine (and the early-stop pruning loop) *within* that lattice — the
+//! single-large-lattice shape then still uses every core.
 
 use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
 use crate::enumeration::LatticeSpec;
-use crate::parallel;
 use spade_cube::earlystop;
 use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
@@ -54,7 +58,10 @@ pub fn evaluate_cfs(
     config: &SpadeConfig,
 ) -> CfsEvaluation {
     let mut evaluation = CfsEvaluation::default();
-    let options = MvdCubeOptions::default();
+    // Split the thread budget: `outer` lattices in flight, each with
+    // `inner` workers for its intra-lattice region shards.
+    let (outer, inner) = spade_parallel::split_budget(config.threads, lattices.len());
+    let options = MvdCubeOptions { threads: inner, ..Default::default() };
 
     // —— serial planning: cross-lattice sharing ——
     // `(sorted dim attribute ids, MDA label)` pairs already evaluated in an
@@ -101,13 +108,13 @@ pub fn evaluate_cfs(
     // —— parallel per-lattice evaluation ——
     // Translation, early-stop pruning (each lattice draws from its own
     // seeded sample), and the cube run are independent per lattice.
-    let outcomes = parallel::map(work, config.threads, |(spec, mut alive)| {
+    let outcomes = spade_parallel::map(work, outer, |(spec, mut alive)| {
         let sample_cap = config.early_stop.map(|es| es.sample_size);
         let (lattice, translation) = prepare(&spec, &options, sample_cap);
         let mut pruned_by_es = 0usize;
         if let Some(es_config) = &config.early_stop {
             let samples = translation.samples.clone().expect("sampling enabled");
-            let outcome = earlystop::prune(&spec, &lattice, &samples, es_config);
+            let outcome = earlystop::prune(&spec, &lattice, &samples, es_config, inner);
             for (mask, flags) in &mut alive {
                 let es_flags = &outcome.alive[mask];
                 for (i, f) in flags.iter_mut().enumerate() {

@@ -29,7 +29,6 @@ pub mod enumeration;
 pub mod evaluate;
 pub mod mfs;
 pub mod offline;
-pub mod parallel;
 pub mod pipeline;
 pub mod sparql;
 pub mod text;
@@ -48,3 +47,8 @@ pub use pipeline::{
 /// The snapshot store serving this pipeline's offline state (re-exported so
 /// downstream users need not depend on `spade-store` directly).
 pub use spade_store as store;
+
+/// Historical alias for the fan-out primitives, kept for downstream users
+/// of the old `spade_core::parallel` module path.
+#[deprecated(note = "use the `spade_parallel` crate directly")]
+pub use spade_parallel as parallel;

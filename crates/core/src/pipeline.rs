@@ -277,27 +277,33 @@ impl Spade {
         let t = Instant::now();
         let graph_ref: &Graph = graph;
         let analyses: Vec<CfsAnalysis> =
-            crate::parallel::map(cfs_list.iter().collect(), self.config.threads, |cfs| {
+            spade_parallel::map(cfs_list.iter().collect(), self.config.threads, |cfs| {
                 analyze_cfs(graph_ref, cfs, &derived, &self.config)
             });
         report.timings.attribute_analysis = t.elapsed();
 
-        // —— Step 3: aggregate enumeration ——
+        // —— Step 3: aggregate enumeration (parallel per CFS; each CFS
+        // fans its tidset construction out further — see
+        // `enumeration::enumerate`) ——
         let t = Instant::now();
+        let (enum_outer, enum_inner) =
+            spade_parallel::split_budget(self.config.threads, analyses.len());
+        let enum_config = SpadeConfig { threads: enum_inner, ..self.config.clone() };
         let lattice_specs: Vec<Vec<LatticeSpec>> =
-            analyses.iter().map(|a| enumerate(a, &self.config)).collect();
+            spade_parallel::map(analyses.iter().collect(), enum_outer, |a| {
+                enumerate(a, &enum_config)
+            });
         report.timings.enumeration = t.elapsed();
 
         // —— Step 4: aggregate evaluation (parallel per CFS; each CFS fans
-        // its lattices out further — see `evaluate::evaluate_cfs`). The
-        // thread budget is split across the two levels so the total worker
-        // count stays at `threads` instead of `threads²`. ——
+        // its lattices — and each lattice its region shards — out further,
+        // see `evaluate::evaluate_cfs`). The thread budget is split across
+        // the levels so the total worker count stays at `threads` instead
+        // of `threads²`. ——
         let t = Instant::now();
-        let resolved = crate::parallel::resolve_threads(self.config.threads);
-        let outer = resolved.min(analyses.len().max(1));
-        let inner_config =
-            SpadeConfig { threads: (resolved / outer).max(1), ..self.config.clone() };
-        let evaluations: Vec<_> = crate::parallel::map(
+        let (outer, inner) = spade_parallel::split_budget(self.config.threads, analyses.len());
+        let inner_config = SpadeConfig { threads: inner, ..self.config.clone() };
+        let evaluations: Vec<_> = spade_parallel::map(
             analyses.iter().zip(&lattice_specs).collect(),
             outer,
             |(analysis, lattices)| evaluate_cfs(analysis, lattices, &inner_config),
@@ -335,7 +341,7 @@ impl Spade {
                     .map(move |(lattice_idx, result)| (cfs_idx, lattice_idx, result))
             })
             .collect();
-        let per_result: Vec<Vec<Scored>> = crate::parallel::map(
+        let per_result: Vec<Vec<Scored>> = spade_parallel::map(
             score_inputs,
             self.config.threads,
             |(cfs_idx, lattice_idx, result)| {

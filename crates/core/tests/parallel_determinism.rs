@@ -98,3 +98,60 @@ fn top_k_with_early_stop_is_identical_across_thread_counts() {
         assert_eq!(serial, run_pipeline(threads, true), "threads={threads}");
     }
 }
+
+/// The thread counts every intra-lattice test sweeps: 1/2/8 always, plus an
+/// optional `SPADE_TEST_THREADS` override so CI can pin an exact worker
+/// count (the release job sets 8).
+fn thread_sweep() -> Vec<usize> {
+    let mut sweep = vec![1usize, 2, 8];
+    if let Some(n) = std::env::var("SPADE_TEST_THREADS").ok().and_then(|v| v.parse().ok()) {
+        if !sweep.contains(&n) {
+            sweep.push(n);
+        }
+    }
+    sweep
+}
+
+/// One *single-CFS, single-lattice* workload — the shape the region-sharded
+/// executor targets: all parallelism must come from inside the one lattice.
+fn single_lattice_run(threads: usize, early_stop: bool) -> (Vec<CubeResult>, usize) {
+    let g = realistic::ceos(&RealisticConfig { scale: 300, seed: 11 });
+    let mut config = SpadeConfig { min_support: 0.3, threads, ..Default::default() };
+    if early_stop {
+        config = SpadeConfig { k: 2, ..config }.with_early_stop();
+    }
+    let stats = offline::analyze(&g);
+    let (derived, _) = offline::enumerate_derivations(&g, &stats, &config);
+    let cfs_list = select(&g, &[CfsStrategy::TypeBased], &config);
+    let ceo = cfs_list.iter().find(|c| c.name == "type:CEO").unwrap();
+    let analysis = analyze_cfs(&g, ceo, &derived, &config);
+    let lattices = enumerate(&analysis, &config);
+    // Restrict to ONE lattice so the per-CFS/per-lattice fan-out degenerates
+    // and only the intra-lattice (region-shard) parallelism remains.
+    let one = vec![lattices.into_iter().next().expect("CEOs yield a lattice")];
+    let eval = evaluate_cfs(&analysis, &one, &config);
+    (eval.results, eval.pruned_by_es)
+}
+
+#[test]
+fn single_lattice_evaluation_is_bit_identical_across_thread_counts() {
+    let (serial, _) = single_lattice_run(1, false);
+    assert_eq!(serial.len(), 1);
+    for threads in thread_sweep() {
+        let (parallel, _) = single_lattice_run(threads, false);
+        assert_results_identical(&serial[0], &parallel[0], &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn single_lattice_early_stop_is_bit_identical_across_thread_counts() {
+    // The early-stop pruning loop aggregates per-node shard counters; its
+    // decisions (and the pruned evaluation) must not depend on scheduling.
+    let (serial, serial_pruned) = single_lattice_run(1, true);
+    assert!(serial_pruned > 0, "workload must actually trigger early-stop pruning");
+    for threads in thread_sweep() {
+        let (parallel, pruned) = single_lattice_run(threads, true);
+        assert_eq!(serial_pruned, pruned, "threads={threads}: pruned count");
+        assert_results_identical(&serial[0], &parallel[0], &format!("threads={threads} es"));
+    }
+}

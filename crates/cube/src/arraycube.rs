@@ -13,7 +13,7 @@
 //! Lemma 1 / Theorem 1 empirically); use [`crate::mvd_cube`] for correct
 //! results.
 
-use crate::engine::{run_engine, CubeAlgebra};
+use crate::engine::{run_engine, CubeAlgebra, EngineExec};
 use crate::mvdcube::{prepare, MvdCubeOptions};
 use crate::result::CubeResult;
 use crate::spec::{CubeSpec, MdaKind};
@@ -140,7 +140,7 @@ impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
 pub fn array_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = ArrayAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None, options.store_policy)
+    run_engine(spec, &lattice, &translation, &algebra, None, EngineExec::from_options(options))
 }
 
 #[cfg(test)]

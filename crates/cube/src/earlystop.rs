@@ -91,69 +91,84 @@ fn estimation_group_cap(n_facts: usize) -> usize {
 /// `group_cap` groups (others skip estimation entirely). Each merged child
 /// sample is re-capped at the reservoir capacity so per-node estimation
 /// work stays `O(#groups · sample_size)` — the sampling analogue of "each
-/// node in the MMST receives its own sample" (Section 5.3).
+/// node in the MMST receives its own sample" (Section 5.3). Nodes are
+/// independent, so the projection fans out over `threads` and merges in
+/// node order.
 fn project_samples(
     lattice: &Lattice,
     samples: &SampleSet,
     group_cap: usize,
+    threads: usize,
 ) -> HashMap<u32, NodeSamples> {
     let strides = crate::translate::strides_for(&lattice.domains);
-    let mut out = HashMap::new();
-    'nodes: for mask in lattice.nodes() {
-        let dims = lattice.dims_of(mask);
-        // Packed mixed-radix strides over the node's own dims, so projected
-        // group keys fit in a u64 (no per-cell allocation).
-        let node_domains: Vec<u32> = dims.iter().map(|&d| lattice.domains[d]).collect();
-        let node_strides = crate::translate::strides_for(&node_domains);
-        // child group key ← root cell index. Groups with a null coordinate
-        // along the node's dims are not part of its visible result and are
-        // excluded from score estimation.
-        let mut grouped: HashMap<u64, (Vec<u32>, u64)> = HashMap::new();
-        for (&cell, (facts, seen)) in &samples.groups {
-            let mut has_null = false;
-            let mut key = 0u64;
-            for (i, &d) in dims.iter().enumerate() {
-                let code = (cell / strides[d]) % lattice.domains[d] as u64;
-                if code == lattice.domains[d] as u64 - 1 {
-                    has_null = true;
-                    break;
-                }
-                key += code * node_strides[i];
+    let projected = spade_parallel::map(lattice.nodes(), threads, |mask| {
+        project_node(lattice, samples, group_cap, &strides, mask).map(|ns| (mask, ns))
+    });
+    projected.into_iter().flatten().collect()
+}
+
+/// One node's projected sample, or `None` when estimating it would cost
+/// more than evaluating it (it then stays alive, never pruned). `strides`
+/// are the root cell strides, hoisted out of the per-node fan-out.
+fn project_node(
+    lattice: &Lattice,
+    samples: &SampleSet,
+    group_cap: usize,
+    strides: &[u64],
+    mask: u32,
+) -> Option<NodeSamples> {
+    let dims = lattice.dims_of(mask);
+    // Packed mixed-radix strides over the node's own dims, so projected
+    // group keys fit in a u64 (no per-cell allocation).
+    let node_domains: Vec<u32> = dims.iter().map(|&d| lattice.domains[d]).collect();
+    let node_strides = crate::translate::strides_for(&node_domains);
+    // child group key ← root cell index. Groups with a null coordinate
+    // along the node's dims are not part of its visible result and are
+    // excluded from score estimation.
+    let mut grouped: HashMap<u64, (Vec<u32>, u64)> = HashMap::new();
+    for (&cell, (facts, seen)) in &samples.groups {
+        let mut has_null = false;
+        let mut key = 0u64;
+        for (i, &d) in dims.iter().enumerate() {
+            let code = (cell / strides[d]) % lattice.domains[d] as u64;
+            if code == lattice.domains[d] as u64 - 1 {
+                has_null = true;
+                break;
             }
-            if has_null {
-                continue;
-            }
-            let entry = grouped.entry(key).or_default();
-            entry.0.extend_from_slice(facts);
-            entry.1 += seen;
-            if grouped.len() > group_cap {
-                continue 'nodes; // estimation would cost more than it saves
-            }
+            key += code * node_strides[i];
         }
-        // Singleton-ish groups make the per-group variance (and hence the
-        // CI) meaningless, and such nodes are as expensive to estimate as
-        // to evaluate — skip them (they stay alive).
-        let total_sampled: usize = grouped.values().map(|(f, _)| f.len()).sum();
-        if grouped.len() < 2 || total_sampled < 2 * grouped.len() {
-            continue 'nodes;
+        if has_null {
+            continue;
         }
-        let groups = grouped
-            .into_values()
-            .map(|(mut facts, seen)| {
-                // A multi-valued fact sampled in several root groups must
-                // count once in the consolidated child group (the sampling
-                // analogue of the bitmap union). Reservoir contents are
-                // uniform, so truncating the merged pool keeps a valid
-                // (if slightly clustered) sample.
-                facts.sort_unstable();
-                facts.dedup();
-                facts.truncate(samples.capacity);
-                (facts, seen)
-            })
-            .collect();
-        out.insert(mask, NodeSamples { groups });
+        let entry = grouped.entry(key).or_default();
+        entry.0.extend_from_slice(facts);
+        entry.1 += seen;
+        if grouped.len() > group_cap {
+            return None; // estimation would cost more than it saves
+        }
     }
-    out
+    // Singleton-ish groups make the per-group variance (and hence the
+    // CI) meaningless, and such nodes are as expensive to estimate as
+    // to evaluate — skip them (they stay alive).
+    let total_sampled: usize = grouped.values().map(|(f, _)| f.len()).sum();
+    if grouped.len() < 2 || total_sampled < 2 * grouped.len() {
+        return None;
+    }
+    let groups = grouped
+        .into_values()
+        .map(|(mut facts, seen)| {
+            // A multi-valued fact sampled in several root groups must
+            // count once in the consolidated child group (the sampling
+            // analogue of the bitmap union). Reservoir contents are
+            // uniform, so truncating the merged pool keeps a valid
+            // (if slightly clustered) sample.
+            facts.sort_unstable();
+            facts.dedup();
+            facts.truncate(samples.capacity);
+            (facts, seen)
+        })
+        .collect();
+    Some(NodeSamples { groups })
 }
 
 /// The per-fact sampled value and estimator kind for an MDA.
@@ -192,15 +207,22 @@ fn fact_value(spec: &CubeSpec<'_>, measure: usize, agg: AggFn, fact: u32) -> Opt
 }
 
 /// Runs the early-stop pruning loop over the stratified samples.
+///
+/// Each batch fans the per-node moment updates and interval computations
+/// out over `threads` (`0` = all cores, `1` = serial) and aggregates the
+/// node-local results **in node order**, so every pruning decision — and
+/// therefore the returned liveness map — is bit-identical at any thread
+/// count.
 pub fn prune(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
     samples: &SampleSet,
     config: &EarlyStopConfig,
+    threads: usize,
 ) -> EarlyStopOutcome {
     let mdas = spec.mdas();
     let cap = estimation_group_cap(spec.n_facts);
-    let node_samples = project_samples(lattice, samples, cap);
+    let node_samples = project_samples(lattice, samples, cap, threads);
     let masks = lattice.nodes();
     let total = masks.len() * mdas.len();
 
@@ -221,70 +243,78 @@ pub fn prune(
     let estimable: Vec<u32> =
         masks.iter().copied().filter(|m| node_samples.contains_key(m)).collect();
 
-    // Per (node, MDA): running per-group moments, extended batch by batch —
-    // the incremental estimate update of Section 5.1 ("After scanning a
-    // batch, we update the estimate"). Groups are aligned with the node's
-    // sample-group list; a group with zero observed measure values is
-    // skipped at interval time.
-    let mut states: HashMap<u32, Vec<Vec<GroupSample>>> = HashMap::new();
-    for &mask in &estimable {
-        let ns = &node_samples[&mask];
-        let per_mda: Vec<Vec<GroupSample>> = mdas
-            .iter()
-            .map(|_| {
-                ns.groups
-                    .iter()
-                    .map(|(_, seen)| GroupSample { group_size: *seen, ..Default::default() })
-                    .collect()
-            })
-            .collect();
-        states.insert(mask, per_mda);
-    }
+    // Per estimable node, per MDA: running per-group moments, extended
+    // batch by batch — the incremental estimate update of Section 5.1
+    // ("After scanning a batch, we update the estimate"). Groups are
+    // aligned with the node's sample-group list; a group with zero observed
+    // measure values is skipped at interval time. The vector is aligned
+    // with `estimable` so states can round-trip through the ordered
+    // fan-out below.
+    let mut states: Vec<Vec<Vec<GroupSample>>> = estimable
+        .iter()
+        .map(|mask| {
+            let ns = &node_samples[mask];
+            mdas.iter()
+                .map(|_| {
+                    ns.groups
+                        .iter()
+                        .map(|(_, seen)| GroupSample {
+                            group_size: *seen,
+                            ..Default::default()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
 
     for batch in 0..config.batches {
         let from = (batch * batch_len).min(samples.capacity);
         let cut = ((batch + 1) * batch_len).min(samples.capacity);
         batches_run += 1;
 
-        // Extend the per-group moments with this batch's slice of sampled
-        // facts, one fact pass per group feeding every alive measure MDA.
-        for &mask in &estimable {
+        // —— per-node shards (parallel, single-owner state) ——
+        // Each node extends its per-group moments with this batch's slice
+        // of sampled facts and computes the intervals of its alive
+        // aggregates. `map` returns shards in node order, so the interval
+        // list below is identical at every thread count.
+        let work: Vec<(u32, Vec<Vec<GroupSample>>)> =
+            estimable.iter().copied().zip(std::mem::take(&mut states)).collect();
+        let alive_ref = &alive;
+        let shards = spade_parallel::map(work, threads, |(mask, mut node_states)| {
             let ns = &node_samples[&mask];
+            let alive_flags = &alive_ref[&mask];
             let alive_mdas: Vec<usize> = (0..mdas.len())
                 .filter(|&mi| {
-                    alive[&mask][mi] && matches!(mdas[mi].kind, MdaKind::Measure { .. })
+                    alive_flags[mi] && matches!(mdas[mi].kind, MdaKind::Measure { .. })
                 })
                 .collect();
-            if alive_mdas.is_empty() {
-                continue;
-            }
-            let node_states = states.get_mut(&mask).expect("estimable node state");
-            for (gi, (facts, _)) in ns.groups.iter().enumerate() {
-                let lo = from.min(facts.len());
-                let hi = cut.min(facts.len());
-                for &fact in &facts[lo..hi] {
-                    for &mi in &alive_mdas {
-                        let MdaKind::Measure { measure, agg } = mdas[mi].kind else {
-                            unreachable!()
-                        };
-                        if let Some(v) = fact_value(spec, measure, agg, fact) {
-                            node_states[mi][gi].moments.push(v);
+            if !alive_mdas.is_empty() {
+                for (gi, (facts, _)) in ns.groups.iter().enumerate() {
+                    let lo = from.min(facts.len());
+                    let hi = cut.min(facts.len());
+                    for &fact in &facts[lo..hi] {
+                        for &mi in &alive_mdas {
+                            let MdaKind::Measure { measure, agg } = mdas[mi].kind else {
+                                unreachable!()
+                            };
+                            if let Some(v) = fact_value(spec, measure, agg, fact) {
+                                node_states[mi][gi].moments.push(v);
+                            }
                         }
                     }
                 }
             }
-        }
 
-        // Interval per alive aggregate from the accumulated moments.
-        let mut intervals: Vec<(u32, usize, spade_stats::ScoreInterval)> = Vec::new();
-        let mut filtered: Vec<GroupSample> = Vec::new();
-        for &mask in &estimable {
+            // Interval per alive aggregate from the accumulated moments.
+            let mut intervals: Vec<(usize, spade_stats::ScoreInterval)> = Vec::new();
+            let mut filtered: Vec<GroupSample> = Vec::new();
             for (mi, mda) in mdas.iter().enumerate() {
-                if !alive[&mask][mi] {
+                if !alive_flags[mi] {
                     continue;
                 }
                 let (estimator, measure) = estimator_for(spec, &mda.kind);
-                let state = &states[&mask][mi];
+                let state = &node_states[mi];
                 filtered.clear();
                 match measure {
                     None => filtered.extend(state.iter().copied()),
@@ -293,9 +323,16 @@ pub fn prune(
                     }
                 }
                 let bounds = measure.and_then(|m| spec.measures[m].preagg.global_bounds());
-                let interval = ci.interval(estimator, &filtered, bounds);
-                intervals.push((mask, mi, interval));
+                intervals.push((mi, ci.interval(estimator, &filtered, bounds)));
             }
+            (node_states, intervals)
+        });
+
+        // —— deterministic aggregation of the shard-local results ——
+        let mut intervals: Vec<(u32, usize, spade_stats::ScoreInterval)> = Vec::new();
+        for (&mask, (node_states, node_intervals)) in estimable.iter().zip(shards) {
+            states.push(node_states);
+            intervals.extend(node_intervals.into_iter().map(|(mi, iv)| (mask, mi, iv)));
         }
 
         // k-th best lower bound among alive aggregates.

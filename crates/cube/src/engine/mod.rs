@@ -1,0 +1,287 @@
+//! The shared one-pass lattice evaluation engine — region-sharded.
+//!
+//! MVDCube and the classical ArrayCube baseline differ only in what a cube
+//! cell *holds* and how parent cells combine into child cells:
+//!
+//! * MVDCube cells hold **fact sets** (Roaring bitmaps); combination is set
+//!   union, which consolidates a multi-valued fact that occupies several
+//!   parent cells into one child membership (the correctness fix);
+//! * ArrayCube cells hold **partial aggregates**; combination is algebraic
+//!   addition, which double-counts exactly as Lemma 1 describes.
+//!
+//! Everything else — partition iteration, MMST propagation, the
+//! write-to-disk check, measure emit — is the same machinery, captured by
+//! [`CubeAlgebra`] and [`run_engine`] and organised as a module tree:
+//! [`geometry`] (per-node array geometry and projections), [`store`] (flat
+//! dense/sparse region storage and batched fan-in merges), [`shard`] (the
+//! shard plan and per-shard cascade), and [`emit`] (cross-shard merge and
+//! parallel measure computation).
+//!
+//! ## Shard lifecycle (intra-lattice parallelism)
+//!
+//! Cube memory is keyed by *(MMST node, region)*, where a node's region is
+//! the projection of partition (chunk) coordinates onto its dimensions, and
+//! there is **no cross-region data flow within a node** — a parent region
+//! feeds exactly one region of each child. One evaluation therefore runs as
+//! a fan-out over *region shards*:
+//!
+//! 1. **Plan** ([`shard::plan_shards`]): the translation's cell stream is
+//!    cut into contiguous shards of roughly equal weight (cell count plus
+//!    fact cardinality). The auto plan targets a few shards per resolved
+//!    worker — one worker plans exactly one shard, so a serial run pays no
+//!    decomposition tax; `shard_weight` pins an exact granularity instead.
+//! 2. **Cascade** ([`shard::run_shard`], fanned out on
+//!    [`spade_parallel::map`]): each shard replays the serial engine's
+//!    flush cascade over its slice with shard-local partition counters,
+//!    *parking* each completed region's sorted cell list instead of
+//!    emitting measures. A single-shard plan skips parking entirely and
+//!    emits at flush time ([`shard::run_shard_emit`]), keeping the serial
+//!    engine's `O(in-flight regions)` memory profile.
+//! 3. **Merge + emit** ([`emit::merge_and_emit`]): per `(node, region)`,
+//!    the shard partials merge by a balanced pairwise tree in shard order
+//!    (cells sharing a local index combine via [`CubeAlgebra::merge`]),
+//!    then the merged cell lists are cut into weighted emit tasks that
+//!    compute group keys and measures in parallel; a serial fold writes
+//!    the results.
+//!
+//! ## Determinism argument
+//!
+//! The engine's output is **plan-invariant** — a property strictly
+//! stronger than thread-count determinism:
+//!
+//! * a shard decomposition only changes *which intermediate partials
+//!   exist*, never the final content of a cell: projection maps each
+//!   parent cell to exactly one child cell, and [`CubeAlgebra::merge`] is
+//!   associative and commutative (set union for MVDCube), so merging
+//!   partials at the child equals merging at the parent and then
+//!   projecting, whatever the grouping;
+//! * measures are emitted exactly once per cell, from its fully merged
+//!   payload — for MVDCube every emitted `f64` is a function of the final
+//!   fact set alone, so it cannot observe the decomposition;
+//! * every fan-out ([`spade_parallel::map`]) returns results in input
+//!   order and each shard is single-owner, so no ordering the computation
+//!   depends on is left to the scheduler.
+//!
+//! Hence `threads` (which only picks the shard count and the worker pool)
+//! is a pure latency knob: results are bit-identical at every value, on
+//! every machine. For a cell algebra whose merge is associative only up to
+//! floating-point rounding (the ArrayCube baseline's partial sums), the
+//! last bits can depend on the plan; such runs pin `shard_weight` (or keep
+//! the default single-worker plan, as every experiment binary does) to fix
+//! the grouping. The pipeline itself only evaluates the MVD algebra.
+//!
+//! `crates/core/tests/parallel_determinism.rs` pins thread-count
+//! determinism end to end at 1/2/8 threads; `crates/cube/tests/store_prop.rs`
+//! pins plan-invariance itself, comparing the sharded engine bit-exactly
+//! against the preserved [`crate::engine_baseline`] across storage
+//! policies, thread counts, and arbitrary shard granularities.
+
+pub(crate) mod emit;
+pub(crate) mod geometry;
+pub(crate) mod shard;
+pub(crate) mod store;
+
+pub use geometry::{CellStorePolicy, DENSE_CAPACITY_LIMIT};
+
+use crate::lattice::Lattice;
+use crate::result::CubeResult;
+use crate::spec::CubeSpec;
+use crate::translate::Translation;
+use geometry::{node_geom, NodeGeom, Projection};
+use spade_bitmap::Bitmap;
+use std::collections::HashMap;
+
+/// What a cube cell holds and how cells combine — the algorithm-specific
+/// part of lattice evaluation. `Sync`/`Send` bounds let the engine fan the
+/// cascade and emit phases out over threads; `merge` must be associative
+/// and commutative (see the module docs' determinism argument).
+pub(crate) trait CubeAlgebra: Sync {
+    /// Cell payload.
+    type Cell: Clone + Send + Sync;
+
+    /// Per-node precomputed emit state (e.g. which measures are needed),
+    /// hoisted out of the per-cell hot path.
+    type EmitPlan: Send + Sync;
+
+    /// Reusable per-task scratch buffers for `emit` (e.g. the decoded
+    /// fact list), so the hot path allocates nothing per cell.
+    type EmitScratch: Default;
+
+    /// Builds a root cell from the facts of one array cell.
+    fn root_cell(&self, facts: &Bitmap) -> Self::Cell;
+
+    /// Combines a parent's cell into a child's cell (projection step).
+    fn merge(&self, into: &mut Self::Cell, from: &Self::Cell);
+
+    /// Combines a *run* of cells into one (the fan-in path: every parent
+    /// cell projecting onto the same child cell, batched by the engine's
+    /// sorted storage). Defaults to folding [`CubeAlgebra::merge`] in
+    /// order; algebras with an associative combine can override with a
+    /// one-pass k-way merge.
+    fn merge_run(&self, into: &mut Self::Cell, from: &[&Self::Cell]) {
+        for f in from {
+            self.merge(into, f);
+        }
+    }
+
+    /// Prepares per-node emit state from the node's MDA liveness.
+    fn plan_emit(&self, alive: &[bool]) -> Self::EmitPlan;
+
+    /// Computes the per-MDA values of a finished cell. `alive[i] == false`
+    /// means MDA `i` was pruned by early-stop and must not be computed.
+    fn emit(
+        &self,
+        cell: &Self::Cell,
+        alive: &[bool],
+        plan: &Self::EmitPlan,
+        scratch: &mut Self::EmitScratch,
+    ) -> Vec<Option<f64>>;
+}
+
+/// The read-only per-evaluation plan every shard and emit task shares:
+/// geometry, projections (pre-filtered to surviving subtrees), MDA
+/// liveness, and per-node emit plans.
+pub(crate) struct LatticePlan<A: CubeAlgebra> {
+    pub(crate) root: u32,
+    /// All node masks, root first.
+    pub(crate) nodes: Vec<u32>,
+    pub(crate) geoms: HashMap<u32, NodeGeom>,
+    pub(crate) projections: HashMap<u32, Vec<Projection>>,
+    /// node → per-MDA alive flags.
+    pub(crate) alive: HashMap<u32, Vec<bool>>,
+    /// node → whether any MDA is alive (the node emits / parks).
+    pub(crate) emits: HashMap<u32, bool>,
+    /// node → precomputed emit plan (needed measures etc.).
+    pub(crate) plans: HashMap<u32, A::EmitPlan>,
+    /// Whether the root's subtree emits anything at all.
+    pub(crate) keep_root: bool,
+}
+
+fn build_plan<A: CubeAlgebra>(
+    spec: &CubeSpec<'_>,
+    lattice: &Lattice,
+    algebra: &A,
+    alive: Option<&HashMap<u32, Vec<bool>>>,
+    policy: CellStorePolicy,
+) -> LatticePlan<A> {
+    let mmst = lattice.mmst();
+    let n_mdas = spec.mdas().len();
+    let nodes = lattice.nodes();
+
+    let mut geoms = HashMap::new();
+    for &mask in &nodes {
+        geoms.insert(mask, node_geom(lattice, mask, policy));
+    }
+
+    // Liveness: default everything alive; keep = self or descendant alive.
+    let alive_map: HashMap<u32, Vec<bool>> = nodes
+        .iter()
+        .map(|&m| {
+            let flags =
+                alive.and_then(|a| a.get(&m).cloned()).unwrap_or_else(|| vec![true; n_mdas]);
+            assert_eq!(flags.len(), n_mdas);
+            (m, flags)
+        })
+        .collect();
+    let emits: HashMap<u32, bool> =
+        alive_map.iter().map(|(&m, flags)| (m, flags.iter().any(|&a| a))).collect();
+    let plans: HashMap<u32, A::EmitPlan> =
+        alive_map.iter().map(|(&m, flags)| (m, algebra.plan_emit(flags))).collect();
+    let mut keep: HashMap<u32, bool> = HashMap::new();
+    for &mask in mmst.topological().iter().rev() {
+        let child_alive = mmst.children_of(mask).iter().any(|c| keep[c]);
+        keep.insert(mask, emits[&mask] || child_alive);
+    }
+
+    // Projections, pre-filtered to children whose subtree still emits —
+    // the flush hot path then never consults the keep map.
+    let n_chunks = lattice.n_chunks();
+    let mut projections: HashMap<u32, Vec<Projection>> = HashMap::new();
+    for &mask in &nodes {
+        let parent_dims = &geoms[&mask].dims;
+        let projs: Vec<Projection> = mmst
+            .children_of(mask)
+            .iter()
+            .filter(|child| keep[child])
+            .map(|&child| {
+                let dropped = mmst.parent[&child].1;
+                let pos = parent_dims.iter().position(|&d| d == dropped).unwrap();
+                let local_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| lattice.chunks[i] as u64).product();
+                let region_below: u64 =
+                    parent_dims[pos + 1..].iter().map(|&i| n_chunks[i] as u64).product();
+                Projection {
+                    child_mask: child,
+                    local_d: lattice.chunks[dropped] as u64,
+                    local_below,
+                    region_d: n_chunks[dropped] as u64,
+                    region_below,
+                }
+            })
+            .collect();
+        if !projs.is_empty() {
+            projections.insert(mask, projs);
+        }
+    }
+
+    let root = lattice.root_mask();
+    let keep_root = keep[&root];
+    LatticePlan { root, nodes, geoms, projections, alive: alive_map, emits, plans, keep_root }
+}
+
+/// The engine's execution knobs (extracted from [`crate::mvdcube::MvdCubeOptions`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EngineExec {
+    /// Dense/sparse cell storage selection.
+    pub(crate) policy: CellStorePolicy,
+    /// Workers for the shard cascade and emit phases (`0` = all cores,
+    /// `1` = serial); results are bit-identical for every value.
+    pub(crate) threads: usize,
+    /// Shard granularity override (tests/benchmarks; `None` = auto).
+    pub(crate) shard_weight: Option<u64>,
+}
+
+impl EngineExec {
+    pub(crate) fn from_options(options: &crate::mvdcube::MvdCubeOptions) -> Self {
+        EngineExec {
+            policy: options.store_policy,
+            threads: options.threads,
+            shard_weight: options.shard_weight,
+        }
+    }
+}
+
+/// Runs the region-sharded engine over a translation.
+///
+/// `alive` gives per-node MDA liveness (from early-stop); pass `None` to
+/// evaluate everything. See [`EngineExec`] for the execution knobs and the
+/// module docs for the shard lifecycle.
+pub(crate) fn run_engine<A: CubeAlgebra>(
+    spec: &CubeSpec<'_>,
+    lattice: &Lattice,
+    translation: &Translation,
+    algebra: &A,
+    alive: Option<&HashMap<u32, Vec<bool>>>,
+    exec: EngineExec,
+) -> CubeResult {
+    let labels = spec.mdas().into_iter().map(|m| m.label).collect();
+    let result = CubeResult::new(labels);
+    let plan = build_plan(spec, lattice, algebra, alive, exec.policy);
+    if !plan.keep_root {
+        return result;
+    }
+    let shards = shard::plan_shards(translation, exec.shard_weight, exec.threads);
+    if let [chunks] = shards.as_slice() {
+        // Single-shard plan: every region is globally complete when it
+        // flushes, so measures are emitted at flush time and the cascade
+        // keeps the serial engine's O(in-flight regions) memory profile —
+        // no partials, no merge phase.
+        let mut result = result;
+        shard::run_shard_emit(algebra, &plan, translation, chunks, &mut result);
+        return result;
+    }
+    let outputs = spade_parallel::map(shards, exec.threads, |chunks| {
+        shard::run_shard(algebra, &plan, translation, &chunks)
+    });
+    emit::merge_and_emit(algebra, &plan, outputs, exec.threads, result)
+}

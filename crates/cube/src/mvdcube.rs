@@ -9,7 +9,7 @@
 //! by joining each cell's bitmap with the per-fact pre-aggregated measures
 //! (`⊗`), which are ordered by fact ID like the bitmaps.
 
-use crate::engine::{run_engine, CellStorePolicy, CubeAlgebra};
+use crate::engine::{run_engine, CellStorePolicy, CubeAlgebra, EngineExec};
 use crate::lattice::Lattice;
 use crate::result::CubeResult;
 use crate::spec::{CubeSpec, MdaKind};
@@ -28,11 +28,26 @@ pub struct MvdCubeOptions {
     pub seed: u64,
     /// Dense/sparse cell storage selection (see [`CellStorePolicy`]).
     pub store_policy: CellStorePolicy,
+    /// Worker threads for the region-sharded engine *within this one
+    /// lattice* (`0` = all cores, `1` = serial). A pure latency knob:
+    /// MVDCube results are plan-invariant (see the engine module docs), so
+    /// every value yields bit-identical results.
+    pub threads: usize,
+    /// Target shard weight override for the region-sharded executor
+    /// (`None` = auto); exposed for tests and benchmarks so equivalence
+    /// properties can sweep shard granularities.
+    pub shard_weight: Option<u64>,
 }
 
 impl Default for MvdCubeOptions {
     fn default() -> Self {
-        MvdCubeOptions { chunk_size: None, seed: 0xC0FFEE, store_policy: CellStorePolicy::Auto }
+        MvdCubeOptions {
+            chunk_size: None,
+            seed: 0xC0FFEE,
+            store_policy: CellStorePolicy::Auto,
+            threads: 1,
+            shard_weight: None,
+        }
     }
 }
 
@@ -186,7 +201,7 @@ pub fn prepare(
 pub fn mvd_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = MvdAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None, options.store_policy)
+    run_engine(spec, &lattice, &translation, &algebra, None, EngineExec::from_options(options))
 }
 
 /// Evaluates with a per-node MDA liveness map (early-stop output): dead
@@ -200,11 +215,19 @@ pub fn mvd_cube_pruned(
     alive: &HashMap<u32, Vec<bool>>,
 ) -> CubeResult {
     let algebra = MvdAlgebra::new(spec);
-    run_engine(spec, lattice, translation, &algebra, Some(alive), options.store_policy)
+    run_engine(
+        spec,
+        lattice,
+        translation,
+        &algebra,
+        Some(alive),
+        EngineExec::from_options(options),
+    )
 }
 
 /// Runs early-stop pruning and then evaluates the surviving MDAs — the
-/// integration described in Section 5.3.
+/// integration described in Section 5.3. Both the pruning loop and the
+/// evaluation fan out over `options.threads`.
 pub fn mvd_cube_with_earlystop(
     spec: &CubeSpec<'_>,
     options: &MvdCubeOptions,
@@ -212,7 +235,7 @@ pub fn mvd_cube_with_earlystop(
 ) -> (CubeResult, crate::earlystop::EarlyStopOutcome) {
     let (lattice, translation) = prepare(spec, options, Some(config.sample_size));
     let samples = translation.samples.clone().expect("sampling was enabled");
-    let outcome = crate::earlystop::prune(spec, &lattice, &samples, config);
+    let outcome = crate::earlystop::prune(spec, &lattice, &samples, config, options.threads);
     let result = mvd_cube_pruned(spec, options, &lattice, &translation, &outcome.alive);
     (result, outcome)
 }

@@ -1,7 +1,8 @@
-//! Property tests over the engine's cell-storage modes: on random
-//! multi-valued lattices, dense and sparse region storage must produce
-//! bit-identical results — and both must agree with the preserved
-//! nested-HashMap baseline engine — for every chunking.
+//! Property tests over the engine's cell-storage modes and shard plans: on
+//! random multi-valued lattices, dense and sparse region storage must
+//! produce bit-identical results — and both must agree with the preserved
+//! nested-HashMap baseline engine — for every chunking, every shard
+//! granularity, and every thread count.
 
 use proptest::prelude::*;
 use spade_cube::engine_baseline::mvd_cube_baseline;
@@ -127,5 +128,49 @@ proptest! {
         assert_identical(&dense, &sparse, "dense vs sparse")?;
         assert_identical(&dense, &auto, "dense vs auto")?;
         assert_identical(&dense, &baseline, "dense vs nested-HashMap baseline")?;
+    }
+
+    /// The region-sharded executor must agree with the nested-HashMap
+    /// baseline for every shard granularity (1 = one shard per cell,
+    /// u64::MAX = a single shard), store policy, and thread count — the
+    /// shard plan is a pure performance knob.
+    #[test]
+    fn sharded_engine_matches_baseline(
+        data in raw_data(3, 14),
+        chunk in 1u32..4,
+        shard_weight in 1u64..48,
+        threads in 1usize..4,
+    ) {
+        let (dims, preagg) = build_columns(&data);
+        let n_facts = data.measure.len();
+        let spec = CubeSpec::new(
+            dims.iter().collect(),
+            vec![MeasureSpec {
+                preagg: &preagg,
+                fns: vec![spade_storage::AggFn::Sum, spade_storage::AggFn::Max],
+            }],
+            n_facts,
+        );
+        let with_shards = |policy, weight| MvdCubeOptions {
+            chunk_size: Some(chunk),
+            store_policy: policy,
+            threads,
+            shard_weight: Some(weight),
+            ..Default::default()
+        };
+        let baseline = mvd_cube_baseline(
+            &spec,
+            &MvdCubeOptions { chunk_size: Some(chunk), ..Default::default() },
+        );
+        for policy in [CellStorePolicy::ForceDense, CellStorePolicy::ForceSparse] {
+            for weight in [shard_weight, u64::MAX] {
+                let sharded = mvd_cube(&spec, &with_shards(policy, weight));
+                assert_identical(
+                    &sharded,
+                    &baseline,
+                    &format!("{policy:?} weight {weight} threads {threads} vs baseline"),
+                )?;
+            }
+        }
     }
 }

@@ -81,6 +81,57 @@ where
         .collect()
 }
 
+/// Splits a thread budget across a nested fan-out — an outer level of
+/// `outer_items` independent units, each of which fans out further — so the
+/// total worker count stays at the budget instead of `budget²`
+/// (oversubscription). Returns `(outer, inner)` worker counts with
+/// `outer · inner ≤ resolve_threads(threads)` and both at least 1.
+///
+/// The split is deterministic in `(threads, outer_items)` only; it never
+/// affects results because both fan-out levels merge in input order.
+pub fn split_budget(threads: usize, outer_items: usize) -> (usize, usize) {
+    let resolved = resolve_threads(threads);
+    let outer = resolved.min(outer_items.max(1));
+    (outer, (resolved / outer).max(1))
+}
+
+/// Splits `weights.len()` items into contiguous `(start, end)` ranges of
+/// roughly equal total weight: at most `max_ranges` ranges, each carrying at
+/// least `min_weight` (except possibly the last). Boundaries depend only on
+/// the weights and the two knobs — never on the thread count — so a fan-out
+/// over the ranges merged in range order is bit-identical for every thread
+/// count (the same data-not-threads splitting rule as [`chunk_ranges`],
+/// generalized to uneven item costs).
+pub fn weighted_ranges(
+    weights: &[u64],
+    max_ranges: usize,
+    min_weight: u64,
+) -> Vec<(usize, usize)> {
+    let total: u64 = weights.iter().sum();
+    let target = total.div_ceil(max_ranges.max(1) as u64).max(min_weight).max(1);
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= target {
+            out.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    // The tail extends the last range when the cap is reached, so the
+    // "at most `max_ranges`" contract holds exactly.
+    if start < weights.len() {
+        if out.len() >= max_ranges.max(1) {
+            out.last_mut().expect("cap reached implies a range exists").1 = weights.len();
+        } else {
+            out.push((start, weights.len()));
+        }
+    }
+    out
+}
+
 /// Splits `len` items into contiguous `(start, end)` ranges of at most
 /// `chunk_size` items. Boundaries depend only on `len` and `chunk_size`,
 /// never on the thread count — the keystone of deterministic parallel
@@ -195,6 +246,54 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn split_budget_never_oversubscribes() {
+        for threads in [1usize, 2, 3, 8, 16] {
+            for items in [0usize, 1, 2, 5, 100] {
+                let (outer, inner) = split_budget(threads, items);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(outer * inner <= threads.max(1), "{threads} over {items}");
+                assert!(outer <= items.max(1));
+            }
+        }
+        assert_eq!(split_budget(8, 2), (2, 4));
+        assert_eq!(split_budget(8, 3), (3, 2));
+        assert_eq!(split_budget(1, 10), (1, 1));
+    }
+
+    #[test]
+    fn weighted_ranges_cover_and_balance() {
+        // Uniform weights behave like chunk_ranges.
+        let w = vec![1u64; 10];
+        let r = weighted_ranges(&w, 5, 1);
+        assert_eq!(r, vec![(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]);
+        // A heavy item forms its own range; coverage is exact and ordered.
+        let w = vec![1u64, 100, 1, 1, 1, 1];
+        let r = weighted_ranges(&w, 4, 1);
+        let mut expect = 0;
+        for &(a, b) in &r {
+            assert_eq!(a, expect);
+            assert!(b > a);
+            expect = b;
+        }
+        assert_eq!(expect, w.len());
+        assert!(r.len() <= 4);
+        // The cap is exact even when a tail remains after `max_ranges`
+        // closes (only reachable with zero-weight tail items, since k
+        // closed ranges consume ≥ k·target weight): the tail extends the
+        // last range instead of opening a max_ranges+1-th one.
+        assert_eq!(weighted_ranges(&[1u64, 1, 1, 1, 1], 2, 1), vec![(0, 3), (3, 5)]);
+        assert_eq!(weighted_ranges(&[2u64, 0, 0], 1, 1), vec![(0, 3)]);
+        assert_eq!(weighted_ranges(&[2u64, 2, 0], 2, 1), vec![(0, 1), (1, 3)]);
+        // min_weight coalesces small items into one range.
+        assert_eq!(weighted_ranges(&[1u64; 8], 8, 1_000), vec![(0, 8)]);
+        // Empty input → no ranges.
+        assert!(weighted_ranges(&[], 4, 1).is_empty());
+        // Zero-weight tail items are still covered.
+        let r = weighted_ranges(&[5u64, 0, 0], 4, 1);
+        assert_eq!(r.last().map(|&(_, b)| b), Some(3));
     }
 
     #[test]
