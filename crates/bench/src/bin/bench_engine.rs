@@ -20,6 +20,7 @@
 //! [--scale <facts>] [--seed <n>] [--threads <n[,m,…]>] [--out <path>]`
 
 use spade_bench::{geo_mean, HarnessArgs};
+use spade_core::json::JsonWriter;
 use spade_cube::engine_baseline::run_engine_baseline;
 use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
@@ -203,59 +204,49 @@ fn main() {
     let scalings: Vec<f64> = outcomes.iter().map(Outcome::max_scaling).collect();
     let geo_mean_scaling = geo_mean(&scalings);
 
-    // Hand-rolled JSON (no external crates offline).
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"mvdcube_engine\",\n");
-    json.push_str("  \"baseline\": \"serial nested-HashMap engine (engine_baseline)\",\n");
-    json.push_str(
-        "  \"engine\": \"region-sharded flat dense/sparse storage + batched CSR emit\",\n",
-    );
-    json.push_str(&format!("  \"geo_mean_speedup\": {geo_mean_speedup:.4},\n"));
-    json.push_str(&format!(
-        "  \"thread_sweep\": [{}],\n",
-        sweep.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")
-    ));
-    json.push_str(&format!("  \"geo_mean_max_thread_scaling\": {geo_mean_scaling:.4},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        let threads_json = o
-            .sweep
-            .iter()
-            .map(|(t, s)| format!("\"{t}\": {s:.6}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        // Scaling is only defined relative to the 1-thread anchor; sweeps
-        // without one (e.g. --threads 2,8) omit the block entirely.
-        let scaling_json = match o.one_thread_secs() {
-            None => String::new(),
-            Some(one) => o
-                .sweep
-                .iter()
-                .filter(|(t, _)| *t != 1)
-                .map(|(t, s)| format!("\"{t}\": {:.4}", one / s))
-                .collect::<Vec<_>>()
-                .join(", "),
-        };
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n_facts\": {}, \"total_groups\": {}, \
-             \"baseline_secs\": {:.6}, \"engine_secs\": {:.6}, \
-             \"baseline_facts_per_sec\": {:.1}, \"engine_facts_per_sec\": {:.1}, \
-             \"speedup\": {:.4}, \
-             \"threads_secs\": {{{}}}, \"thread_scaling\": {{{}}}}}{}\n",
-            o.name,
-            o.n_facts,
-            o.total_groups,
-            o.baseline_secs,
-            o.engine_secs,
-            o.baseline_facts_per_sec,
-            o.engine_facts_per_sec,
-            o.speedup,
-            threads_json,
-            scaling_json,
-            if i + 1 == outcomes.len() { "" } else { "," },
-        ));
+    // Shared deterministic writer (spade_core::json) — no serde offline.
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("bench").string("mvdcube_engine");
+    w.key("baseline").string("serial nested-HashMap engine (engine_baseline)");
+    w.key("engine").string("region-sharded flat dense/sparse storage + batched CSR emit");
+    w.key("geo_mean_speedup").f64_fixed(geo_mean_speedup, 4);
+    w.key("thread_sweep").begin_array();
+    for &t in &sweep {
+        w.usize(t);
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.key("geo_mean_max_thread_scaling").f64_fixed(geo_mean_scaling, 4);
+    w.key("cases").begin_array();
+    for o in &outcomes {
+        w.begin_object();
+        w.key("name").string(&o.name);
+        w.key("n_facts").usize(o.n_facts);
+        w.key("total_groups").usize(o.total_groups);
+        w.key("baseline_secs").f64_fixed(o.baseline_secs, 6);
+        w.key("engine_secs").f64_fixed(o.engine_secs, 6);
+        w.key("baseline_facts_per_sec").f64_fixed(o.baseline_facts_per_sec, 1);
+        w.key("engine_facts_per_sec").f64_fixed(o.engine_facts_per_sec, 1);
+        w.key("speedup").f64_fixed(o.speedup, 4);
+        w.key("threads_secs").begin_object();
+        for (t, secs) in &o.sweep {
+            w.key(&t.to_string()).f64_fixed(*secs, 6);
+        }
+        w.end_object();
+        // Scaling is only defined relative to the 1-thread anchor; sweeps
+        // without one (e.g. --threads 2,8) leave the block empty.
+        w.key("thread_scaling").begin_object();
+        if let Some(one) = o.one_thread_secs() {
+            for (t, secs) in o.sweep.iter().filter(|(t, _)| *t != 1) {
+                w.key(&t.to_string()).f64_fixed(one / secs, 4);
+            }
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     println!("{json}");
     eprintln!(

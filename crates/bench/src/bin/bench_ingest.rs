@@ -15,6 +15,7 @@
 //! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
 
 use spade_bench::{geo_mean, HarnessArgs};
+use spade_core::json::JsonWriter;
 use spade_datagen::corpus::{NtCase, NT_CASES};
 use spade_rdf::{ingest, ingest_baseline, saturate_baseline, saturate_with_threads, Graph};
 use std::time::Instant;
@@ -126,35 +127,33 @@ fn main() {
     let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
     let geo_mean_speedup = geo_mean(&speedups);
 
-    // Hand-rolled JSON (no external crates offline).
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"offline_ingest\",\n");
-    json.push_str(
-        "  \"baseline\": \"serial String-per-term parse + per-insert intern + fixpoint re-scan saturation\",\n",
+    // Shared deterministic writer (spade_core::json) — no serde offline.
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("bench").string("offline_ingest");
+    w.key("baseline").string(
+        "serial String-per-term parse + per-insert intern + fixpoint re-scan saturation",
     );
-    json.push_str(
-        "  \"optimized\": \"parallel zero-copy parse + two-phase str-keyed intern + sort/dedup build + semi-naive saturation\",\n",
+    w.key("optimized").string(
+        "parallel zero-copy parse + two-phase str-keyed intern + sort/dedup build + semi-naive saturation",
     );
-    json.push_str(&format!("  \"geo_mean_speedup\": {geo_mean_speedup:.4},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n_triples\": {}, \"derived_triples\": {}, \
-             \"baseline_secs\": {:.6}, \"optimized_secs\": {:.6}, \
-             \"baseline_triples_per_sec\": {:.1}, \"optimized_triples_per_sec\": {:.1}, \
-             \"speedup\": {:.4}}}{}\n",
-            o.name,
-            o.n_triples,
-            o.derived,
-            o.baseline_secs,
-            o.optimized_secs,
-            o.baseline_triples_per_sec,
-            o.optimized_triples_per_sec,
-            o.speedup,
-            if i + 1 == outcomes.len() { "" } else { "," },
-        ));
+    w.key("geo_mean_speedup").f64_fixed(geo_mean_speedup, 4);
+    w.key("cases").begin_array();
+    for o in &outcomes {
+        w.begin_object();
+        w.key("name").string(&o.name);
+        w.key("n_triples").usize(o.n_triples);
+        w.key("derived_triples").usize(o.derived);
+        w.key("baseline_secs").f64_fixed(o.baseline_secs, 6);
+        w.key("optimized_secs").f64_fixed(o.optimized_secs, 6);
+        w.key("baseline_triples_per_sec").f64_fixed(o.baseline_triples_per_sec, 1);
+        w.key("optimized_triples_per_sec").f64_fixed(o.optimized_triples_per_sec, 1);
+        w.key("speedup").f64_fixed(o.speedup, 4);
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
     println!("{json}");
     eprintln!("geo-mean offline speedup {geo_mean_speedup:.2}x → {out_path}");

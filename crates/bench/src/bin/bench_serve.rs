@@ -1,0 +1,193 @@
+//! `bench_serve` — the serving trajectory: throughput and tail latency of
+//! the `spade-serve` daemon over loopback.
+//!
+//! One snapshot of the CEOs corpus is served by two in-process servers —
+//! **cold** (result cache disabled: every request runs the five online
+//! steps) and **warm** (cache enabled and primed: every request is an
+//! exact byte hit) — and each is driven at 1, 4, and 16 concurrent
+//! keep-alive connections. Per-request wall times aggregate into req/sec
+//! and p50/p99 latency per `(cache, concurrency)` cell; every response
+//! body is checked byte-identical to the serial `run_snapshot` oracle, so
+//! the bench doubles as a concurrency-determinism smoke test. Results land
+//! in `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p spade-bench --bin bench_serve
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
+
+use spade_bench::HarnessArgs;
+use spade_core::json::JsonWriter;
+use spade_core::{Spade, SpadeConfig};
+use spade_datagen::{realistic, RealisticConfig};
+use spade_serve::client::Client;
+use spade_serve::server::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const CONCURRENCY: [usize; 3] = [1, 4, 16];
+
+struct Cell {
+    cache: &'static str,
+    concurrency: usize,
+    requests: usize,
+    wall_secs: f64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Drives `concurrency` keep-alive connections, each sending
+/// `requests_per_conn` empty `/explore` requests, and checks every body
+/// against `expected`.
+fn drive(
+    addr: SocketAddr,
+    concurrency: usize,
+    requests_per_conn: usize,
+    expected: &str,
+) -> (Vec<f64>, f64) {
+    let wall = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut out = Vec::with_capacity(requests_per_conn);
+                    for _ in 0..requests_per_conn {
+                        let t = Instant::now();
+                        let r = client.post("/explore", b"").expect("explore");
+                        out.push((t.elapsed().as_secs_f64() * 1e3, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .map(|(ms, r)| {
+                assert_eq!(r.status, 200);
+                assert_eq!(r.text(), expected, "concurrent body equals the serial oracle");
+                ms
+            })
+            .collect()
+    });
+    (latencies, wall.elapsed().as_secs_f64())
+}
+
+fn run_mode(
+    cache: &'static str,
+    cache_bytes: usize,
+    snapshot: &std::path::Path,
+    base: &SpadeConfig,
+    expected: &str,
+    requests_per_conn: usize,
+    cells: &mut Vec<Cell>,
+) {
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: *CONCURRENCY.last().expect("non-empty"),
+            cache_bytes,
+            ..Default::default()
+        },
+        base.clone(),
+        snapshot,
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    if cache_bytes > 0 {
+        // Prime the cache so the warm mode measures pure hits.
+        let (_, _) = drive(addr, 1, 1, expected);
+    }
+    for &concurrency in &CONCURRENCY {
+        let (mut latencies, wall_secs) = drive(addr, concurrency, requests_per_conn, expected);
+        latencies.sort_by(f64::total_cmp);
+        let requests = latencies.len();
+        let cell = Cell {
+            cache,
+            concurrency,
+            requests,
+            wall_secs,
+            req_per_sec: requests as f64 / wall_secs,
+            p50_ms: percentile(&latencies, 50.0),
+            p99_ms: percentile(&latencies, 99.0),
+        };
+        eprintln!(
+            "{cache:4} cache, {concurrency:2} conns: {:6} req in {:7.2} s | {:8.1} req/s | p50 {:8.2} ms | p99 {:8.2} ms",
+            cell.requests, cell.wall_secs, cell.req_per_sec, cell.p50_ms, cell.p99_ms,
+        );
+        cells.push(cell);
+    }
+    assert!(server.shutdown(Duration::from_secs(30)), "bench server drains");
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = args.scale_or(250);
+    let out_path = args.out_path("BENCH_serve.json");
+    let base = SpadeConfig {
+        min_support: 0.3,
+        min_cfs_size: 20,
+        max_cfs: 8,
+        threads: args.threads,
+        ..Default::default()
+    };
+
+    let graph = realistic::ceos(&RealisticConfig { scale, seed: args.seed });
+    let nt = spade_rdf::write_ntriples(&graph);
+    let dir = std::env::temp_dir().join(format!("spade_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let snapshot = dir.join("ceos.spade");
+    let spade = Spade::new(base.clone());
+    spade.snapshot_ntriples(&nt, &snapshot).expect("snapshot written");
+
+    // The serial oracle every served body must match, byte for byte.
+    let expected = spade.run_snapshot(&snapshot).expect("serial oracle").to_json(false);
+
+    let mut cells = Vec::new();
+    run_mode("cold", 0, &snapshot, &base, &expected, 8, &mut cells);
+    run_mode("warm", 64 << 20, &snapshot, &base, &expected, 64, &mut cells);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let throughput = |cache: &str, concurrency: usize| {
+        cells
+            .iter()
+            .find(|c| c.cache == cache && c.concurrency == concurrency)
+            .map_or(0.0, |c| c.req_per_sec)
+    };
+    let warm_speedup_1 = throughput("warm", 1) / throughput("cold", 1).max(f64::MIN_POSITIVE);
+
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("bench").string("serve");
+    w.key("corpus").string("CEOs");
+    w.key("scale").usize(scale);
+    w.key("n_triples").usize(graph.len());
+    w.key("workers").usize(*CONCURRENCY.last().expect("non-empty"));
+    w.key("warm_speedup_1conn").f64_fixed(warm_speedup_1, 2);
+    w.key("cells").begin_array();
+    for c in &cells {
+        w.begin_object();
+        w.key("cache").string(c.cache);
+        w.key("concurrency").usize(c.concurrency);
+        w.key("requests").usize(c.requests);
+        w.key("wall_secs").f64_fixed(c.wall_secs, 6);
+        w.key("req_per_sec").f64_fixed(c.req_per_sec, 2);
+        w.key("p50_ms").f64_fixed(c.p50_ms, 3);
+        w.key("p99_ms").f64_fixed(c.p99_ms, 3);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("warm/cold throughput at 1 connection: {warm_speedup_1:.1}x → {out_path}");
+}

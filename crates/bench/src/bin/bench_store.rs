@@ -19,6 +19,7 @@
 //! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
 
 use spade_bench::{geo_mean, HarnessArgs};
+use spade_core::json::JsonWriter;
 use spade_core::offline;
 use spade_datagen::corpus::{NtCase, NT_CASES};
 use spade_rdf::{ingest, saturate_with_threads, Graph};
@@ -156,36 +157,32 @@ fn main() {
     let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
     let geo_mean_speedup = geo_mean(&speedups);
 
-    // Hand-rolled JSON (no external crates offline).
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"snapshot_store\",\n");
-    json.push_str(
-        "  \"offline\": \"parallel ingest + semi-naive saturation + offline analysis (run_ntriples offline phase)\",\n",
+    // Shared deterministic writer (spade_core::json) — no serde offline.
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("bench").string("snapshot_store");
+    w.key("offline").string(
+        "parallel ingest + semi-naive saturation + offline analysis (run_ntriples offline phase)",
     );
-    json.push_str(
-        "  \"snapshot\": \"Snapshot::open + zero-copy load + stats reconstitution\",\n",
-    );
-    json.push_str(&format!("  \"geo_mean_speedup\": {geo_mean_speedup:.4},\n"));
-    json.push_str("  \"cases\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n_input_lines\": {}, \"n_triples\": {}, \
-             \"file_bytes\": {}, \"offline_secs\": {:.6}, \"load_secs\": {:.6}, \
-             \"offline_triples_per_sec\": {:.1}, \"load_triples_per_sec\": {:.1}, \
-             \"speedup\": {:.4}}}{}\n",
-            o.name,
-            o.n_input_lines,
-            o.n_triples,
-            o.file_bytes,
-            o.offline_secs,
-            o.load_secs,
-            o.offline_triples_per_sec,
-            o.load_triples_per_sec,
-            o.speedup,
-            if i + 1 == outcomes.len() { "" } else { "," },
-        ));
+    w.key("snapshot").string("Snapshot::open + zero-copy load + stats reconstitution");
+    w.key("geo_mean_speedup").f64_fixed(geo_mean_speedup, 4);
+    w.key("cases").begin_array();
+    for o in &outcomes {
+        w.begin_object();
+        w.key("name").string(&o.name);
+        w.key("n_input_lines").usize(o.n_input_lines);
+        w.key("n_triples").usize(o.n_triples);
+        w.key("file_bytes").usize(o.file_bytes);
+        w.key("offline_secs").f64_fixed(o.offline_secs, 6);
+        w.key("load_secs").f64_fixed(o.load_secs, 6);
+        w.key("offline_triples_per_sec").f64_fixed(o.offline_triples_per_sec, 1);
+        w.key("load_triples_per_sec").f64_fixed(o.load_triples_per_sec, 1);
+        w.key("speedup").f64_fixed(o.speedup, 4);
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
     std::fs::write(&out_path, &json).expect("write BENCH_store.json");
     println!("{json}");
     eprintln!("geo-mean snapshot-load speedup {geo_mean_speedup:.1}x → {out_path}");

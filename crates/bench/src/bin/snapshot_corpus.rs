@@ -1,0 +1,28 @@
+//! `snapshot_corpus` — writes a `spade-store` snapshot of a simulated
+//! corpus to disk, so shell-level consumers (the CI loopback smoke job,
+//! manual `spade-serve` runs) can produce a servable file without writing
+//! Rust.
+//!
+//! Usage: `cargo run --release -p spade-bench --bin snapshot_corpus --
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>] [dataset]`
+//!
+//! `dataset` is one of the six simulated graphs (`CEOs` by default; see
+//! `spade_bench::regen_graph`). Prints the written path and triple count.
+
+use spade_bench::{regen_graph, HarnessArgs};
+use spade_core::{Spade, SpadeConfig};
+use spade_datagen::RealisticConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = args.scale_or(300);
+    let out = args.out_path("corpus.spade");
+    let dataset = args.rest.first().map(String::as_str).unwrap_or("CEOs");
+
+    let graph = regen_graph(dataset, &RealisticConfig { scale, seed: args.seed });
+    let nt = spade_rdf::write_ntriples(&graph);
+    let spade = Spade::new(SpadeConfig { threads: args.threads, ..Default::default() });
+    spade.snapshot_ntriples(&nt, &out).expect("snapshot written");
+    let bytes = std::fs::metadata(&out).expect("written file").len();
+    eprintln!("{dataset} scale {scale} → {} triples, {bytes} B at {out}", graph.len());
+}

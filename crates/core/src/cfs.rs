@@ -93,7 +93,12 @@ pub fn select(
         }
     }
 
-    out.retain(|c| c.len() >= config.min_cfs_size);
+    // The allow filter runs before the `max_cfs` cap, so asking for a small
+    // class by name works even when fifty larger CFSs would out-rank it.
+    out.retain(|c| {
+        c.len() >= config.min_cfs_size
+            && crate::config::filter_matches(&config.cfs_filter, &c.name)
+    });
     out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.name.cmp(&b.name)));
     out.truncate(config.max_cfs);
     out

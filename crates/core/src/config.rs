@@ -36,6 +36,14 @@ pub struct SpadeConfig {
     /// Dimension stop list (attribute names the user excluded — the
     /// Section 6.1 "human-in-the-loop" hook, e.g. `nationality/image`).
     pub dimension_stop_list: Vec<String>,
+    /// CFS allow filter (Step 1): when non-empty, only CFSs whose name
+    /// contains at least one of these substrings are analyzed (e.g.
+    /// `["type:CEO"]` to explore one entity class). Empty = all CFSs.
+    pub cfs_filter: Vec<String>,
+    /// Measure allow filter (Step 3): when non-empty, only attributes whose
+    /// name contains at least one of these substrings are assigned as
+    /// lattice measures (`count(*)` always stays). Empty = all measures.
+    pub measure_filter: Vec<String>,
 
     // —— derivations (offline phase) ——
     /// Generate derived properties at all (Experiment 1's woD/wD switch).
@@ -72,6 +80,8 @@ impl Default for SpadeConfig {
             max_distinct_values: 100,
             max_lattice_dims: 3,
             dimension_stop_list: Vec::new(),
+            cfs_filter: Vec::new(),
+            measure_filter: Vec::new(),
             enable_derivations: true,
             keyword_min_len: 4,
             max_path_derivations: 200,
@@ -98,6 +108,113 @@ impl SpadeConfig {
     pub fn without_derivations(mut self) -> Self {
         self.enable_derivations = false;
         self
+    }
+}
+
+/// Whether `name` passes an allow filter: an empty filter admits everything,
+/// a non-empty one admits names containing at least one of its substrings.
+pub fn filter_matches(filter: &[String], name: &str) -> bool {
+    filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()))
+}
+
+/// Per-request overrides over a base [`SpadeConfig`] — the unit of work of
+/// the load-once/serve-many split ([`Spade::run_on`]). Every field is
+/// optional; `None`/empty means "use the base config's value". The
+/// orthogonal base config (thresholds, derivations, aggregate functions) is
+/// fixed per serving process, which is what makes [`RequestConfig::canonical_key`]
+/// a complete cache key.
+///
+/// [`Spade::run_on`]: crate::Spade::run_on
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RequestConfig {
+    /// Top-k override.
+    pub k: Option<usize>,
+    /// Interestingness function override.
+    pub interestingness: Option<Interestingness>,
+    /// Minimum-support override (Step 2/3 frequency rule).
+    pub min_support: Option<f64>,
+    /// CFS allow filter (see [`SpadeConfig::cfs_filter`]); replaces the
+    /// base filter when non-empty.
+    pub cfs_filter: Vec<String>,
+    /// Measure allow filter (see [`SpadeConfig::measure_filter`]); replaces
+    /// the base filter when non-empty.
+    pub measure_filter: Vec<String>,
+    /// Worker-thread budget for this request. A server caps this at its
+    /// per-request share so concurrent requests never oversubscribe cores;
+    /// results are bit-identical for every value.
+    pub threads: Option<usize>,
+}
+
+impl RequestConfig {
+    /// Resolves the overrides against `base` into the effective config.
+    pub fn apply(&self, base: &SpadeConfig) -> SpadeConfig {
+        let mut config = base.clone();
+        if let Some(k) = self.k {
+            config.k = k;
+        }
+        if let Some(h) = self.interestingness {
+            config.interestingness = h;
+        }
+        if let Some(ms) = self.min_support {
+            config.min_support = ms;
+        }
+        if !self.cfs_filter.is_empty() {
+            config.cfs_filter = self.cfs_filter.clone();
+        }
+        if !self.measure_filter.is_empty() {
+            config.measure_filter = self.measure_filter.clone();
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        config
+    }
+
+    /// Parses the interestingness name of the wire protocol
+    /// (`variance` / `skewness` / `kurtosis`, the [`Interestingness::label`]
+    /// spellings).
+    pub fn interestingness_from_name(name: &str) -> Option<Interestingness> {
+        Interestingness::ALL.into_iter().find(|h| h.label() == name)
+    }
+
+    /// A canonical, deterministic encoding of the overrides — equal requests
+    /// (after filter sort + dedup) encode identically, so this is a sound
+    /// exact-hit cache key for the deterministic pipeline. The `threads`
+    /// override is **excluded**: results are thread-count-invariant, so
+    /// requests differing only in thread budget share a cache entry.
+    pub fn canonical_key(&self) -> String {
+        let norm = |filter: &[String]| {
+            let mut f = filter.to_vec();
+            f.sort();
+            f.dedup();
+            f
+        };
+        let mut w = crate::json::JsonWriter::compact();
+        w.begin_object();
+        w.key("cfs").begin_array();
+        for f in norm(&self.cfs_filter) {
+            w.string(&f);
+        }
+        w.end_array();
+        match self.interestingness {
+            Some(h) => w.key("h").string(h.label()),
+            None => w.key("h").null(),
+        };
+        match self.k {
+            Some(k) => w.key("k").usize(k),
+            None => w.key("k").null(),
+        };
+        w.key("measures").begin_array();
+        for f in norm(&self.measure_filter) {
+            w.string(&f);
+        }
+        w.end_array();
+        match self.min_support {
+            Some(ms) => w.key("min_support").f64(ms),
+            None => w.key("min_support").null(),
+        };
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -129,5 +246,69 @@ mod tests {
     #[test]
     fn without_derivations_switch() {
         assert!(!SpadeConfig::default().without_derivations().enable_derivations);
+    }
+
+    #[test]
+    fn filter_matches_substring_semantics() {
+        assert!(filter_matches(&[], "anything"));
+        let f = vec!["CEO".to_owned(), "net".to_owned()];
+        assert!(filter_matches(&f, "type:CEO"));
+        assert!(filter_matches(&f, "netWorth"));
+        assert!(!filter_matches(&f, "nationality"));
+    }
+
+    #[test]
+    fn request_config_applies_overrides() {
+        let base = SpadeConfig::default();
+        assert_eq!(RequestConfig::default().apply(&base).k, base.k);
+        let req = RequestConfig {
+            k: Some(3),
+            interestingness: Some(Interestingness::Kurtosis),
+            min_support: Some(0.42),
+            cfs_filter: vec!["CEO".into()],
+            measure_filter: vec!["netWorth".into()],
+            threads: Some(2),
+        };
+        let c = req.apply(&base);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.interestingness, Interestingness::Kurtosis);
+        assert_eq!(c.min_support, 0.42);
+        assert_eq!(c.cfs_filter, vec!["CEO".to_owned()]);
+        assert_eq!(c.measure_filter, vec!["netWorth".to_owned()]);
+        assert_eq!(c.threads, 2);
+        // Untouched knobs come from the base.
+        assert_eq!(c.max_lattice_dims, base.max_lattice_dims);
+        assert_eq!(c.enable_derivations, base.enable_derivations);
+    }
+
+    #[test]
+    fn canonical_key_is_normalized_and_thread_blind() {
+        let a = RequestConfig {
+            cfs_filter: vec!["b".into(), "a".into(), "b".into()],
+            threads: Some(4),
+            ..Default::default()
+        };
+        let b = RequestConfig {
+            cfs_filter: vec!["a".into(), "b".into()],
+            threads: Some(1),
+            ..Default::default()
+        };
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_ne!(
+            a.canonical_key(),
+            RequestConfig { k: Some(5), ..a.clone() }.canonical_key()
+        );
+        assert_eq!(
+            RequestConfig::default().canonical_key(),
+            r#"{"cfs":[],"h":null,"k":null,"measures":[],"min_support":null}"#
+        );
+    }
+
+    #[test]
+    fn interestingness_names_round_trip() {
+        for h in Interestingness::ALL {
+            assert_eq!(RequestConfig::interestingness_from_name(h.label()), Some(h));
+        }
+        assert_eq!(RequestConfig::interestingness_from_name("bogus"), None);
     }
 }

@@ -82,6 +82,10 @@ pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpe
             .into_iter()
             .filter(|&mi| {
                 !dims.contains(&mi)
+                    && crate::config::filter_matches(
+                        &config.measure_filter,
+                        &analysis.attributes[mi].def.name,
+                    )
                     && dims.iter().all(|&di| {
                         compatible(&analysis.attributes[di], &analysis.attributes[mi])
                     })

@@ -27,6 +27,7 @@ pub mod cfs;
 pub mod config;
 pub mod enumeration;
 pub mod evaluate;
+pub mod json;
 pub mod mfs;
 pub mod offline;
 pub mod pipeline;
@@ -37,18 +38,14 @@ pub mod viz;
 pub use analysis::{AnalyzedAttribute, CfsAnalysis};
 pub use attr::{AttrKind, AttributeDef};
 pub use cfs::{CandidateFactSet, CfsStrategy};
-pub use config::SpadeConfig;
+pub use config::{RequestConfig, SpadeConfig};
 pub use enumeration::LatticeSpec;
 pub use offline::{OfflineStats, PropertyStats};
 pub use pipeline::{
-    DatasetProfile, SnapshotPipelineError, Spade, SpadeReport, StepTimings, TopAggregate,
+    DatasetProfile, OfflineState, SnapshotPipelineError, Spade, SpadeReport, StepTimings,
+    TopAggregate,
 };
 
 /// The snapshot store serving this pipeline's offline state (re-exported so
 /// downstream users need not depend on `spade-store` directly).
 pub use spade_store as store;
-
-/// Historical alias for the fan-out primitives, kept for downstream users
-/// of the old `spade_core::parallel` module path.
-#[deprecated(note = "use the `spade_parallel` crate directly")]
-pub use spade_parallel as parallel;

@@ -8,9 +8,10 @@
 
 use crate::analysis::{analyze_cfs, CfsAnalysis};
 use crate::cfs::{select, CfsStrategy};
-use crate::config::SpadeConfig;
+use crate::config::{RequestConfig, SpadeConfig};
 use crate::enumeration::{enumerate, LatticeSpec};
 use crate::evaluate::evaluate_cfs;
+use crate::json::JsonWriter;
 use crate::offline::{self, DerivationCounts, OfflineStats};
 use spade_cube::arm::top_k_of_result;
 use spade_cube::result::NULL_CODE;
@@ -117,6 +118,78 @@ pub struct SpadeReport {
     pub pruned_by_es: usize,
 }
 
+impl SpadeReport {
+    /// Serializes the report as compact JSON — the `spade-serve` response
+    /// body and the shared artifact shape.
+    ///
+    /// With `with_timings = false` the output is **deterministic**: it
+    /// contains only pipeline results, which are bit-identical across
+    /// thread counts and repeat runs, so equal requests produce equal
+    /// bytes (the property the serve cache and the loopback determinism
+    /// suite rely on). With `with_timings = true` a `timings_ms` object
+    /// (wall-clock, inherently nondeterministic) is appended.
+    pub fn to_json(&self, with_timings: bool) -> String {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.key("profile").begin_object();
+        w.key("triples").usize(self.profile.triples);
+        w.key("cfs_count").usize(self.profile.cfs_count);
+        w.key("direct_properties").usize(self.profile.direct_properties);
+        w.key("derivations").begin_object();
+        w.key("kw").usize(self.profile.derivations.kw);
+        w.key("lang").usize(self.profile.derivations.lang);
+        w.key("count").usize(self.profile.derivations.count);
+        w.key("path").usize(self.profile.derivations.path);
+        w.end_object();
+        w.key("aggregates").usize(self.profile.aggregates);
+        w.end_object();
+        w.key("evaluated_aggregates").usize(self.evaluated_aggregates);
+        w.key("pruned_by_es").usize(self.pruned_by_es);
+        w.key("top").begin_array();
+        for t in &self.top {
+            w.begin_object();
+            w.key("cfs").string(&t.cfs);
+            w.key("dims").begin_array();
+            for d in &t.dims {
+                w.string(d);
+            }
+            w.end_array();
+            w.key("mda").string(&t.mda);
+            w.key("score").f64(t.score);
+            w.key("groups").usize(t.groups);
+            w.key("description").string(&t.description());
+            w.key("sample_groups").begin_array();
+            for (label, value) in &t.sample_groups {
+                w.begin_object();
+                w.key("group").string(label);
+                w.key("value").f64(*value);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        if with_timings {
+            let ms = |d: Duration| d.as_secs_f64() * 1e3;
+            w.key("timings_ms").begin_object();
+            w.key("ingest").f64(ms(self.timings.ingest));
+            w.key("snapshot_load").f64(ms(self.timings.snapshot_load));
+            w.key("saturation").f64(ms(self.timings.saturation));
+            w.key("offline_analysis").f64(ms(self.timings.offline_analysis));
+            w.key("offline").f64(ms(self.timings.offline));
+            w.key("cfs_selection").f64(ms(self.timings.cfs_selection));
+            w.key("attribute_analysis").f64(ms(self.timings.attribute_analysis));
+            w.key("enumeration").f64(ms(self.timings.enumeration));
+            w.key("evaluation").f64(ms(self.timings.evaluation));
+            w.key("topk").f64(ms(self.timings.topk));
+            w.key("online_total").f64(ms(self.timings.online_total()));
+            w.end_object();
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
 /// Everything that can fail building or serving from a snapshot.
 #[derive(Debug)]
 pub enum SnapshotPipelineError {
@@ -146,6 +219,63 @@ impl From<NtParseError> for SnapshotPipelineError {
 impl From<SnapshotError> for SnapshotPipelineError {
     fn from(e: SnapshotError) -> Self {
         SnapshotPipelineError::Store(e)
+    }
+}
+
+/// The complete **load-once** state of the offline phase: the saturated
+/// graph (dictionary + indexes) and the offline per-property statistics.
+///
+/// This is the unit the load-once/serve-many split revolves around: a
+/// serving process builds one `OfflineState` (in milliseconds, from a
+/// `spade-store` snapshot) and then answers any number of
+/// [`Spade::run_on`] requests against it concurrently — the state is
+/// immutable, every online step takes `&Graph`/`&OfflineStats`, so sharing
+/// it behind an `Arc` needs no locks.
+pub struct OfflineState {
+    /// The saturated graph.
+    pub graph: Graph,
+    /// Offline per-property statistics.
+    pub stats: OfflineStats,
+    /// Wall-clock cost of building this state (snapshot open + load, or
+    /// saturation + analysis) — reported as
+    /// [`StepTimings::snapshot_load`] by snapshot-backed runs.
+    pub load_time: Duration,
+}
+
+impl OfflineState {
+    /// Loads the state from a snapshot file written by
+    /// [`Spade::snapshot_ntriples`] (or `spade_store::write_snapshot`).
+    pub fn open(
+        path: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<OfflineState, SnapshotPipelineError> {
+        let t = Instant::now();
+        let loaded = Snapshot::open(path, threads)?.load(threads)?;
+        Ok(OfflineState::from_loaded(loaded, t.elapsed()))
+    }
+
+    /// [`OfflineState::open`] over an in-memory snapshot image.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        threads: usize,
+    ) -> Result<OfflineState, SnapshotPipelineError> {
+        let t = Instant::now();
+        let loaded = Snapshot::from_bytes(bytes, threads)?.load(threads)?;
+        Ok(OfflineState::from_loaded(loaded, t.elapsed()))
+    }
+
+    /// Builds the state directly from a graph (saturating it in place) —
+    /// the snapshot-less path for tests and one-shot embedding.
+    pub fn from_graph(mut graph: Graph, threads: usize) -> OfflineState {
+        let t = Instant::now();
+        spade_rdf::saturate_with_threads(&mut graph, threads);
+        let stats = offline::analyze(&graph);
+        OfflineState { graph, stats, load_time: t.elapsed() }
+    }
+
+    fn from_loaded(loaded: LoadedSnapshot, load_time: Duration) -> OfflineState {
+        let stats = offline::from_records(&loaded.graph, &loaded.stats);
+        OfflineState { graph: loaded.graph, stats, load_time }
     }
 }
 
@@ -194,7 +324,7 @@ impl Spade {
         let t = Instant::now();
         let stats = offline::analyze(graph);
         report.timings.offline_analysis = t.elapsed();
-        self.run_analyzed(graph, &stats, report)
+        self.run_analyzed(&self.config, graph, &stats, report)
     }
 
     /// Runs the **offline phase only** (ingestion, saturation, offline
@@ -217,14 +347,14 @@ impl Spade {
     /// Runs the pipeline from a snapshot file: the offline phase collapses
     /// to one zero-copy load ([`StepTimings::snapshot_load`]); saturation
     /// and attribute analysis are **not** re-run — their outputs come from
-    /// the file.
+    /// the file. Equivalent to [`OfflineState::open`] +
+    /// [`Spade::run_on`] with no overrides.
     pub fn run_snapshot(
         &self,
         path: impl AsRef<Path>,
     ) -> Result<SpadeReport, SnapshotPipelineError> {
-        let t = Instant::now();
-        let loaded = Snapshot::open(path, self.config.threads)?.load(self.config.threads)?;
-        Ok(self.run_loaded(loaded, t.elapsed()))
+        let state = OfflineState::open(path, self.config.threads)?;
+        Ok(self.run_on(&state, &RequestConfig::default()))
     }
 
     /// [`Spade::run_snapshot`] over an in-memory snapshot image (e.g. one
@@ -233,32 +363,38 @@ impl Spade {
         &self,
         bytes: &[u8],
     ) -> Result<SpadeReport, SnapshotPipelineError> {
-        let t = Instant::now();
-        let loaded =
-            Snapshot::from_bytes(bytes, self.config.threads)?.load(self.config.threads)?;
-        Ok(self.run_loaded(loaded, t.elapsed()))
+        let state = OfflineState::from_snapshot_bytes(bytes, self.config.threads)?;
+        Ok(self.run_on(&state, &RequestConfig::default()))
     }
 
-    fn run_loaded(&self, loaded: LoadedSnapshot, load_time: Duration) -> SpadeReport {
-        let stats = offline::from_records(&loaded.graph, &loaded.stats);
+    /// The cheap **per-request** path of the load-once/serve-many split:
+    /// runs the five online steps on an already-loaded [`OfflineState`]
+    /// with `request`'s overrides resolved against this engine's base
+    /// config. Takes `&self` and `&OfflineState` only — any number of
+    /// `run_on` calls may execute concurrently against one shared state,
+    /// and results are bit-identical across thread budgets and callers.
+    pub fn run_on(&self, state: &OfflineState, request: &RequestConfig) -> SpadeReport {
+        let config = request.apply(&self.config);
         let mut report = SpadeReport::default();
-        report.timings.snapshot_load = load_time;
-        self.run_analyzed(&loaded.graph, &stats, report)
+        report.timings.snapshot_load = state.load_time;
+        self.run_analyzed(&config, &state.graph, &state.stats, report)
     }
 
     /// The shared tail of every entry point: derivation enumeration (the
     /// config-dependent rest of the offline phase) followed by the five
-    /// online steps. `report` carries whatever offline timings the caller
-    /// already accumulated.
+    /// online steps. `config` is the **effective** configuration — the
+    /// engine's own for whole-pipeline runs, the request-resolved one for
+    /// [`Spade::run_on`]; `report` carries whatever offline timings the
+    /// caller already accumulated.
     fn run_analyzed(
         &self,
+        config: &SpadeConfig,
         graph: &Graph,
         stats: &OfflineStats,
         mut report: SpadeReport,
     ) -> SpadeReport {
         let t = Instant::now();
-        let (derived, derivation_counts) =
-            offline::enumerate_derivations(graph, stats, &self.config);
+        let (derived, derivation_counts) = offline::enumerate_derivations(graph, stats, config);
         report.timings.offline_analysis += t.elapsed();
         report.timings.offline = report.timings.snapshot_load
             + report.timings.saturation
@@ -269,7 +405,7 @@ impl Spade {
 
         // —— Step 1: CFS selection ——
         let t = Instant::now();
-        let cfs_list = select(graph, &self.strategies, &self.config);
+        let cfs_list = select(graph, &self.strategies, config);
         report.timings.cfs_selection = t.elapsed();
         report.profile.cfs_count = cfs_list.len();
 
@@ -277,8 +413,8 @@ impl Spade {
         let t = Instant::now();
         let graph_ref: &Graph = graph;
         let analyses: Vec<CfsAnalysis> =
-            spade_parallel::map(cfs_list.iter().collect(), self.config.threads, |cfs| {
-                analyze_cfs(graph_ref, cfs, &derived, &self.config)
+            spade_parallel::map(cfs_list.iter().collect(), config.threads, |cfs| {
+                analyze_cfs(graph_ref, cfs, &derived, config)
             });
         report.timings.attribute_analysis = t.elapsed();
 
@@ -287,8 +423,8 @@ impl Spade {
         // `enumeration::enumerate`) ——
         let t = Instant::now();
         let (enum_outer, enum_inner) =
-            spade_parallel::split_budget(self.config.threads, analyses.len());
-        let enum_config = SpadeConfig { threads: enum_inner, ..self.config.clone() };
+            spade_parallel::split_budget(config.threads, analyses.len());
+        let enum_config = SpadeConfig { threads: enum_inner, ..config.clone() };
         let lattice_specs: Vec<Vec<LatticeSpec>> =
             spade_parallel::map(analyses.iter().collect(), enum_outer, |a| {
                 enumerate(a, &enum_config)
@@ -301,8 +437,8 @@ impl Spade {
         // the levels so the total worker count stays at `threads` instead
         // of `threads²`. ——
         let t = Instant::now();
-        let (outer, inner) = spade_parallel::split_budget(self.config.threads, analyses.len());
-        let inner_config = SpadeConfig { threads: inner, ..self.config.clone() };
+        let (outer, inner) = spade_parallel::split_budget(config.threads, analyses.len());
+        let inner_config = SpadeConfig { threads: inner, ..config.clone() };
         let evaluations: Vec<_> = spade_parallel::map(
             analyses.iter().zip(&lattice_specs).collect(),
             outer,
@@ -343,9 +479,9 @@ impl Spade {
             .collect();
         let per_result: Vec<Vec<Scored>> = spade_parallel::map(
             score_inputs,
-            self.config.threads,
+            config.threads,
             |(cfs_idx, lattice_idx, result)| {
-                top_k_of_result(result, self.config.interestingness, usize::MAX)
+                top_k_of_result(result, config.interestingness, usize::MAX)
                     .into_iter()
                     .filter(|s| s.score > 0.0)
                     .map(|s| Scored {
@@ -367,7 +503,7 @@ impl Spade {
                 .then_with(|| a.label.cmp(&b.label))
                 .then_with(|| a.id.cmp(&b.id))
         });
-        scored.truncate(self.config.k);
+        scored.truncate(config.k);
         report.top = scored
             .into_iter()
             .map(|s| {
@@ -542,6 +678,103 @@ mod tests {
         assert_eq!(report.profile.triples, direct.profile.triples);
         assert_eq!(report.profile.cfs_count, direct.profile.cfs_count);
         assert!(spade.run_ntriples("broken\n").is_err());
+    }
+
+    #[test]
+    fn run_on_shared_state_matches_whole_pipeline_run() {
+        let g = realistic::ceos(&RealisticConfig { scale: 200, seed: 2 });
+        let config = SpadeConfig { k: 5, min_support: 0.3, ..Default::default() };
+        let spade = Spade::new(config.clone());
+        let state = OfflineState::from_graph(g, config.threads);
+        let served = spade.run_on(&state, &RequestConfig::default());
+        let mut g2 = realistic::ceos(&RealisticConfig { scale: 200, seed: 2 });
+        let direct = Spade::new(config).run(&mut g2);
+        // Identical results (compared through the deterministic JSON body),
+        // and repeat requests against the same state are byte-identical.
+        assert_eq!(served.to_json(false), direct.to_json(false));
+        let again = spade.run_on(&state, &RequestConfig::default());
+        assert_eq!(served.to_json(false), again.to_json(false));
+    }
+
+    #[test]
+    fn run_on_applies_request_overrides() {
+        let g = realistic::ceos(&RealisticConfig { scale: 200, seed: 2 });
+        let base = SpadeConfig { k: 5, min_support: 0.3, ..Default::default() };
+        let spade = Spade::new(base);
+        let state = OfflineState::from_graph(g, 0);
+        let full = spade.run_on(&state, &RequestConfig::default());
+        assert_eq!(full.top.len(), 5);
+
+        // k override shrinks the answer to a prefix of the full one.
+        let k2 = spade.run_on(&state, &RequestConfig { k: Some(2), ..Default::default() });
+        assert_eq!(k2.top.len(), 2);
+        for (a, b) in k2.top.iter().zip(&full.top) {
+            assert_eq!(a.description(), b.description());
+        }
+
+        // CFS filter: every reported aggregate analyzes a matching CFS, and
+        // unfiltered profiles see more CFSs.
+        let ceo = spade.run_on(
+            &state,
+            &RequestConfig { cfs_filter: vec!["type:CEO".into()], ..Default::default() },
+        );
+        assert!(ceo.profile.cfs_count >= 1);
+        assert!(ceo.profile.cfs_count < full.profile.cfs_count);
+        assert!(ceo.top.iter().all(|t| t.cfs.contains("type:CEO")), "filtered CFSs only");
+
+        // Measure filter: only count(*) and matching measures survive.
+        let nw = spade.run_on(
+            &state,
+            &RequestConfig { measure_filter: vec!["netWorth".into()], ..Default::default() },
+        );
+        assert!(!nw.top.is_empty());
+        assert!(
+            nw.top.iter().all(|t| t.mda.contains("netWorth") || t.mda == "count(*)"),
+            "top: {:?}",
+            nw.top.iter().map(TopAggregate::description).collect::<Vec<_>>()
+        );
+        assert!(nw.profile.aggregates < full.profile.aggregates);
+
+        // Interestingness override is honored.
+        let skew = spade.run_on(
+            &state,
+            &RequestConfig {
+                interestingness: Some(spade_stats::Interestingness::Skewness),
+                ..Default::default()
+            },
+        );
+        assert!(!skew.top.is_empty());
+
+        // Thread budget is a pure latency knob: bit-identical bodies.
+        for threads in [1usize, 2, 8] {
+            let r = spade.run_on(
+                &state,
+                &RequestConfig { threads: Some(threads), ..Default::default() },
+            );
+            assert_eq!(r.to_json(false), full.to_json(false), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let g = realistic::ceos(&RealisticConfig { scale: 150, seed: 3 });
+        let spade = Spade::new(SpadeConfig { k: 3, min_support: 0.3, ..Default::default() });
+        let state = OfflineState::from_graph(g, 0);
+        let report = spade.run_on(&state, &RequestConfig::default());
+        let body = report.to_json(false);
+        let parsed = crate::json::parse(&body).expect("body is valid JSON");
+        assert_eq!(
+            parsed.get("profile").and_then(|p| p.get("triples")).and_then(|v| v.as_usize()),
+            Some(report.profile.triples)
+        );
+        assert_eq!(
+            parsed.get("top").and_then(|t| t.as_array()).map(<[_]>::len),
+            Some(report.top.len())
+        );
+        assert!(body.find("\"timings_ms\"").is_none());
+        let with_timings = report.to_json(true);
+        let parsed = crate::json::parse(&with_timings).expect("timed body is valid JSON");
+        assert!(parsed.get("timings_ms").is_some());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! A minimal blocking HTTP/1.1 client for loopback use — the determinism
+//! tests, the CI smoke job, and `bench_serve` all drive the daemon through
+//! this instead of shelling out to curl.
+//!
+//! Supports exactly what the server speaks: `GET`/`POST`,
+//! `Content-Length` bodies, keep-alive connection reuse.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects lazily on first use.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, stream: None, timeout: Duration::from_secs(30) }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// Sends one request and reads the response, reusing the connection
+    /// when the server allows it. Retries once on a fresh connection if the
+    /// reused one turned out dead (the keep-alive race).
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let reused = self.stream.is_some();
+        match self.send_once(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(e) if reused => {
+                self.stream = None;
+                let _ = e;
+                self.send_once(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.send("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.send("POST", path, body)
+    }
+
+    fn send_once(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let stream = self.stream()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: spade\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let response = read_response(stream)?;
+        let close =
+            response.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if close {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// One-shot `GET` over a fresh connection.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    Client::new(addr).get(path)
+}
+
+/// One-shot `POST` over a fresh connection.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<Response> {
+    Client::new(addr).post(path, body)
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed response: {what}"))
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    // —— head ——
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("header line"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("content-length"))?;
+        }
+        headers.push((name, value));
+    }
+
+    // —— body ——
+    let mut body = buf.split_off(head_end + 4);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Response { status, headers, body })
+}

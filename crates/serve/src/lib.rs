@@ -1,0 +1,157 @@
+//! `spade-serve` — a snapshot-backed concurrent exploration server:
+//! **load once, serve many**.
+//!
+//! The offline phase (ingestion, RDFS saturation, offline attribute
+//! analysis) runs once and lands in a `spade-store` snapshot file; this
+//! crate is the long-running daemon that loads that file **once** into an
+//! immutable [`spade_core::OfflineState`] and answers any number of
+//! concurrent exploration requests against it through the cheap
+//! per-request pipeline ([`spade_core::Spade::run_on`]). Everything is
+//! `std`-only — a hand-rolled HTTP/1.1 layer ([`http`]) over
+//! `std::net::TcpListener`, a bounded worker pool, and
+//! [`spade_parallel`] for the evaluation fan-out — because the build
+//! environment vendors no external crates.
+//!
+//! # Architecture
+//!
+//! * one **acceptor** thread (non-blocking accept + poll tick) feeds a
+//!   bounded queue; when the queue is full the connection is answered
+//!   `503` immediately instead of piling up,
+//! * `workers` **worker** threads each own one connection at a time
+//!   (keep-alive supported) and run requests to completion,
+//! * the **thread budget** is coordinated: each request evaluates with
+//!   `threads / workers` (≥ 1) workers via
+//!   [`spade_parallel::split_budget`], so `N` concurrent requests never
+//!   oversubscribe the configured core budget,
+//! * results are **bit-identical** across thread budgets and concurrency
+//!   (the pipeline's determinism guarantee), which makes the byte-budgeted
+//!   LRU **result cache** ([`cache`]) exact: a hit returns the very bytes
+//!   a fresh evaluation would produce,
+//! * **hot reload** swaps an `Arc<ServingState>` atomically: in-flight
+//!   requests finish on the generation they started with; nothing is
+//!   dropped,
+//! * **graceful shutdown**: SIGTERM/SIGINT ([`signal`]) stops the
+//!   acceptor, drains queued connections, finishes in-flight requests, and
+//!   exits within a bounded deadline.
+//!
+//! # Wire protocol
+//!
+//! All request and response bodies are JSON (`application/json`) except
+//! `/metrics`. Errors are always `{"error": "<message>"}` with the status
+//! codes below. `Connection: keep-alive` is honored (HTTP/1.1 default);
+//! `Content-Length` framing only (no `Transfer-Encoding`).
+//!
+//! ## `POST /explore`
+//!
+//! Runs the five online steps against the loaded snapshot. The body is an
+//! object of **optional** per-request overrides (an empty or absent body
+//! runs the server's base configuration):
+//!
+//! ```json
+//! {
+//!   "k": 10,
+//!   "interestingness": "variance",
+//!   "min_support": 0.3,
+//!   "cfs_filter": ["type:CEO"],
+//!   "measure_filter": ["netWorth"],
+//!   "threads": 4
+//! }
+//! ```
+//!
+//! * `k` — how many aggregates to return;
+//! * `interestingness` — `"variance"`, `"skewness"`, or `"kurtosis"`;
+//! * `min_support` — the Step-2/3 frequency threshold, in `[0, 1]`;
+//! * `cfs_filter` — keep only CFSs whose name contains one of these
+//!   substrings (applied before the `max_cfs` cap);
+//! * `measure_filter` — keep only measures whose attribute name contains
+//!   one of these substrings (`count(*)` always stays);
+//! * `threads` — per-request evaluation budget, silently capped at the
+//!   server's per-request share (results do not depend on it).
+//!
+//! Unknown fields are rejected with `400` (silent typos would degrade into
+//! default answers). The `200` response body is
+//! [`spade_core::SpadeReport::to_json`] without timings — fully
+//! deterministic, so identical requests at any concurrency return
+//! byte-identical bodies:
+//!
+//! ```json
+//! {
+//!   "profile": {"triples": 0, "cfs_count": 0, "direct_properties": 0,
+//!                "derivations": {"kw": 0, "lang": 0, "count": 0, "path": 0},
+//!                "aggregates": 0},
+//!   "evaluated_aggregates": 0,
+//!   "pruned_by_es": 0,
+//!   "top": [
+//!     {"cfs": "type:CEO", "dims": ["nationality"], "mda": "sum(netWorth)",
+//!      "score": 1.0, "groups": 4, "description": "sum(netWorth) of type:CEO by nationality",
+//!      "sample_groups": [{"group": "Angola", "value": 1.0}]}
+//!   ]
+//! }
+//! ```
+//!
+//! The `X-Cache: hit|miss` response header reports whether the result came
+//! from the cache (bodies are identical either way).
+//!
+//! ## `POST /reload`
+//!
+//! Atomically replaces the served snapshot. Body: `{}` or absent to reload
+//! the current file (picks up an in-place rewrite), or
+//! `{"path": "/new/file.spade"}` to switch files. On success: `200` with
+//! `{"status": "reloaded", "generation": N, "load_ms": …}`; the result
+//! cache is cleared (keys embed the generation). On failure: `409` and the
+//! previous state keeps serving untouched. In-flight requests always
+//! finish on the generation they started with.
+//!
+//! ## `GET /healthz`
+//!
+//! `200` with `{"status": "ok", "generation": N}` once serving.
+//!
+//! ## `GET /stats`
+//!
+//! `200` with a nested object: `snapshot` (generation, source path,
+//! triples, terms, properties, load_ms), `cache` (hits, misses, evictions,
+//! entries, bytes), `server` (workers, request_threads, uptime_secs,
+//! request counters).
+//!
+//! ## `GET /metrics`
+//!
+//! Prometheus text exposition (`text/plain; version=0.0.4`):
+//! `spade_serve_requests_total`, `spade_serve_explore_total`,
+//! `spade_serve_explore_cached_total`, `spade_serve_reload_total`,
+//! `spade_serve_connections_total`, `spade_serve_rejected_busy_total`,
+//! `spade_serve_http_errors_total`, `spade_serve_cache_{hits,misses,evictions}_total`,
+//! and gauges `spade_serve_in_flight`, `spade_serve_cache_bytes`,
+//! `spade_serve_snapshot_generation`, `spade_serve_snapshot_triples`.
+//!
+//! ## Status codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 200  | success |
+//! | 400  | malformed HTTP framing, malformed JSON, unknown/invalid field |
+//! | 404  | unknown route |
+//! | 405  | wrong method for a known route |
+//! | 409  | reload failed; previous snapshot still serving |
+//! | 413  | body above `--max-body-bytes` |
+//! | 431  | request head above the head limit |
+//! | 503  | accept queue full (`Retry-After: 1`) or draining |
+//!
+//! # Running
+//!
+//! ```text
+//! spade-serve --snapshot data.spade --addr 127.0.0.1:7878
+//! ```
+//!
+//! See [`server::ServeConfig`] for every knob. The daemon exits `0` after
+//! a clean drain on SIGTERM/SIGINT.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{Client, Response as ClientResponse};
+pub use http::Limits;
+pub use server::{ServeConfig, ServeError, Server, ServingState};

@@ -1,0 +1,95 @@
+//! The `spade-serve` daemon: load a snapshot once, serve `/explore` until
+//! SIGTERM/SIGINT, then drain and exit 0.
+//!
+//! ```text
+//! spade-serve --snapshot data.spade [--addr 127.0.0.1:7878] [--workers N]
+//!             [--threads N] [--cache-bytes N] [--max-body-bytes N]
+//!             [--drain-secs N] [--k N] [--min-support F]
+//! ```
+
+use spade_serve::server::{ServeConfig, Server};
+use spade_serve::signal;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spade-serve --snapshot <path> [--addr <host:port>] [--workers <n>] \
+         [--threads <n>] [--cache-bytes <n>] [--max-body-bytes <n>] [--drain-secs <n>] \
+         [--k <n>] [--min-support <f>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut snapshot: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut base = spade_core::SpadeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--snapshot" => snapshot = Some(value("--snapshot")),
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--threads" => config.threads = parse(&value("--threads"), "--threads"),
+            "--cache-bytes" => {
+                config.cache_bytes = parse(&value("--cache-bytes"), "--cache-bytes")
+            }
+            "--max-body-bytes" => {
+                config.limits.max_body_bytes =
+                    parse(&value("--max-body-bytes"), "--max-body-bytes")
+            }
+            "--drain-secs" => {
+                config.drain_deadline =
+                    Duration::from_secs(parse::<u64>(&value("--drain-secs"), "--drain-secs"))
+            }
+            "--k" => base.k = parse(&value("--k"), "--k"),
+            "--min-support" => {
+                base.min_support = parse(&value("--min-support"), "--min-support")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(snapshot) = snapshot else {
+        eprintln!("--snapshot is required");
+        usage();
+    };
+
+    signal::install();
+    let drain = config.drain_deadline;
+    let server = match Server::start(config, base, &snapshot) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("spade-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("spade-serve: serving {snapshot} on http://{}", server.local_addr());
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("spade-serve: shutdown requested, draining (up to {drain:?})");
+    let drained = server.shutdown(drain);
+    eprintln!(
+        "spade-serve: {}",
+        if drained { "drained cleanly" } else { "drain deadline hit" }
+    );
+    std::process::exit(if drained { 0 } else { 1 });
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: invalid value {value:?}");
+        usage()
+    })
+}

@@ -1,0 +1,726 @@
+//! The daemon: accept loop, bounded worker pool, routing, hot reload,
+//! graceful drain. See the crate root for the wire-protocol spec.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{self, Conn, HttpError, Limits, Request};
+use spade_core::json::{self, Json, JsonWriter};
+use spade_core::{OfflineState, RequestConfig, Spade, SpadeConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs (the base pipeline config lives in [`Spade`]).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections (`0` = one per available core).
+    /// Each in-flight request gets `threads / workers` evaluation workers
+    /// (at least 1) via [`spade_parallel::split_budget`], so the pool as a
+    /// whole never oversubscribes the `threads` budget.
+    pub workers: usize,
+    /// Total evaluation-thread budget shared by concurrent requests
+    /// (`0` = all available cores).
+    pub threads: usize,
+    /// Result-cache byte budget (`0` disables the cache).
+    pub cache_bytes: usize,
+    /// Connections queued behind busy workers before the server answers
+    /// 503 instead of queueing further.
+    pub queue_depth: usize,
+    /// HTTP framing limits.
+    pub limits: Limits,
+    /// How long a graceful shutdown waits for in-flight work to drain.
+    pub drain_deadline: Duration,
+    /// A keep-alive connection that completes no request within this long
+    /// is closed, so idle clients cannot pin worker threads indefinitely.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 0,
+            threads: 0,
+            cache_bytes: 64 * 1024 * 1024,
+            queue_depth: 128,
+            limits: Limits::default(),
+            drain_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything that can fail starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The initial snapshot did not load.
+    Snapshot(spade_core::SnapshotPipelineError),
+    /// The listener could not bind.
+    Bind(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Snapshot(e) => write!(f, "snapshot load failed: {e}"),
+            ServeError::Bind(e) => write!(f, "bind failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One immutable generation of servable state. Requests clone the `Arc`
+/// and keep using their generation even while a reload swaps in the next —
+/// that is the whole hot-reload story: zero locks held during evaluation,
+/// zero dropped in-flight requests.
+pub struct ServingState {
+    /// The loaded offline state (graph + statistics).
+    pub offline: OfflineState,
+    /// Monotonic reload counter, part of every cache key.
+    pub generation: u64,
+    /// Where this generation was loaded from.
+    pub source: PathBuf,
+}
+
+#[derive(Default)]
+struct Metrics {
+    requests_total: AtomicU64,
+    explore_total: AtomicU64,
+    explore_cached_total: AtomicU64,
+    reload_total: AtomicU64,
+    http_errors_total: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    connections_total: AtomicU64,
+    rejected_busy_total: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+struct Shared {
+    engine: Spade,
+    serving: RwLock<Arc<ServingState>>,
+    cache: Mutex<ResultCache>,
+    /// Serializes reloads (concurrent `/reload`s would race the generation
+    /// bump); never held while serving `/explore`.
+    reload: Mutex<()>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    limits: Limits,
+    idle_timeout: Duration,
+    /// Resolved total evaluation-thread budget.
+    eval_threads: usize,
+    /// Per-request evaluation-thread share (`threads / workers`, ≥ 1).
+    request_threads: usize,
+    workers: usize,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle does **not** stop the daemon; call
+/// [`Server::shutdown`] (or let the process exit).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the snapshot at `snapshot` **once** and starts serving it.
+    /// Returns once the listener is bound and the workers are running.
+    pub fn start(
+        config: ServeConfig,
+        base: SpadeConfig,
+        snapshot: impl AsRef<Path>,
+    ) -> Result<Server, ServeError> {
+        let snapshot = snapshot.as_ref().to_path_buf();
+        let engine = Spade::new(base);
+        let threads = spade_parallel::resolve_threads(config.threads);
+        let offline = OfflineState::open(&snapshot, threads).map_err(ServeError::Snapshot)?;
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        listener.set_nonblocking(true).map_err(ServeError::Bind)?;
+
+        let workers = spade_parallel::resolve_threads(config.workers);
+        // Split the evaluation budget across the pool: `workers` requests in
+        // flight, each with `threads / workers` (≥ 1) evaluation workers.
+        let (_, request_threads) = spade_parallel::split_budget(threads, workers);
+        let shared = Arc::new(Shared {
+            engine,
+            serving: RwLock::new(Arc::new(ServingState {
+                offline,
+                generation: 1,
+                source: snapshot,
+            })),
+            cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+            reload: Mutex::new(()),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            limits: config.limits,
+            idle_timeout: config.idle_timeout,
+            eval_threads: threads,
+            request_threads,
+            workers,
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("spade-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn worker");
+            worker_handles.push(handle);
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("spade-serve-accept".to_owned())
+            .spawn(move || accept_loop(&accept_shared, &listener, &tx))
+            .expect("spawn acceptor");
+
+        Ok(Server { addr, shared, accept_handle: Some(accept_handle), worker_handles })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop: the acceptor closes, queued connections are
+    /// drained, in-flight requests finish. Blocks up to `deadline`; returns
+    /// `true` when everything drained in time (workers that exceed the
+    /// deadline are abandoned, not killed — the process exit reaps them).
+    pub fn shutdown(mut self, deadline: Duration) -> bool {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let end = Instant::now() + deadline;
+        let mut drained = true;
+        if let Some(handle) = self.accept_handle.take() {
+            // The acceptor wakes at least every poll tick.
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            while !handle.is_finished() && Instant::now() < end {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                drained = false;
+            }
+        }
+        drained
+    }
+
+    /// Whether shutdown has been requested (exposed for signal wiring).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drops tx; workers drain the queue then stop
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                // The read timeout is the worker's poll tick: each tick it
+                // re-checks the shutdown flag and the connection's idle
+                // deadline (`ServeConfig::idle_timeout`).
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        shared.metrics.rejected_busy_total.fetch_add(1, Ordering::Relaxed);
+                        let body = error_body("server busy, retry later");
+                        let _ = http::write_response(
+                            &mut stream,
+                            503,
+                            "application/json",
+                            &[("Retry-After", "1")],
+                            body.as_bytes(),
+                            false,
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only while popping — never while serving.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match next {
+            Ok(stream) => handle_connection(shared, stream),
+            // On shutdown the acceptor drops the sender; `recv` still hands
+            // out everything already queued and only then disconnects, so
+            // keeping to the recv path (instead of a one-shot `try_recv`
+            // drain) cannot strand a connection the acceptor enqueued
+            // moments after the flag flipped.
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let mut conn = Conn::new(stream);
+    let mut last_request = Instant::now();
+    loop {
+        let request = match conn.read_request(&shared.limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Idle keep-alive poll tick (the 500 ms read timeout):
+                // close when draining, and close connections that have not
+                // completed a request within the idle deadline — otherwise
+                // `workers` idle (or byte-trickling) clients would pin the
+                // whole pool forever.
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || last_request.elapsed() > shared.idle_timeout
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                shared.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
+                let status = match e {
+                    HttpError::BodyTooLarge => 413,
+                    HttpError::HeadTooLarge => 431,
+                    _ => 400,
+                };
+                let body = error_body(&e.to_string());
+                let _ = http::write_response(
+                    conn.stream(),
+                    status,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                // Consume what the peer already sent before closing:
+                // closing with unread input triggers a TCP RST that can
+                // destroy the error response before the peer reads it.
+                drain_input(conn.stream());
+                return; // framing is unreliable after a malformed request
+            }
+        };
+
+        last_request = Instant::now();
+        shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let response = route(shared, &request);
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match response.status {
+            400..=499 => shared.metrics.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            500..=599 => shared.metrics.responses_5xx.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+
+        // Finish the in-flight response, but do not start another request
+        // on this connection once draining.
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let extra: Vec<(&str, &str)> =
+            response.headers.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        if http::write_response(
+            conn.stream(),
+            response.status,
+            response.content_type,
+            &extra,
+            &response.body,
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+/// Reads and discards whatever the peer has already sent (bounded in bytes
+/// and time) so the subsequent close sends FIN, not RST.
+fn drain_input(stream: &mut TcpStream) {
+    use io::Read as _;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut chunk = [0u8; 4096];
+    let mut total = 0usize;
+    while total < 256 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Arc<[u8]>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes().into(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response::json(status, error_body(message))
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("error").string(message);
+    w.end_object();
+    w.finish()
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/stats") => stats(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/explore") => explore(shared, &request.body),
+        ("POST", "/reload") => reload(shared, &request.body),
+        (_, "/healthz" | "/stats" | "/metrics") => {
+            Response::error(405, "use GET for this route")
+        }
+        (_, "/explore" | "/reload") => Response::error(405, "use POST for this route"),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn current(shared: &Shared) -> Arc<ServingState> {
+    Arc::clone(&shared.serving.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let state = current(shared);
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("status").string("ok");
+    w.key("generation").uint(state.generation);
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn stats(shared: &Shared) -> Response {
+    let state = current(shared);
+    let cache: CacheStats =
+        shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
+    let m = &shared.metrics;
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("snapshot").begin_object();
+    w.key("generation").uint(state.generation);
+    w.key("source").string(&state.source.display().to_string());
+    w.key("triples").usize(state.offline.graph.len());
+    w.key("terms").usize(state.offline.graph.dict.len());
+    w.key("properties").usize(state.offline.stats.property_count());
+    w.key("load_ms").f64(state.offline.load_time.as_secs_f64() * 1e3);
+    w.end_object();
+    w.key("cache").begin_object();
+    w.key("hits").uint(cache.hits);
+    w.key("misses").uint(cache.misses);
+    w.key("evictions").uint(cache.evictions);
+    w.key("entries").usize(cache.entries);
+    w.key("bytes").usize(cache.bytes);
+    w.end_object();
+    w.key("server").begin_object();
+    w.key("workers").usize(shared.workers);
+    w.key("request_threads").usize(shared.request_threads);
+    w.key("uptime_secs").f64(shared.started.elapsed().as_secs_f64());
+    w.key("requests_total").uint(m.requests_total.load(Ordering::Relaxed));
+    w.key("explore_total").uint(m.explore_total.load(Ordering::Relaxed));
+    w.key("explore_cached_total").uint(m.explore_cached_total.load(Ordering::Relaxed));
+    w.key("reload_total").uint(m.reload_total.load(Ordering::Relaxed));
+    w.key("connections_total").uint(m.connections_total.load(Ordering::Relaxed));
+    w.key("rejected_busy_total").uint(m.rejected_busy_total.load(Ordering::Relaxed));
+    w.key("http_errors_total").uint(m.http_errors_total.load(Ordering::Relaxed));
+    w.key("responses_4xx").uint(m.responses_4xx.load(Ordering::Relaxed));
+    w.key("responses_5xx").uint(m.responses_5xx.load(Ordering::Relaxed));
+    w.key("in_flight").uint(m.in_flight.load(Ordering::Relaxed));
+    w.end_object();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let state = current(shared);
+    let cache = shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
+    let m = &shared.metrics;
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP spade_serve_{name} {help}\n# TYPE spade_serve_{name} counter\n\
+             spade_serve_{name} {value}\n",
+        ));
+    };
+    counter("requests_total", "Requests routed", m.requests_total.load(Ordering::Relaxed));
+    counter("explore_total", "Explore requests", m.explore_total.load(Ordering::Relaxed));
+    counter(
+        "explore_cached_total",
+        "Explore requests answered from cache",
+        m.explore_cached_total.load(Ordering::Relaxed),
+    );
+    counter("reload_total", "Successful reloads", m.reload_total.load(Ordering::Relaxed));
+    counter(
+        "connections_total",
+        "Accepted connections",
+        m.connections_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "rejected_busy_total",
+        "Connections answered 503 at the accept queue",
+        m.rejected_busy_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "http_errors_total",
+        "Malformed or over-limit requests",
+        m.http_errors_total.load(Ordering::Relaxed),
+    );
+    counter("cache_hits_total", "Result-cache hits", cache.hits);
+    counter("cache_misses_total", "Result-cache misses", cache.misses);
+    counter("cache_evictions_total", "Result-cache evictions", cache.evictions);
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP spade_serve_{name} {help}\n# TYPE spade_serve_{name} gauge\n\
+             spade_serve_{name} {value}\n",
+        ));
+    };
+    gauge("in_flight", "Requests currently executing", m.in_flight.load(Ordering::Relaxed));
+    gauge("cache_bytes", "Result-cache bytes in use", cache.bytes as u64);
+    gauge("snapshot_generation", "Current snapshot generation", state.generation);
+    gauge("snapshot_triples", "Triples served", state.offline.graph.len() as u64);
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        headers: Vec::new(),
+        body: out.into_bytes().into(),
+    }
+}
+
+/// Decodes an `/explore` body into a [`RequestConfig`]. Unknown keys are
+/// rejected — silent typos (`"top_k"`) would otherwise degrade into default
+/// answers.
+fn parse_explore(body: &[u8]) -> Result<RequestConfig, String> {
+    if body.is_empty() {
+        return Ok(RequestConfig::default());
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let entries = doc.as_object().ok_or("body must be a JSON object")?;
+    let mut request = RequestConfig::default();
+    let str_list = |v: &Json, what: &str| -> Result<Vec<String>, String> {
+        v.as_array()
+            .ok_or(format!("{what} must be an array of strings"))?
+            .iter()
+            .map(|s| {
+                s.as_str().map(str::to_owned).ok_or(format!("{what} must contain only strings"))
+            })
+            .collect()
+    };
+    for (key, value) in entries {
+        match key.as_str() {
+            "k" => {
+                request.k = Some(value.as_usize().ok_or("k must be a non-negative integer")?);
+            }
+            "interestingness" => {
+                let name = value.as_str().ok_or("interestingness must be a string")?;
+                request.interestingness =
+                    Some(RequestConfig::interestingness_from_name(name).ok_or(
+                        "interestingness must be variance, skewness, or kurtosis".to_owned(),
+                    )?);
+            }
+            "min_support" => {
+                let v = value.as_f64().ok_or("min_support must be a number")?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err("min_support must be within [0, 1]".to_owned());
+                }
+                request.min_support = Some(v);
+            }
+            "cfs_filter" => request.cfs_filter = str_list(value, "cfs_filter")?,
+            "measure_filter" => request.measure_filter = str_list(value, "measure_filter")?,
+            "threads" => {
+                request.threads =
+                    Some(value.as_usize().ok_or("threads must be a non-negative integer")?);
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    Ok(request)
+}
+
+fn explore(shared: &Shared, body: &[u8]) -> Response {
+    shared.metrics.explore_total.fetch_add(1, Ordering::Relaxed);
+    let mut request = match parse_explore(body) {
+        Ok(request) => request,
+        Err(message) => return Response::error(400, &message),
+    };
+    // Cap the per-request budget at this worker's share so N concurrent
+    // requests use at most the server's total thread budget.
+    request.threads = Some(match request.threads {
+        Some(t) if t != 0 => t.min(shared.request_threads),
+        _ => shared.request_threads,
+    });
+
+    let state = current(shared);
+    let key = format!("g{}:{}", state.generation, request.canonical_key());
+    if let Some(hit) =
+        shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+    {
+        shared.metrics.explore_cached_total.fetch_add(1, Ordering::Relaxed);
+        return Response {
+            status: 200,
+            content_type: "application/json",
+            headers: vec![("X-Cache", "hit".to_owned())],
+            body: hit,
+        };
+    }
+
+    // The evaluation runs outside every lock, against this request's
+    // pinned generation.
+    let report = shared.engine.run_on(&state.offline, &request);
+    let body: Arc<[u8]> = report.to_json(false).into_bytes().into();
+    // Skip the insert when a reload swapped generations mid-evaluation:
+    // the old-generation key could never be looked up again, so storing it
+    // would only waste cache budget (and could evict live entries).
+    if current(shared).generation == state.generation {
+        shared
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&body));
+    }
+    Response {
+        status: 200,
+        content_type: "application/json",
+        headers: vec![("X-Cache", "miss".to_owned())],
+        body,
+    }
+}
+
+fn reload(shared: &Shared, body: &[u8]) -> Response {
+    // One reload at a time; `/explore` traffic never takes this lock.
+    let _guard = shared.reload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let previous = current(shared);
+    let path = if body.is_empty() {
+        previous.source.clone()
+    } else {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        match json::parse(text) {
+            Ok(doc) => match doc.get("path") {
+                Some(p) => match p.as_str() {
+                    Some(p) => PathBuf::from(p),
+                    None => return Response::error(400, "path must be a string"),
+                },
+                None => previous.source.clone(),
+            },
+            Err(e) => return Response::error(400, &e.to_string()),
+        }
+    };
+
+    match OfflineState::open(&path, shared.eval_threads) {
+        Ok(offline) => {
+            let next = Arc::new(ServingState {
+                offline,
+                generation: previous.generation + 1,
+                source: path,
+            });
+            let load_ms = next.offline.load_time.as_secs_f64() * 1e3;
+            let generation = next.generation;
+            *shared.serving.write().unwrap_or_else(std::sync::PoisonError::into_inner) = next;
+            // Old-generation cache entries can never be requested again
+            // (keys embed the generation); drop them now instead of letting
+            // them age out of the byte budget.
+            shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+            shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+            let mut w = JsonWriter::compact();
+            w.begin_object();
+            w.key("status").string("reloaded");
+            w.key("generation").uint(generation);
+            w.key("load_ms").f64(load_ms);
+            w.end_object();
+            Response::json(200, w.finish())
+        }
+        // The old state keeps serving untouched; 409 tells the operator the
+        // swap did not happen.
+        Err(e) => Response::error(409, &format!("reload failed, keeping generation: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_explore_accepts_full_document() {
+        let body = br#"{"k": 4, "interestingness": "skewness", "min_support": 0.25,
+                        "cfs_filter": ["type:CEO"], "measure_filter": ["netWorth"],
+                        "threads": 2}"#;
+        let r = parse_explore(body).unwrap();
+        assert_eq!(r.k, Some(4));
+        assert_eq!(r.interestingness.map(|h| h.label()), Some("skewness"));
+        assert_eq!(r.min_support, Some(0.25));
+        assert_eq!(r.cfs_filter, vec!["type:CEO".to_owned()]);
+        assert_eq!(r.measure_filter, vec!["netWorth".to_owned()]);
+        assert_eq!(r.threads, Some(2));
+        assert_eq!(parse_explore(b"").unwrap(), RequestConfig::default());
+        assert_eq!(parse_explore(b"{}").unwrap(), RequestConfig::default());
+    }
+
+    #[test]
+    fn parse_explore_rejects_bad_documents() {
+        for bad in [
+            br#"{"k": -1}"#.as_slice(),
+            br#"{"k": "three"}"#,
+            br#"{"interestingness": "magic"}"#,
+            br#"{"min_support": 1.5}"#,
+            br#"{"cfs_filter": "not-a-list"}"#,
+            br#"{"cfs_filter": [1]}"#,
+            br#"{"top_k": 3}"#,
+            br#"[1,2,3]"#,
+            br#"{"k": 3"#,
+            &[0xff, 0xfe],
+        ] {
+            assert!(parse_explore(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+    }
+}

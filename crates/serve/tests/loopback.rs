@@ -1,0 +1,318 @@
+//! Loopback integration suite: the serve layer extension of the
+//! determinism story, plus every error path the wire spec promises.
+//!
+//! The heart is `concurrent_explore_is_deterministic_and_matches_serial`:
+//! N identical concurrent requests (cache disabled, so every one actually
+//! evaluates) must return **byte-identical** bodies, equal to what the
+//! serial `Spade::run_snapshot` path computes for the same snapshot — the
+//! server adds concurrency, never changes answers.
+
+use spade_core::{Spade, SpadeConfig};
+use spade_serve::client::{self, Client};
+use spade_serve::http::Limits;
+use spade_serve::server::{ServeConfig, ServeError, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn base_config() -> SpadeConfig {
+    SpadeConfig { k: 5, min_support: 0.3, min_cfs_size: 20, max_cfs: 6, ..Default::default() }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spade_serve_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes a snapshot of a small simulated corpus and returns its path.
+fn write_snapshot(dir: &Path, file: &str, scale: usize, seed: u64) -> PathBuf {
+    let g = spade_datagen::realistic::ceos(&spade_datagen::RealisticConfig { scale, seed });
+    let nt = spade_rdf::write_ntriples(&g);
+    let path = dir.join(file);
+    Spade::new(base_config()).snapshot_ntriples(&nt, &path).expect("snapshot written");
+    path
+}
+
+fn serve_config(cache_bytes: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        threads: 4,
+        cache_bytes,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn concurrent_explore_is_deterministic_and_matches_serial() {
+    let dir = temp_dir("determinism");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+
+    // The serial oracle: the pre-split single-shot path over the same file.
+    let expected = Spade::new(base_config())
+        .run_snapshot(&path)
+        .expect("serial run_snapshot")
+        .to_json(false);
+
+    // Cache disabled: every request must evaluate for real.
+    let server = Server::start(serve_config(0), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+
+    let bodies: Vec<(u16, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut out = Vec::new();
+                    for _ in 0..2 {
+                        let r = client.post("/explore", b"").expect("explore");
+                        out.push((r.status, r.body));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    assert_eq!(bodies.len(), 16);
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            std::str::from_utf8(body).expect("UTF-8 body"),
+            expected,
+            "every concurrent body equals the serial oracle, byte for byte"
+        );
+    }
+    // The oracle has real content (not a vacuous equality).
+    assert!(expected.contains("\"top\":[{"), "oracle has top aggregates: {expected}");
+
+    // The auxiliary routes answer while traffic flows.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+    let stats = client::get(addr, "/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    let stats_doc = spade_core::json::parse(&stats.text()).expect("stats is JSON");
+    assert_eq!(
+        stats_doc.get("server").and_then(|s| s.get("workers")).and_then(|v| v.as_usize()),
+        Some(4)
+    );
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("spade_serve_explore_total 16"));
+
+    assert!(server.shutdown(Duration::from_secs(10)), "drained in time");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn request_overrides_and_cache_hits_are_exact() {
+    let dir = temp_dir("cache");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    let server =
+        Server::start(serve_config(1 << 20), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    let first = client.post("/explore", br#"{"k": 2}"#).expect("first");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let second = client.post("/explore", br#"{"k": 2}"#).expect("second");
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cache hits are exact bytes");
+
+    // Thread overrides share the cache entry (results are thread-invariant).
+    let threaded = client.post("/explore", br#"{"k": 2, "threads": 3}"#).expect("threaded");
+    assert_eq!(threaded.header("x-cache"), Some("hit"));
+    assert_eq!(threaded.body, first.body);
+
+    // A different request misses and differs.
+    let other = client.post("/explore", br#"{"k": 1}"#).expect("other");
+    assert_eq!(other.header("x-cache"), Some("miss"));
+    assert_ne!(other.body, first.body);
+
+    // Filters actually filter.
+    let filtered = client
+        .post("/explore", br#"{"measure_filter": ["netWorth"], "cfs_filter": ["type:CEO"]}"#)
+        .expect("filtered");
+    assert_eq!(filtered.status, 200);
+    let doc = spade_core::json::parse(&filtered.text()).expect("filtered JSON");
+    let top = doc.get("top").and_then(|t| t.as_array()).expect("top array");
+    assert!(!top.is_empty());
+    for entry in top {
+        let cfs = entry.get("cfs").and_then(|v| v.as_str()).expect("cfs");
+        assert!(cfs.contains("type:CEO"), "cfs filter honored: {cfs}");
+        let mda = entry.get("mda").and_then(|v| v.as_str()).expect("mda");
+        assert!(mda.contains("netWorth") || mda == "count(*)", "measure filter honored: {mda}");
+    }
+
+    let stats = client.get("/stats").expect("stats");
+    let doc = spade_core::json::parse(&stats.text()).expect("stats JSON");
+    let hits = doc.get("cache").and_then(|c| c.get("hits")).and_then(|v| v.as_usize());
+    assert!(hits >= Some(2), "stats counted the hits: {hits:?}");
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reload_under_load_never_drops_requests() {
+    let dir = temp_dir("reload");
+    let path_a = write_snapshot(&dir, "a.spade", 100, 11);
+    let path_b = write_snapshot(&dir, "b.spade", 120, 23);
+    let expected_a =
+        Spade::new(base_config()).run_snapshot(&path_a).expect("serial a").to_json(false);
+    let expected_b =
+        Spade::new(base_config()).run_snapshot(&path_b).expect("serial b").to_json(false);
+    assert_ne!(expected_a, expected_b, "the two corpora must differ");
+
+    // Cache disabled so requests in flight during the swap really evaluate.
+    let server = Server::start(serve_config(0), base_config(), &path_a).expect("server starts");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let outcome: (Vec<String>, u16) = std::thread::scope(|scope| {
+        let loaders: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut bodies = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        let r = client.post("/explore", b"").expect("explore under reload");
+                        assert_eq!(r.status, 200, "no request fails during reload");
+                        bodies.push(r.text());
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        // Let traffic build up, swap snapshots mid-flight, let it settle.
+        std::thread::sleep(Duration::from_millis(300));
+        let body = format!(
+            "{{\"path\": {}}}",
+            spade_core::json::quote(path_b.to_str().expect("utf-8 path"),)
+        );
+        let reload = client::post(addr, "/reload", body.as_bytes()).expect("reload");
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let bodies = loaders.into_iter().flat_map(|h| h.join().expect("loader")).collect();
+        (bodies, reload.status)
+    });
+    let (bodies, reload_status) = outcome;
+    assert_eq!(reload_status, 200);
+    assert!(!bodies.is_empty());
+    // Every overlapping body belongs to exactly one generation — nothing
+    // fails, nothing is a torn mix. (How many land on each side of the
+    // swap is timing; the post-reload checks below pin the new state.)
+    for body in &bodies {
+        assert!(
+            *body == expected_a || *body == expected_b,
+            "a body matched neither generation: {body}"
+        );
+    }
+
+    // The generation advanced and new requests serve B.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert!(health.text().contains("\"generation\":2"), "{}", health.text());
+    let after = client::post(addr, "/explore", b"").expect("post-reload explore");
+    assert_eq!(after.text(), expected_b);
+
+    // A failed reload keeps the current generation serving.
+    let bogus = dir.join("missing.spade");
+    let body =
+        format!("{{\"path\": {}}}", spade_core::json::quote(bogus.to_str().expect("utf-8")));
+    let failed = client::post(addr, "/reload", body.as_bytes()).expect("failed reload");
+    assert_eq!(failed.status, 409);
+    assert!(failed.text().contains("keeping generation"));
+    let still = client::post(addr, "/explore", b"").expect("explore after failed reload");
+    assert_eq!(still.text(), expected_b);
+    let health = client::get(addr, "/healthz").expect("healthz after failed reload");
+    assert!(health.text().contains("\"generation\":2"));
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_paths_match_the_wire_spec() {
+    let dir = temp_dir("errors");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+
+    // A bad snapshot path fails startup with a typed error.
+    match Server::start(serve_config(0), base_config(), dir.join("nope.spade")) {
+        Err(ServeError::Snapshot(_)) => {}
+        other => panic!("expected Snapshot error, got {other:?}", other = other.err()),
+    }
+
+    let config = ServeConfig {
+        limits: Limits { max_head_bytes: 2048, max_body_bytes: 256 },
+        ..serve_config(0)
+    };
+    let server = Server::start(config, base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+
+    // Malformed HTTP framing → 400 over the raw socket.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(b"definitely not http\r\n\r\n").expect("write garbage");
+    let mut response = String::new();
+    raw.read_to_string(&mut response).expect("read 400");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+
+    // Oversized body → 413.
+    let big = vec![b' '; 1024];
+    let r = client::post(addr, "/explore", &big).expect("oversized");
+    assert_eq!(r.status, 413);
+
+    // Oversized head → 431.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    let long = format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "x".repeat(4096));
+    raw.write_all(long.as_bytes()).expect("write long head");
+    let mut response = String::new();
+    raw.read_to_string(&mut response).expect("read 431");
+    assert!(response.starts_with("HTTP/1.1 431 "), "{response}");
+
+    // Unknown route → 404; wrong method → 405.
+    assert_eq!(client::get(addr, "/nope").expect("404").status, 404);
+    assert_eq!(client::get(addr, "/explore").expect("405").status, 405);
+    assert_eq!(client::post(addr, "/healthz", b"").expect("405").status, 405);
+
+    // Malformed and invalid JSON bodies → 400 with an error message.
+    for bad in [br#"{"k": "#.as_slice(), br#"{"top_k": 3}"#, br#"{"interestingness": "magic"}"#]
+    {
+        let r = client::post(addr, "/explore", bad).expect("bad body");
+        assert_eq!(r.status, 400, "{}", String::from_utf8_lossy(bad));
+        assert!(r.text().contains("\"error\":"));
+    }
+
+    // The server still answers normally after all that abuse.
+    let ok = client::post(addr, "/explore", br#"{"k": 1}"#).expect("healthy again");
+    assert_eq!(ok.status, 200);
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_drains_and_closes_the_listener() {
+    let dir = temp_dir("shutdown");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    let server =
+        Server::start(serve_config(1 << 20), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+
+    // A keep-alive client parked idle must not block the drain.
+    let mut idle = Client::new(addr);
+    assert_eq!(idle.get("/healthz").expect("idle healthz").status, 200);
+
+    assert_eq!(client::post(addr, "/explore", b"").expect("warm").status, 200);
+    assert!(server.shutdown(Duration::from_secs(10)), "drained with an idle keep-alive");
+
+    // The listener is gone: fresh connections are refused (or time out).
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(refused.is_err(), "post-shutdown connections must fail");
+    std::fs::remove_dir_all(&dir).ok();
+}
