@@ -7,6 +7,7 @@
 //! identified as equivalent by the RDFQuotient summary."
 
 use crate::config::SpadeConfig;
+use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{Graph, TermId};
 use spade_summary::weak_summary;
 use std::collections::HashSet;
@@ -55,19 +56,36 @@ pub fn select(
     strategies: &[CfsStrategy],
     config: &SpadeConfig,
 ) -> Vec<CandidateFactSet> {
+    select_budgeted(graph, strategies, config, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`select`] under a request [`Budget`]: the budget is polled per
+/// strategy and per candidate, so an expired request unwinds with
+/// [`Cancelled`] within one candidate's materialization. With
+/// [`Budget::unlimited`] this is exactly [`select`].
+pub fn select_budgeted(
+    graph: &Graph,
+    strategies: &[CfsStrategy],
+    config: &SpadeConfig,
+    budget: &Budget,
+) -> Result<Vec<CandidateFactSet>, Cancelled> {
+    spade_parallel::fault::fire_with_budget("cfs", Some(budget));
     let mut out: Vec<CandidateFactSet> = Vec::new();
     let mut seen_member_sets: HashSet<Vec<TermId>> = HashSet::new();
 
     for strategy in strategies {
+        budget.check()?;
         let candidates: Vec<(String, Vec<TermId>)> = match strategy {
             CfsStrategy::TypeBased => {
                 let classes: Vec<TermId> = graph.classes().collect();
-                spade_parallel::map(classes, config.threads, |class| {
-                    (
+                spade_parallel::try_map(classes, config.threads, |class| {
+                    budget.check()?;
+                    Ok((
                         format!("type:{}", graph.dict.display(class)),
                         normalized(graph.nodes_of_type(class)),
-                    )
-                })
+                    ))
+                })?
             }
             CfsStrategy::PropertyBased(names) => {
                 let props: Vec<TermId> = names
@@ -83,9 +101,10 @@ pub fn select(
             }
             CfsStrategy::SummaryBased => {
                 let summary = weak_summary(graph);
-                spade_parallel::map(summary.classes, config.threads, |class| {
-                    (format!("summary:{}", class.id), normalized(class.members))
-                })
+                spade_parallel::try_map(summary.classes, config.threads, |class| {
+                    budget.check()?;
+                    Ok((format!("summary:{}", class.id), normalized(class.members)))
+                })?
             }
         };
         for (name, members) in candidates {
@@ -101,7 +120,7 @@ pub fn select(
     });
     out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.name.cmp(&b.name)));
     out.truncate(config.max_cfs);
-    out
+    Ok(out)
 }
 
 /// Sorted, deduplicated member list (the per-candidate normalization work

@@ -14,6 +14,7 @@ use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
 use crate::mfs::{maximal_frequent_sets, Item};
 use spade_bitmap::Bitmap;
+use spade_parallel::{Budget, Cancelled};
 use spade_storage::FactId;
 
 /// One lattice to evaluate: dimension and measure attribute indexes into
@@ -59,24 +60,40 @@ fn compatible(
 /// fan out over `config.threads` with input-order merges — candidate
 /// generation is bit-identical at every thread count.
 pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpec> {
+    enumerate_budgeted(analysis, config, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`enumerate`] under a request [`Budget`]: the budget is polled per
+/// tidset scan and per lattice root, so an expired request unwinds with
+/// [`Cancelled`] within one attribute's fact scan. With
+/// [`Budget::unlimited`] this is exactly [`enumerate`].
+pub fn enumerate_budgeted(
+    analysis: &CfsAnalysis,
+    config: &SpadeConfig,
+    budget: &Budget,
+) -> Result<Vec<LatticeSpec>, Cancelled> {
     let dim_attrs = analysis.dimension_attrs();
     if dim_attrs.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Tidsets over facts for the frequent-set mining.
-    let items: Vec<Item> = spade_parallel::map(dim_attrs, config.threads, |ai| {
+    let items: Vec<Item> = spade_parallel::try_map(dim_attrs, config.threads, |ai| {
+        budget.check()?;
         let col = analysis.attributes[ai].categorical.as_ref().expect("dims have columns");
         let tidset = Bitmap::from_iter(
             (0..analysis.n_facts() as u32).filter(|&f| !col.codes_of(FactId(f)).is_empty()),
         );
-        Item { attr: ai, tidset }
-    });
+        Ok(Item { attr: ai, tidset })
+    })?;
     let min_count = ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
+    budget.check()?;
     let roots = maximal_frequent_sets(&items, min_count, config.max_lattice_dims, |a, b| {
         compatible(&analysis.attributes[a], &analysis.attributes[b])
     });
 
-    spade_parallel::map(roots, config.threads, |dims| {
+    spade_parallel::try_map(roots, config.threads, |dims| {
+        budget.check()?;
         let measures: Vec<usize> = analysis
             .measure_attrs()
             .into_iter()
@@ -91,7 +108,7 @@ pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpe
                     })
             })
             .collect();
-        LatticeSpec { dims, measures }
+        Ok(LatticeSpec { dims, measures })
     })
 }
 

@@ -26,8 +26,9 @@ use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
 use crate::enumeration::LatticeSpec;
 use spade_cube::earlystop;
-use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
+use spade_cube::mvdcube::{mvd_cube_pruned_budgeted, prepare, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
+use spade_parallel::{Budget, Cancelled};
 use std::collections::{HashMap, HashSet};
 
 /// The evaluation output for one CFS.
@@ -57,6 +58,21 @@ pub fn evaluate_cfs(
     lattices: &[LatticeSpec],
     config: &SpadeConfig,
 ) -> CfsEvaluation {
+    evaluate_cfs_budgeted(analysis, lattices, config, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`evaluate_cfs`] under a request [`Budget`]: the budget is polled per
+/// lattice during planning and threaded into every lattice's early-stop
+/// pruning and cube run, so an expired request unwinds with [`Cancelled`]
+/// within one region flush. With [`Budget::unlimited`] this is exactly
+/// [`evaluate_cfs`].
+pub fn evaluate_cfs_budgeted(
+    analysis: &CfsAnalysis,
+    lattices: &[LatticeSpec],
+    config: &SpadeConfig,
+    budget: &Budget,
+) -> Result<CfsEvaluation, Cancelled> {
     let mut evaluation = CfsEvaluation::default();
     // Split the thread budget: `outer` lattices in flight, each with
     // `inner` workers for its intra-lattice region shards.
@@ -71,6 +87,7 @@ pub fn evaluate_cfs(
     let mut work: Vec<(CubeSpec<'_>, HashMap<u32, Vec<bool>>)> =
         Vec::with_capacity(lattices.len());
     for lattice_spec in lattices {
+        budget.check()?;
         let dims: Vec<_> = lattice_spec
             .dims
             .iter()
@@ -108,13 +125,15 @@ pub fn evaluate_cfs(
     // —— parallel per-lattice evaluation ——
     // Translation, early-stop pruning (each lattice draws from its own
     // seeded sample), and the cube run are independent per lattice.
-    let outcomes = spade_parallel::map(work, outer, |(spec, mut alive)| {
+    let outcomes = spade_parallel::try_map(work, outer, |(spec, mut alive)| {
+        budget.check()?;
         let sample_cap = config.early_stop.map(|es| es.sample_size);
         let (lattice, translation) = prepare(&spec, &options, sample_cap);
         let mut pruned_by_es = 0usize;
         if let Some(es_config) = &config.early_stop {
             let samples = translation.samples.clone().expect("sampling enabled");
-            let outcome = earlystop::prune(&spec, &lattice, &samples, es_config, inner);
+            let outcome =
+                earlystop::prune_budgeted(&spec, &lattice, &samples, es_config, inner, budget)?;
             for (mask, flags) in &mut alive {
                 let es_flags = &outcome.alive[mask];
                 for (i, f) in flags.iter_mut().enumerate() {
@@ -127,9 +146,10 @@ pub fn evaluate_cfs(
         }
         let evaluated_aggregates =
             alive.values().map(|f| f.iter().filter(|&&x| x).count()).sum::<usize>();
-        let result = mvd_cube_pruned(&spec, &options, &lattice, &translation, &alive);
-        LatticeOutcome { result, evaluated_aggregates, pruned_by_es }
-    });
+        let result =
+            mvd_cube_pruned_budgeted(&spec, &options, &lattice, &translation, &alive, budget)?;
+        Ok(LatticeOutcome { result, evaluated_aggregates, pruned_by_es })
+    })?;
 
     // —— serial fold, in lattice order ——
     for outcome in outcomes {
@@ -137,7 +157,7 @@ pub fn evaluate_cfs(
         evaluation.pruned_by_es += outcome.pruned_by_es;
         evaluation.results.push(outcome.result);
     }
-    evaluation
+    Ok(evaluation)
 }
 
 #[cfg(test)]

@@ -46,6 +46,11 @@ pub use pipeline::{
     TopAggregate,
 };
 
+/// Request budgets (deadline + cancellation) threaded through
+/// [`Spade::run_on_budgeted`] — re-exported so servers need not depend on
+/// `spade-parallel` directly.
+pub use spade_parallel::{Budget, CancelReason, Cancelled};
+
 /// The snapshot store serving this pipeline's offline state (re-exported so
 /// downstream users need not depend on `spade-store` directly).
 pub use spade_store as store;

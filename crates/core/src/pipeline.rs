@@ -7,14 +7,15 @@
 //! columns), the per-step timings, and the global top-k aggregates.
 
 use crate::analysis::{analyze_cfs, CfsAnalysis};
-use crate::cfs::{select, CfsStrategy};
+use crate::cfs::{select_budgeted, CfsStrategy};
 use crate::config::{RequestConfig, SpadeConfig};
-use crate::enumeration::{enumerate, LatticeSpec};
-use crate::evaluate::evaluate_cfs;
+use crate::enumeration::{enumerate_budgeted, LatticeSpec};
+use crate::evaluate::evaluate_cfs_budgeted;
 use crate::json::JsonWriter;
 use crate::offline::{self, DerivationCounts, OfflineStats};
 use spade_cube::arm::top_k_of_result;
 use spade_cube::result::NULL_CODE;
+use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{Graph, NtParseError};
 use spade_store::{LoadedSnapshot, Snapshot, SnapshotError};
 use std::path::Path;
@@ -324,7 +325,8 @@ impl Spade {
         let t = Instant::now();
         let stats = offline::analyze(graph);
         report.timings.offline_analysis = t.elapsed();
-        self.run_analyzed(&self.config, graph, &stats, report)
+        self.run_analyzed(&self.config, graph, &stats, report, &Budget::unlimited())
+            .expect("unlimited budget cannot cancel")
     }
 
     /// Runs the **offline phase only** (ingestion, saturation, offline
@@ -374,10 +376,27 @@ impl Spade {
     /// `run_on` calls may execute concurrently against one shared state,
     /// and results are bit-identical across thread budgets and callers.
     pub fn run_on(&self, state: &OfflineState, request: &RequestConfig) -> SpadeReport {
+        self.run_on_budgeted(state, request, &Budget::unlimited())
+            .expect("unlimited budget cannot cancel")
+    }
+
+    /// [`Spade::run_on`] under a request [`Budget`]: a per-request
+    /// deadline/cancellation flag is polled by every long-running stage
+    /// (CFS selection, enumeration, early-stop pruning, the cube engine's
+    /// region-shard loop), so an expired or cancelled request unwinds with
+    /// the typed [`Cancelled`] error in bounded time instead of running to
+    /// completion. Budget checks only ever *abort* — they never reorder or
+    /// skip work — so an `Ok` result is bit-identical to [`Spade::run_on`].
+    pub fn run_on_budgeted(
+        &self,
+        state: &OfflineState,
+        request: &RequestConfig,
+        budget: &Budget,
+    ) -> Result<SpadeReport, Cancelled> {
         let config = request.apply(&self.config);
         let mut report = SpadeReport::default();
         report.timings.snapshot_load = state.load_time;
-        self.run_analyzed(&config, &state.graph, &state.stats, report)
+        self.run_analyzed(&config, &state.graph, &state.stats, report, budget)
     }
 
     /// The shared tail of every entry point: derivation enumeration (the
@@ -392,7 +411,8 @@ impl Spade {
         graph: &Graph,
         stats: &OfflineStats,
         mut report: SpadeReport,
-    ) -> SpadeReport {
+        budget: &Budget,
+    ) -> Result<SpadeReport, Cancelled> {
         let t = Instant::now();
         let (derived, derivation_counts) = offline::enumerate_derivations(graph, stats, config);
         report.timings.offline_analysis += t.elapsed();
@@ -405,7 +425,7 @@ impl Spade {
 
         // —— Step 1: CFS selection ——
         let t = Instant::now();
-        let cfs_list = select(graph, &self.strategies, config);
+        let cfs_list = select_budgeted(graph, &self.strategies, config, budget)?;
         report.timings.cfs_selection = t.elapsed();
         report.profile.cfs_count = cfs_list.len();
 
@@ -413,9 +433,10 @@ impl Spade {
         let t = Instant::now();
         let graph_ref: &Graph = graph;
         let analyses: Vec<CfsAnalysis> =
-            spade_parallel::map(cfs_list.iter().collect(), config.threads, |cfs| {
-                analyze_cfs(graph_ref, cfs, &derived, config)
-            });
+            spade_parallel::try_map(cfs_list.iter().collect(), config.threads, |cfs| {
+                budget.check()?;
+                Ok(analyze_cfs(graph_ref, cfs, &derived, config))
+            })?;
         report.timings.attribute_analysis = t.elapsed();
 
         // —— Step 3: aggregate enumeration (parallel per CFS; each CFS
@@ -426,9 +447,9 @@ impl Spade {
             spade_parallel::split_budget(config.threads, analyses.len());
         let enum_config = SpadeConfig { threads: enum_inner, ..config.clone() };
         let lattice_specs: Vec<Vec<LatticeSpec>> =
-            spade_parallel::map(analyses.iter().collect(), enum_outer, |a| {
-                enumerate(a, &enum_config)
-            });
+            spade_parallel::try_map(analyses.iter().collect(), enum_outer, |a| {
+                enumerate_budgeted(a, &enum_config, budget)
+            })?;
         report.timings.enumeration = t.elapsed();
 
         // —— Step 4: aggregate evaluation (parallel per CFS; each CFS fans
@@ -439,11 +460,13 @@ impl Spade {
         let t = Instant::now();
         let (outer, inner) = spade_parallel::split_budget(config.threads, analyses.len());
         let inner_config = SpadeConfig { threads: inner, ..config.clone() };
-        let evaluations: Vec<_> = spade_parallel::map(
+        let evaluations: Vec<_> = spade_parallel::try_map(
             analyses.iter().zip(&lattice_specs).collect(),
             outer,
-            |(analysis, lattices)| evaluate_cfs(analysis, lattices, &inner_config),
-        );
+            |(analysis, lattices)| {
+                evaluate_cfs_budgeted(analysis, lattices, &inner_config, budget)
+            },
+        )?;
         report.timings.evaluation = t.elapsed();
         for e in &evaluations {
             report.profile.aggregates += e.enumerated_aggregates;
@@ -477,11 +500,12 @@ impl Spade {
                     .map(move |(lattice_idx, result)| (cfs_idx, lattice_idx, result))
             })
             .collect();
-        let per_result: Vec<Vec<Scored>> = spade_parallel::map(
+        let per_result: Vec<Vec<Scored>> = spade_parallel::try_map(
             score_inputs,
             config.threads,
             |(cfs_idx, lattice_idx, result)| {
-                top_k_of_result(result, config.interestingness, usize::MAX)
+                budget.check()?;
+                Ok(top_k_of_result(result, config.interestingness, usize::MAX)
                     .into_iter()
                     .filter(|s| s.score > 0.0)
                     .map(|s| Scored {
@@ -492,9 +516,9 @@ impl Spade {
                         score: s.score,
                         groups: s.group_count,
                     })
-                    .collect()
+                    .collect())
             },
-        );
+        )?;
         let mut scored: Vec<Scored> = per_result.into_iter().flatten().collect();
         scored.sort_by(|a, b| {
             b.score
@@ -528,7 +552,7 @@ impl Spade {
             })
             .collect();
         report.timings.topk = t.elapsed();
-        report
+        Ok(report)
     }
 }
 

@@ -140,7 +140,16 @@ impl<'a, 'b> CubeAlgebra for ArrayAlgebra<'a, 'b> {
 pub fn array_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = ArrayAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None, EngineExec::from_options(options))
+    run_engine(
+        spec,
+        &lattice,
+        &translation,
+        &algebra,
+        None,
+        EngineExec::from_options(options),
+        &spade_parallel::Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot cancel")
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 use crate::lattice::Lattice;
 use crate::spec::{CubeSpec, MdaKind};
 use crate::translate::SampleSet;
+use spade_parallel::{Budget, Cancelled};
 use spade_stats::ci::EstimatorKind;
 use spade_stats::{GroupSample, Interestingness, InterestingnessCi};
 use spade_storage::{AggFn, FactId};
@@ -99,12 +100,14 @@ fn project_samples(
     samples: &SampleSet,
     group_cap: usize,
     threads: usize,
-) -> HashMap<u32, NodeSamples> {
+    budget: &Budget,
+) -> Result<HashMap<u32, NodeSamples>, Cancelled> {
     let strides = crate::translate::strides_for(&lattice.domains);
-    let projected = spade_parallel::map(lattice.nodes(), threads, |mask| {
-        project_node(lattice, samples, group_cap, &strides, mask).map(|ns| (mask, ns))
-    });
-    projected.into_iter().flatten().collect()
+    let projected = spade_parallel::try_map(lattice.nodes(), threads, |mask| {
+        budget.check()?;
+        Ok(project_node(lattice, samples, group_cap, &strides, mask).map(|ns| (mask, ns)))
+    })?;
+    Ok(projected.into_iter().flatten().collect())
 }
 
 /// One node's projected sample, or `None` when estimating it would cost
@@ -220,9 +223,26 @@ pub fn prune(
     config: &EarlyStopConfig,
     threads: usize,
 ) -> EarlyStopOutcome {
+    prune_budgeted(spec, lattice, samples, config, threads, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`prune`] under a request [`Budget`]: the budget is polled per node
+/// projection and per node-batch shard, and the loop unwinds with
+/// [`Cancelled`] once the deadline passes or the request is cancelled.
+/// With [`Budget::unlimited`] this is exactly [`prune`] — checks never
+/// alter any pruning decision.
+pub fn prune_budgeted(
+    spec: &CubeSpec<'_>,
+    lattice: &Lattice,
+    samples: &SampleSet,
+    config: &EarlyStopConfig,
+    threads: usize,
+    budget: &Budget,
+) -> Result<EarlyStopOutcome, Cancelled> {
     let mdas = spec.mdas();
     let cap = estimation_group_cap(spec.n_facts);
-    let node_samples = project_samples(lattice, samples, cap, threads);
+    let node_samples = project_samples(lattice, samples, cap, threads, budget)?;
     let masks = lattice.nodes();
     let total = masks.len() * mdas.len();
 
@@ -231,7 +251,7 @@ pub fn prune(
 
     // With k ≥ total aggregates nothing can ever be pruned.
     if config.k >= total || config.batches == 0 || config.sample_size == 0 {
-        return EarlyStopOutcome { alive, pruned: 0, total, batches_run: 0 };
+        return Ok(EarlyStopOutcome { alive, pruned: 0, total, batches_run: 0 });
     }
 
     let ci = InterestingnessCi::new(config.h, config.confidence);
@@ -269,6 +289,7 @@ pub fn prune(
         .collect();
 
     for batch in 0..config.batches {
+        budget.check()?;
         let from = (batch * batch_len).min(samples.capacity);
         let cut = ((batch + 1) * batch_len).min(samples.capacity);
         batches_run += 1;
@@ -281,7 +302,8 @@ pub fn prune(
         let work: Vec<(u32, Vec<Vec<GroupSample>>)> =
             estimable.iter().copied().zip(std::mem::take(&mut states)).collect();
         let alive_ref = &alive;
-        let shards = spade_parallel::map(work, threads, |(mask, mut node_states)| {
+        let shards = spade_parallel::try_map(work, threads, |(mask, mut node_states)| {
+            budget.check()?;
             let ns = &node_samples[&mask];
             let alive_flags = &alive_ref[&mask];
             let alive_mdas: Vec<usize> = (0..mdas.len())
@@ -325,8 +347,8 @@ pub fn prune(
                 let bounds = measure.and_then(|m| spec.measures[m].preagg.global_bounds());
                 intervals.push((mi, ci.interval(estimator, &filtered, bounds)));
             }
-            (node_states, intervals)
-        });
+            Ok((node_states, intervals))
+        })?;
 
         // —— deterministic aggregation of the shard-local results ——
         let mut intervals: Vec<(u32, usize, spade_stats::ScoreInterval)> = Vec::new();
@@ -356,7 +378,7 @@ pub fn prune(
         }
     }
 
-    EarlyStopOutcome { alive, pruned, total, batches_run }
+    Ok(EarlyStopOutcome { alive, pruned, total, batches_run })
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use super::shard::{RegionCells, ShardPartials};
 use super::store::{merge_sorted, RegionStore};
 use super::{CubeAlgebra, LatticePlan};
 use crate::result::{CubeResult, NodeResult};
+use spade_parallel::{Budget, Cancelled};
 use std::collections::BTreeMap;
 
 /// Ceiling on the number of emit tasks one evaluation plans.
@@ -64,14 +65,17 @@ pub(crate) fn emit_region_into<A: CubeAlgebra>(
     }
 }
 
-/// Merges shard partials and emits measures into `result`.
+/// Merges shard partials and emits measures into `result`. The budget is
+/// polled once per merge task and once per emit task; on the `Ok` path the
+/// output is bit-identical to an unbudgeted run.
 pub(crate) fn merge_and_emit<A: CubeAlgebra>(
     algebra: &A,
     plan: &LatticePlan<A>,
     shard_outputs: Vec<ShardPartials<A::Cell>>,
     threads: usize,
     mut result: CubeResult,
-) -> CubeResult {
+    budget: &Budget,
+) -> Result<CubeResult, Cancelled> {
     // —— gather: (node, region) → partials in shard order ——
     let mut grouped: BTreeMap<(u32, u64), Vec<RegionCells<A::Cell>>> = BTreeMap::new();
     for shard in shard_outputs {
@@ -83,7 +87,8 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
     // —— merge: fold each region's partials in shard order (parallel) ——
     let items: Vec<_> = grouped.into_iter().collect();
     let merged: Vec<KeyedRegion<A::Cell>> =
-        spade_parallel::map(items, threads, |((mask, region), mut partials)| {
+        spade_parallel::try_map(items, threads, |((mask, region), mut partials)| {
+            budget.check()?;
             // Balanced pairwise tree merge: O(n log k) instead of the
             // O(n·k) left fold. Pairing is by partial index (shard order),
             // so the merge tree is fixed by the data-only shard plan.
@@ -99,8 +104,8 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
                 }
                 partials = next;
             }
-            ((mask, region), partials.pop().expect("region parked without cells"))
-        });
+            Ok(((mask, region), partials.pop().expect("region parked without cells")))
+        })?;
 
     // —— emit: weighted tasks over the merged cell lists (parallel) ——
     let total_cells: u64 = merged.iter().map(|(_, cells)| cells.len() as u64).sum();
@@ -112,7 +117,8 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
             tasks.push((*mask, *region, &cells[a..b]));
         }
     }
-    let outputs = spade_parallel::map(tasks, threads, |(mask, region, cells)| {
+    let outputs = spade_parallel::try_map(tasks, threads, |(mask, region, cells)| {
+        budget.check()?;
         let geom = &plan.geoms[&mask];
         let alive = &plan.alive[&mask];
         let emit_plan = &plan.plans[&mask];
@@ -125,8 +131,8 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
                 (key_buf.clone(), algebra.emit(cell, alive, emit_plan, &mut scratch))
             })
             .collect();
-        (mask, groups)
-    });
+        Ok((mask, groups))
+    })?;
 
     // —— serial fold, in task order ——
     for (mask, groups) in outputs {
@@ -135,5 +141,5 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
             node.groups.insert(key, values);
         }
     }
-    result
+    Ok(result)
 }

@@ -89,6 +89,7 @@ use crate::spec::CubeSpec;
 use crate::translate::Translation;
 use geometry::{node_geom, NodeGeom, Projection};
 use spade_bitmap::Bitmap;
+use spade_parallel::{Budget, Cancelled};
 use std::collections::HashMap;
 
 /// What a cube cell holds and how cells combine — the algorithm-specific
@@ -255,7 +256,11 @@ impl EngineExec {
 ///
 /// `alive` gives per-node MDA liveness (from early-stop); pass `None` to
 /// evaluate everything. See [`EngineExec`] for the execution knobs and the
-/// module docs for the shard lifecycle.
+/// module docs for the shard lifecycle. The budget is polled between
+/// region flushes and between merge/emit tasks: with
+/// [`Budget::unlimited`] the run cannot fail, and checks never alter any
+/// computation, so completed results stay bit-identical to a run without
+/// a deadline.
 pub(crate) fn run_engine<A: CubeAlgebra>(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
@@ -263,12 +268,13 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
     algebra: &A,
     alive: Option<&HashMap<u32, Vec<bool>>>,
     exec: EngineExec,
-) -> CubeResult {
+    budget: &Budget,
+) -> Result<CubeResult, Cancelled> {
     let labels = spec.mdas().into_iter().map(|m| m.label).collect();
     let result = CubeResult::new(labels);
     let plan = build_plan(spec, lattice, algebra, alive, exec.policy);
     if !plan.keep_root {
-        return result;
+        return Ok(result);
     }
     let shards = shard::plan_shards(translation, exec.shard_weight, exec.threads);
     if let [chunks] = shards.as_slice() {
@@ -277,11 +283,11 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         // keeps the serial engine's O(in-flight regions) memory profile —
         // no partials, no merge phase.
         let mut result = result;
-        shard::run_shard_emit(algebra, &plan, translation, chunks, &mut result);
-        return result;
+        shard::run_shard_emit(algebra, &plan, translation, chunks, &mut result, budget)?;
+        return Ok(result);
     }
-    let outputs = spade_parallel::map(shards, exec.threads, |chunks| {
-        shard::run_shard(algebra, &plan, translation, &chunks)
-    });
-    emit::merge_and_emit(algebra, &plan, outputs, exec.threads, result)
+    let outputs = spade_parallel::try_map(shards, exec.threads, |chunks| {
+        shard::run_shard(algebra, &plan, translation, &chunks, budget)
+    })?;
+    emit::merge_and_emit(algebra, &plan, outputs, exec.threads, result, budget)
 }

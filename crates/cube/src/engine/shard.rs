@@ -34,6 +34,7 @@ use super::store::{merge_batch, ProjectedCell, RegionStore};
 use super::{CubeAlgebra, LatticePlan};
 use crate::result::CubeResult;
 use crate::translate::Translation;
+use spade_parallel::{Budget, Cancelled};
 use std::collections::HashMap;
 
 /// Shards planned per resolved worker (over-decomposition for load
@@ -141,15 +142,18 @@ struct RegionShard<'a, 'r, A: CubeAlgebra> {
 
 /// Runs one shard of a multi-shard plan, returning its parked
 /// `(node, region)` partials. Deterministic: chunks are processed in plan
-/// order and the cascade below is single-owner.
+/// order and the cascade below is single-owner. The budget is checked
+/// between region flushes, so cancellation latency is bounded by one
+/// chunk's cascade.
 pub(crate) fn run_shard<A: CubeAlgebra>(
     algebra: &A,
     plan: &LatticePlan<A>,
     translation: &Translation,
     chunks: &[ShardChunk],
-) -> ShardPartials<A::Cell> {
-    match cascade(algebra, plan, translation, chunks, ShardSink::Park(Vec::new())) {
-        ShardSink::Park(out) => out,
+    budget: &Budget,
+) -> Result<ShardPartials<A::Cell>, Cancelled> {
+    match cascade(algebra, plan, translation, chunks, ShardSink::Park(Vec::new()), budget)? {
+        ShardSink::Park(out) => Ok(out),
         ShardSink::Emit { .. } => unreachable!("park sink in, park sink out"),
     }
 }
@@ -162,10 +166,12 @@ pub(crate) fn run_shard_emit<A: CubeAlgebra>(
     translation: &Translation,
     chunks: &[ShardChunk],
     result: &mut CubeResult,
-) {
+    budget: &Budget,
+) -> Result<(), Cancelled> {
     let sink =
         ShardSink::Emit { result, key_buf: Vec::new(), scratch: A::EmitScratch::default() };
-    cascade(algebra, plan, translation, chunks, sink);
+    cascade(algebra, plan, translation, chunks, sink, budget)?;
+    Ok(())
 }
 
 fn cascade<'r, A: CubeAlgebra>(
@@ -174,7 +180,8 @@ fn cascade<'r, A: CubeAlgebra>(
     translation: &Translation,
     chunks: &[ShardChunk],
     sink: ShardSink<'r, A>,
-) -> ShardSink<'r, A> {
+    budget: &Budget,
+) -> Result<ShardSink<'r, A>, Cancelled> {
     let mut totals: HashMap<u32, HashMap<u64, u64>> =
         plan.nodes.iter().map(|&m| (m, HashMap::new())).collect();
     for chunk in chunks {
@@ -195,6 +202,11 @@ fn cascade<'r, A: CubeAlgebra>(
     };
     let root_geom = &plan.geoms[&plan.root];
     for chunk in chunks {
+        // Cancellation point between region flushes: an expired request
+        // unwinds within one chunk's cascade. Checking *before* the work
+        // (never conditionally skipping it) keeps completed outputs
+        // bit-identical to the budget-less path.
+        budget.check()?;
         let partition = &translation.partitions[chunk.partition];
         // Load the chunk into the root. Partition cells are sorted by
         // global index, and global→local is order-preserving within one
@@ -209,7 +221,7 @@ fn cascade<'r, A: CubeAlgebra>(
         shard.flush(plan.root, root_geom.region_of(&partition.coords), store);
     }
     debug_assert!(shard.pending.values().all(HashMap::is_empty), "unflushed regions");
-    shard.sink
+    Ok(shard.sink)
 }
 
 impl<'a, 'r, A: CubeAlgebra> RegionShard<'a, 'r, A> {

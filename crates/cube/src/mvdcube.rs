@@ -15,6 +15,7 @@ use crate::result::CubeResult;
 use crate::spec::{CubeSpec, MdaKind};
 use crate::translate::{translate, Translation};
 use spade_bitmap::Bitmap;
+use spade_parallel::{Budget, Cancelled};
 use spade_storage::MeasureTotals;
 use std::collections::HashMap;
 
@@ -201,7 +202,16 @@ pub fn prepare(
 pub fn mvd_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
     let (lattice, translation) = prepare(spec, options, None);
     let algebra = MvdAlgebra::new(spec);
-    run_engine(spec, &lattice, &translation, &algebra, None, EngineExec::from_options(options))
+    run_engine(
+        spec,
+        &lattice,
+        &translation,
+        &algebra,
+        None,
+        EngineExec::from_options(options),
+        &Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot cancel")
 }
 
 /// Evaluates with a per-node MDA liveness map (early-stop output): dead
@@ -214,6 +224,23 @@ pub fn mvd_cube_pruned(
     translation: &Translation,
     alive: &HashMap<u32, Vec<bool>>,
 ) -> CubeResult {
+    mvd_cube_pruned_budgeted(spec, options, lattice, translation, alive, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`mvd_cube_pruned`] under a request [`Budget`]: the engine polls the
+/// budget between region flushes and merge/emit tasks and unwinds with
+/// [`Cancelled`] in bounded time once the deadline passes. Checks never
+/// alter the computation, so a completed run is bit-identical to
+/// [`mvd_cube_pruned`].
+pub fn mvd_cube_pruned_budgeted(
+    spec: &CubeSpec<'_>,
+    options: &MvdCubeOptions,
+    lattice: &Lattice,
+    translation: &Translation,
+    alive: &HashMap<u32, Vec<bool>>,
+    budget: &Budget,
+) -> Result<CubeResult, Cancelled> {
     let algebra = MvdAlgebra::new(spec);
     run_engine(
         spec,
@@ -222,6 +249,7 @@ pub fn mvd_cube_pruned(
         &algebra,
         Some(alive),
         EngineExec::from_options(options),
+        budget,
     )
 }
 

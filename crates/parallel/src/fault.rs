@@ -1,0 +1,170 @@
+//! Test-only fault injection at named sites, driven by the `SPADE_FAULT`
+//! environment variable or programmatically via [`set_spec`].
+//!
+//! The spec is a `;`-separated list of `site=action` pairs, where `action`
+//! is one of:
+//!
+//! * `panic` — [`fire`] panics with a recognisable message,
+//! * `stall:<ms>` — [`fire`] sleeps for `<ms>` milliseconds
+//!   ([`fire_with_budget`] sleeps in small slices and returns early once
+//!   the budget is exhausted, like a real check-instrumented loop would),
+//! * `io` — [`io_error`] returns `Some(std::io::Error)`; other fire
+//!   functions ignore the site.
+//!
+//! Example: `SPADE_FAULT='cfs=stall:5000;serve.explore=panic'`.
+//!
+//! Instrumented production code calls [`fire`] / [`fire_with_budget`] /
+//! [`io_error`] at a handful of named sites; when no spec is armed these
+//! are a single relaxed atomic load. The armed spec is process-global, so
+//! tests that use [`set_spec`] must serialise themselves (the chaos suite
+//! holds a mutex for this).
+
+use crate::budget::Budget;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Duration;
+
+/// What to do when an armed site fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    Panic,
+    Stall(u64),
+    Io,
+}
+
+struct State {
+    armed: AtomicBool,
+    faults: RwLock<Vec<(String, Action)>>,
+}
+
+fn state() -> &'static State {
+    static STATE: OnceLock<State> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let faults =
+            std::env::var("SPADE_FAULT").ok().map(|s| parse_spec(&s)).unwrap_or_default();
+        State { armed: AtomicBool::new(!faults.is_empty()), faults: RwLock::new(faults) }
+    })
+}
+
+fn parse_spec(spec: &str) -> Vec<(String, Action)> {
+    let mut faults = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let Some((site, action)) = entry.split_once('=') else { continue };
+        let action = match action.trim() {
+            "panic" => Action::Panic,
+            "io" => Action::Io,
+            a => match a.strip_prefix("stall:").and_then(|ms| ms.parse::<u64>().ok()) {
+                Some(ms) => Action::Stall(ms),
+                None => continue, // unknown actions are ignored, not fatal
+            },
+        };
+        faults.push((site.trim().to_string(), action));
+    }
+    faults
+}
+
+/// Arms (or with `None` disarms) a fault spec for the whole process,
+/// overriding whatever `SPADE_FAULT` said. Tests that call this must not
+/// run concurrently with each other.
+pub fn set_spec(spec: Option<&str>) {
+    let s = state();
+    let faults = spec.map(parse_spec).unwrap_or_default();
+    s.armed.store(!faults.is_empty(), Ordering::SeqCst);
+    *s.faults.write().unwrap_or_else(|e| e.into_inner()) = faults;
+}
+
+fn lookup(site: &str) -> Option<Action> {
+    let s = state();
+    if !s.armed.load(Ordering::Relaxed) {
+        return None;
+    }
+    let faults = s.faults.read().unwrap_or_else(|e| e.into_inner());
+    faults.iter().find(|(name, _)| name == site).map(|&(_, action)| action)
+}
+
+fn stall(ms: u64, budget: Option<&Budget>) {
+    // Sleep in small slices so a cancelled budget cuts the stall short,
+    // the way a genuine check-instrumented loop would.
+    const SLICE: Duration = Duration::from_millis(5);
+    let mut remaining = Duration::from_millis(ms);
+    while !remaining.is_zero() {
+        if budget.is_some_and(|b| b.is_exhausted()) {
+            return;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+}
+
+/// Fires `site` if armed: panics or stalls per the spec (`io` entries are
+/// ignored here). No-op when nothing is armed.
+pub fn fire(site: &str) {
+    fire_with_budget(site, None);
+}
+
+/// Like [`fire`], but a stall observes `budget` and ends early once the
+/// budget is exhausted.
+pub fn fire_with_budget(site: &str, budget: Option<&Budget>) {
+    match lookup(site) {
+        Some(Action::Panic) => panic!("injected fault: panic at site {site:?}"),
+        Some(Action::Stall(ms)) => stall(ms, budget),
+        Some(Action::Io) | None => {}
+    }
+}
+
+/// Returns an injected `std::io::Error` if `site` is armed with `io`.
+pub fn io_error(site: &str) -> Option<std::io::Error> {
+    match lookup(site) {
+        Some(Action::Io) => {
+            Some(std::io::Error::other(format!("injected fault: io error at site {site:?}")))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The spec is process-global; run everything in one test to avoid
+    // cross-test interference within this module.
+    #[test]
+    fn spec_parsing_and_firing() {
+        assert_eq!(
+            parse_spec("a=panic; b = stall:250 ;c=io;junk;d=stall:x"),
+            vec![
+                ("a".to_string(), Action::Panic),
+                ("b".to_string(), Action::Stall(250)),
+                ("c".to_string(), Action::Io),
+            ]
+        );
+
+        set_spec(Some("boom=panic;slow=stall:30;disk=io"));
+        assert!(std::panic::catch_unwind(|| fire("boom")).is_err());
+        fire("unarmed-site"); // no-op
+        fire("disk"); // io entries don't panic or stall via fire()
+        assert!(io_error("disk").is_some());
+        assert!(io_error("boom").is_none());
+
+        let t = std::time::Instant::now();
+        fire("slow");
+        assert!(t.elapsed() >= Duration::from_millis(25));
+
+        // A cancelled budget cuts a stall short.
+        let b = Budget::unlimited();
+        b.cancel();
+        let t = std::time::Instant::now();
+        set_spec(Some("slow=stall:60000"));
+        fire_with_budget("slow", Some(&b));
+        assert!(t.elapsed() < Duration::from_secs(5));
+
+        set_spec(None);
+        fire("boom"); // disarmed: no panic
+        assert!(io_error("disk").is_none());
+    }
+}

@@ -16,8 +16,13 @@
 //! count produces the same chunk boundaries and therefore the same merged
 //! output.
 
+pub mod budget;
+pub mod fault;
+
+pub use budget::{Budget, CancelReason, Cancelled};
+
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolves a configured thread count: `0` means "all available cores".
@@ -79,6 +84,76 @@ where
                 .expect("worker completed without a result")
         })
         .collect()
+}
+
+/// Fallible variant of [`map`]: applies `f` to every item and returns the
+/// results **in input order**, or the error of the earliest (by input
+/// index) item observed to fail.
+///
+/// On the `Ok` path this performs the exact same per-item calls in the
+/// exact same claim order as [`map`], so results are bit-identical to the
+/// infallible fan-out — the property the cancellation plan-invariance
+/// tests pin. On the first `Err` a shared abort flag stops workers from
+/// *claiming* further items (items already claimed run to completion), so
+/// an erroring fan-out unwinds within one item's latency instead of
+/// draining the whole queue.
+///
+/// When several items fail concurrently the error with the smallest input
+/// index among the *completed* items is returned — callers using this for
+/// cancellation get homogeneous errors anyway.
+pub fn try_map<T, R, E, F>(items: Vec<T>, threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(item);
+                if out.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(out);
+            });
+        }
+    });
+    // Scan in input order: on success every slot is filled; after an abort
+    // the first empty slot (if any) comes after the earliest completed
+    // error, because indices are claimed in increasing order.
+    let mut ok = Vec::with_capacity(n);
+    for slot in results {
+        match slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+            Some(Ok(r)) => ok.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unfilled slot before any error in claim order"),
+        }
+    }
+    Ok(ok)
 }
 
 /// Splits a thread budget across a nested fan-out — an outer level of
@@ -246,6 +321,57 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_map_ok_matches_map() {
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 8] {
+            let out: Result<Vec<usize>, ()> = try_map(items.clone(), threads, |i| Ok(i * 3));
+            assert_eq!(out.unwrap(), map(items.clone(), threads, |i| i * 3));
+        }
+        let empty: Result<Vec<u32>, ()> = try_map(Vec::new(), 4, Ok);
+        assert_eq!(empty.unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn try_map_returns_earliest_error() {
+        for threads in [1, 2, 8] {
+            let out = try_map((0..100).collect::<Vec<_>>(), threads, |i| {
+                if i % 10 == 7 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            // With 1 thread the earliest failure wins outright; in the
+            // parallel case any reported error is a real failing item.
+            let err = out.unwrap_err();
+            assert_eq!(err % 10, 7);
+            if threads == 1 {
+                assert_eq!(err, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_aborts_early() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out: Result<Vec<()>, ()> = try_map((0..10_000).collect(), 2, |i: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err(())
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(())
+            }
+        });
+        assert!(out.is_err());
+        assert!(
+            calls.load(Ordering::Relaxed) < 10_000,
+            "abort flag should stop workers from draining the whole queue"
+        );
     }
 
     #[test]

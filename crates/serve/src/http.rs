@@ -12,19 +12,30 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
-/// Byte caps applied while reading one request.
+/// Byte and time caps applied while reading one request.
 #[derive(Clone, Copy, Debug)]
 pub struct Limits {
     /// Request line + headers (bytes, including the blank line).
     pub max_head_bytes: usize,
     /// Body bytes (`Content-Length` above this is refused with 413).
     pub max_body_bytes: usize,
+    /// Hard wall-clock deadline on reading one request (head + body),
+    /// measured from its first byte. The worker's 500 ms read-timeout poll
+    /// tick only bounds *idle* gaps; without this cap a client trickling
+    /// one byte every few hundred milliseconds would pin a worker forever
+    /// (slow-loris). Exceeding it is [`HttpError::ReadTimeout`] → 408.
+    pub read_deadline: Duration,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_head_bytes: 16 * 1024, max_body_bytes: 1024 * 1024 }
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_deadline: Duration::from_secs(10),
+        }
     }
 }
 
@@ -55,6 +66,9 @@ pub enum HttpError {
     HeadTooLarge,
     /// The declared body exceeds [`Limits::max_body_bytes`] → 413.
     BodyTooLarge,
+    /// One request took longer than [`Limits::read_deadline`] to arrive
+    /// (slow-loris protection) → 408.
+    ReadTimeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -65,6 +79,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Bad(what) => write!(f, "malformed request: {what}"),
             HttpError::HeadTooLarge => write!(f, "request head too large"),
             HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::ReadTimeout => {
+                write!(f, "request not received within the read deadline")
+            }
         }
     }
 }
@@ -76,12 +93,17 @@ impl std::error::Error for HttpError {}
 pub struct Conn {
     stream: TcpStream,
     carry: Vec<u8>,
+    /// When the first byte of the in-progress request arrived. Survives the
+    /// `WouldBlock` re-entries of the worker's poll tick so the
+    /// [`Limits::read_deadline`] clock keeps running across them; cleared
+    /// once a request parses completely.
+    request_started: Option<Instant>,
 }
 
 impl Conn {
     /// Wraps an accepted stream.
     pub fn new(stream: TcpStream) -> Conn {
-        Conn { stream, carry: Vec::new() }
+        Conn { stream, carry: Vec::new(), request_started: None }
     }
 
     /// The underlying stream (for writing responses).
@@ -92,15 +114,14 @@ impl Conn {
     /// Reads and parses the next request.
     pub fn read_request(&mut self, limits: &Limits) -> Result<Request, HttpError> {
         // —— head: everything up to the first CRLFCRLF ——
-        let mut head_end;
-        loop {
-            head_end = find_head_end(&self.carry);
-            if head_end.is_some() {
-                break;
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.carry) {
+                break end;
             }
             if self.carry.len() > limits.max_head_bytes {
                 return Err(HttpError::HeadTooLarge);
             }
+            self.check_read_deadline(limits)?;
             let mut chunk = [0u8; 4096];
             let n = self.stream.read(&mut chunk).map_err(HttpError::Io)?;
             if n == 0 {
@@ -111,8 +132,8 @@ impl Conn {
                 };
             }
             self.carry.extend_from_slice(&chunk[..n]);
-        }
-        let head_end = head_end.expect("loop exits with Some");
+            self.request_started.get_or_insert_with(Instant::now);
+        };
         if head_end > limits.max_head_bytes {
             return Err(HttpError::HeadTooLarge);
         }
@@ -186,6 +207,7 @@ impl Conn {
         body.extend_from_slice(&self.carry[..take]);
         self.carry.drain(..take);
         while body.len() < content_length {
+            self.check_read_deadline(limits)?;
             let mut chunk = [0u8; 4096];
             let want = (content_length - body.len()).min(chunk.len());
             let n = self.stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
@@ -195,7 +217,20 @@ impl Conn {
             body.extend_from_slice(&chunk[..n]);
         }
 
+        self.request_started = None;
         Ok(Request { method: method.to_owned(), path: path.to_owned(), body, keep_alive })
+    }
+
+    /// Enforces [`Limits::read_deadline`] over the in-progress request (the
+    /// clock starts at its first byte; a connection idling *between*
+    /// requests is governed by the server's idle timeout instead).
+    fn check_read_deadline(&self, limits: &Limits) -> Result<(), HttpError> {
+        match self.request_started {
+            Some(started) if started.elapsed() > limits.read_deadline => {
+                Err(HttpError::ReadTimeout)
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -209,12 +244,14 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -316,7 +353,7 @@ mod tests {
 
     #[test]
     fn enforces_limits() {
-        let small = Limits { max_head_bytes: 64, max_body_bytes: 8 };
+        let small = Limits { max_head_bytes: 64, max_body_bytes: 8, ..Limits::default() };
         let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(200));
         assert!(matches!(
             roundtrip(long_header.as_bytes(), &small),
@@ -326,6 +363,46 @@ mod tests {
             roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789", &small),
             Err(HttpError::BodyTooLarge)
         ));
+    }
+
+    #[test]
+    fn trickled_request_hits_the_read_deadline() {
+        // One byte every 50 ms with a 150 ms socket read timeout: the idle
+        // poll tick alone never fires, so only the per-request wall-clock
+        // deadline can end this request.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for b in b"GET /healthz HTTP/1.1\r\n" {
+                if s.write_all(&[*b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(150))).unwrap();
+        let limits = Limits { read_deadline: Duration::from_millis(300), ..Limits::default() };
+        let mut conn = Conn::new(stream);
+        let t = Instant::now();
+        let out = loop {
+            match conn.read_request(&limits) {
+                Err(HttpError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue; // the worker's poll tick re-enters like this
+                }
+                other => break other,
+            }
+        };
+        assert!(matches!(out, Err(HttpError::ReadTimeout)), "got {out:?}");
+        assert!(t.elapsed() < Duration::from_secs(5), "deadline must cut the trickle short");
+        drop(conn);
+        writer.join().unwrap();
     }
 
     #[test]

@@ -32,7 +32,12 @@
 //!   dropped,
 //! * **graceful shutdown**: SIGTERM/SIGINT ([`signal`]) stops the
 //!   acceptor, drains queued connections, finishes in-flight requests, and
-//!   exits within a bounded deadline.
+//!   exits within a bounded deadline,
+//! * **request lifecycle hardening**: per-request deadlines cancel
+//!   overrunning evaluations cooperatively (a [`spade_core::Budget`]
+//!   threaded through every pipeline stage), panics are isolated per
+//!   request, and [`admission`] control sheds over-budget work before it
+//!   starts — see *Failure modes and SLOs* below.
 //!
 //! # Wire protocol
 //!
@@ -119,9 +124,14 @@
 //! `spade_serve_requests_total`, `spade_serve_explore_total`,
 //! `spade_serve_explore_cached_total`, `spade_serve_reload_total`,
 //! `spade_serve_connections_total`, `spade_serve_rejected_busy_total`,
-//! `spade_serve_http_errors_total`, `spade_serve_cache_{hits,misses,evictions}_total`,
-//! and gauges `spade_serve_in_flight`, `spade_serve_cache_bytes`,
-//! `spade_serve_snapshot_generation`, `spade_serve_snapshot_triples`.
+//! `spade_serve_http_errors_total`, `spade_serve_shed_total`,
+//! `spade_serve_timeouts_total`, `spade_serve_panics_total`,
+//! `spade_serve_cancel_latency_ms_total`,
+//! `spade_serve_cache_{hits,misses,evictions}_total`,
+//! and gauges `spade_serve_in_flight`, `spade_serve_queue_depth`,
+//! `spade_serve_admission_capacity`, `spade_serve_admission_inflight_cost`,
+//! `spade_serve_cache_bytes`, `spade_serve_snapshot_generation`,
+//! `spade_serve_snapshot_triples`.
 //!
 //! ## Status codes
 //!
@@ -131,10 +141,56 @@
 //! | 400  | malformed HTTP framing, malformed JSON, unknown/invalid field |
 //! | 404  | unknown route |
 //! | 405  | wrong method for a known route |
+//! | 408  | one request took longer than the read deadline to arrive |
 //! | 409  | reload failed; previous snapshot still serving |
 //! | 413  | body above `--max-body-bytes` |
 //! | 431  | request head above the head limit |
-//! | 503  | accept queue full (`Retry-After: 1`) or draining |
+//! | 500  | a panic was caught serving this request; connection closed |
+//! | 503  | accept queue full, admission shed (`Retry-After: 1`), or draining |
+//! | 504  | evaluation cancelled at the per-request deadline; connection closed |
+//!
+//! # Failure modes and SLOs
+//!
+//! Every failure mode is bounded by a knob, observable in `/metrics`, and
+//! never takes the daemon down:
+//!
+//! * **Slow client (slow-loris)** — a request whose bytes take longer than
+//!   [`Limits::read_deadline`] (default 10 s) to arrive is answered `408`
+//!   and the connection closed, so a trickling peer can pin a worker for at
+//!   most the deadline. Idle keep-alive gaps *between* requests are bounded
+//!   separately by `ServeConfig::idle_timeout`. Counted in
+//!   `http_errors_total`.
+//! * **Overrunning evaluation** — with `--request-timeout` set, every
+//!   `/explore` runs under a deadline. The budget is checked between
+//!   parallel batches and region flushes (never mid-batch, so outputs stay
+//!   bit-identical when no cancellation fires); an expired request unwinds
+//!   with a typed cancellation, answers `504`, and the worker is recycled.
+//!   `timeouts_total` counts them; `cancel_latency_ms_total /
+//!   timeouts_total` is the observed cancellation latency (the check
+//!   granularity — expect milliseconds, bounded by one region flush).
+//! * **Overload** — two independent valves. The accept queue
+//!   (`ServeConfig::queue_depth`) bounds *connections*: overflow is `503`
+//!   at accept time, counted in `rejected_busy_total`, visible as the
+//!   `queue_depth` gauge. Admission control (`--admission-capacity`)
+//!   bounds *estimated work*: an `/explore` whose cost estimate
+//!   ([`admission::estimate_cost`]) would overflow the in-flight sum is
+//!   shed with `503` + `Retry-After: 1` before evaluation starts, counted
+//!   in `shed_total`, visible as `admission_inflight_cost`. Cache hits are
+//!   always admitted. [`client::RetryPolicy`] is the client-side half:
+//!   jittered exponential backoff honoring `Retry-After` under a retry
+//!   budget.
+//! * **Bug (panic) in one request** — caught at the route boundary
+//!   (`catch_unwind`): the request answers `500`, the connection closes,
+//!   `panics_total` increments, and the daemon keeps serving. Locks stay
+//!   usable (poison is stripped) and admission permits are released by
+//!   RAII during the unwind.
+//! * **Bad reload** — `409`; the previous generation keeps serving
+//!   untouched.
+//!
+//! SLO guidance: alert on `panics_total > 0`, on `shed_total` rising while
+//! `in_flight` is low (capacity set too tight), and on
+//! `cancel_latency_ms_total / timeouts_total` approaching the request
+//! timeout itself (checks too coarse for the configured deadline).
 //!
 //! # Running
 //!
@@ -145,13 +201,15 @@
 //! See [`server::ServeConfig`] for every knob. The daemon exits `0` after
 //! a clean drain on SIGTERM/SIGINT.
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod server;
 pub mod signal;
 
+pub use admission::{AdmissionController, AdmissionPermit};
 pub use cache::{CacheStats, ResultCache};
-pub use client::{Client, Response as ClientResponse};
+pub use client::{Client, Response as ClientResponse, RetryPolicy};
 pub use http::Limits;
 pub use server::{ServeConfig, ServeError, Server, ServingState};

@@ -4,7 +4,8 @@
 //! ```text
 //! spade-serve --snapshot data.spade [--addr 127.0.0.1:7878] [--workers N]
 //!             [--threads N] [--cache-bytes N] [--max-body-bytes N]
-//!             [--drain-secs N] [--k N] [--min-support F]
+//!             [--drain-secs N] [--request-timeout F] [--admission-capacity N]
+//!             [--k N] [--min-support F]
 //! ```
 
 use spade_serve::server::{ServeConfig, Server};
@@ -15,6 +16,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: spade-serve --snapshot <path> [--addr <host:port>] [--workers <n>] \
          [--threads <n>] [--cache-bytes <n>] [--max-body-bytes <n>] [--drain-secs <n>] \
+         [--request-timeout <secs>] [--admission-capacity <n>] \
          [--k <n>] [--min-support <f>]"
     );
     std::process::exit(2);
@@ -47,6 +49,18 @@ fn main() {
             "--drain-secs" => {
                 config.drain_deadline =
                     Duration::from_secs(parse::<u64>(&value("--drain-secs"), "--drain-secs"))
+            }
+            "--request-timeout" => {
+                let secs: f64 = parse(&value("--request-timeout"), "--request-timeout");
+                if secs <= 0.0 || !secs.is_finite() {
+                    eprintln!("--request-timeout: must be positive");
+                    usage();
+                }
+                config.request_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--admission-capacity" => {
+                config.admission_capacity =
+                    parse(&value("--admission-capacity"), "--admission-capacity")
             }
             "--k" => base.k = parse(&value("--k"), "--k"),
             "--min-support" => {

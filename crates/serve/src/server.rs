@@ -1,10 +1,11 @@
 //! The daemon: accept loop, bounded worker pool, routing, hot reload,
 //! graceful drain. See the crate root for the wire-protocol spec.
 
+use crate::admission::AdmissionController;
 use crate::cache::{CacheStats, ResultCache};
 use crate::http::{self, Conn, HttpError, Limits, Request};
 use spade_core::json::{self, Json, JsonWriter};
-use spade_core::{OfflineState, RequestConfig, Spade, SpadeConfig};
+use spade_core::{Budget, OfflineState, RequestConfig, Spade, SpadeConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -39,6 +40,16 @@ pub struct ServeConfig {
     /// A keep-alive connection that completes no request within this long
     /// is closed, so idle clients cannot pin worker threads indefinitely.
     pub idle_timeout: Duration,
+    /// Per-request evaluation deadline. An `/explore` still running when it
+    /// expires is cooperatively cancelled (the [`Budget`] threaded through
+    /// the engine unwinds at the next check point) and answered 504; the
+    /// worker is recycled. `None` = no deadline.
+    pub request_timeout: Option<Duration>,
+    /// Admission-control capacity in estimated work units (see
+    /// [`crate::admission::estimate_cost`]). An `/explore` whose estimate
+    /// would push the in-flight sum past this is shed with 503 +
+    /// `Retry-After` before any evaluation starts. `0` = always admit.
+    pub admission_capacity: u64,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +63,8 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             drain_deadline: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            request_timeout: None,
+            admission_capacity: 0,
         }
     }
 }
@@ -63,6 +76,8 @@ pub enum ServeError {
     Snapshot(spade_core::SnapshotPipelineError),
     /// The listener could not bind.
     Bind(io::Error),
+    /// A worker or acceptor thread could not be spawned.
+    Spawn(io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -70,6 +85,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Snapshot(e) => write!(f, "snapshot load failed: {e}"),
             ServeError::Bind(e) => write!(f, "bind failed: {e}"),
+            ServeError::Spawn(e) => write!(f, "thread spawn failed: {e}"),
         }
     }
 }
@@ -100,11 +116,21 @@ struct Metrics {
     responses_5xx: AtomicU64,
     connections_total: AtomicU64,
     rejected_busy_total: AtomicU64,
+    shed_total: AtomicU64,
+    timeouts_total: AtomicU64,
+    panics_total: AtomicU64,
+    /// Total milliseconds requests kept running *past* their deadline before
+    /// the cooperative cancellation unwound them — the budget-check
+    /// granularity made observable (divide by `timeouts_total` for the mean).
+    cancel_latency_ms_total: AtomicU64,
     in_flight: AtomicU64,
+    queue_depth: AtomicU64,
 }
 
 struct Shared {
     engine: Spade,
+    /// The base pipeline config, kept for admission-cost estimation.
+    base: SpadeConfig,
     serving: RwLock<Arc<ServingState>>,
     cache: Mutex<ResultCache>,
     /// Serializes reloads (concurrent `/reload`s would race the generation
@@ -114,6 +140,8 @@ struct Shared {
     shutdown: AtomicBool,
     limits: Limits,
     idle_timeout: Duration,
+    request_timeout: Option<Duration>,
+    admission: AdmissionController,
     /// Resolved total evaluation-thread budget.
     eval_threads: usize,
     /// Per-request evaluation-thread share (`threads / workers`, ≥ 1).
@@ -140,7 +168,7 @@ impl Server {
         snapshot: impl AsRef<Path>,
     ) -> Result<Server, ServeError> {
         let snapshot = snapshot.as_ref().to_path_buf();
-        let engine = Spade::new(base);
+        let engine = Spade::new(base.clone());
         let threads = spade_parallel::resolve_threads(config.threads);
         let offline = OfflineState::open(&snapshot, threads).map_err(ServeError::Snapshot)?;
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
@@ -153,6 +181,7 @@ impl Server {
         let (_, request_threads) = spade_parallel::split_budget(threads, workers);
         let shared = Arc::new(Shared {
             engine,
+            base,
             serving: RwLock::new(Arc::new(ServingState {
                 offline,
                 generation: 1,
@@ -164,6 +193,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             limits: config.limits,
             idle_timeout: config.idle_timeout,
+            request_timeout: config.request_timeout,
+            admission: AdmissionController::new(config.admission_capacity),
             eval_threads: threads,
             request_threads,
             workers,
@@ -179,14 +210,14 @@ impl Server {
             let handle = std::thread::Builder::new()
                 .name(format!("spade-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared, &rx))
-                .expect("spawn worker");
+                .map_err(ServeError::Spawn)?;
             worker_handles.push(handle);
         }
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
             .name("spade-serve-accept".to_owned())
             .spawn(move || accept_loop(&accept_shared, &listener, &tx))
-            .expect("spawn acceptor");
+            .map_err(ServeError::Spawn)?;
 
         Ok(Server { addr, shared, accept_handle: Some(accept_handle), worker_handles })
     }
@@ -240,9 +271,14 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                 // re-checks the shutdown flag and the connection's idle
                 // deadline (`ServeConfig::idle_timeout`).
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                // Gauge up *before* the send: once the stream is in the
+                // channel a worker may pop (and decrement) immediately, and
+                // incrementing after the fact would transiently underflow.
+                shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 match tx.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(mut stream)) => {
+                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         shared.metrics.rejected_busy_total.fetch_add(1, Ordering::Relaxed);
                         let body = error_body("server busy, retry later");
                         let _ = http::write_response(
@@ -254,7 +290,10 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                             false,
                         );
                     }
-                    Err(TrySendError::Disconnected(_)) => return,
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -273,7 +312,10 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
             rx.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(shared, stream),
+            Ok(stream) => {
+                shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                handle_connection(shared, stream);
+            }
             // On shutdown the acceptor drops the sender; `recv` still hands
             // out everything already queued and only then disconnects, so
             // keeping to the recv path (instead of a one-shot `try_recv`
@@ -313,6 +355,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 let status = match e {
                     HttpError::BodyTooLarge => 413,
                     HttpError::HeadTooLarge => 431,
+                    HttpError::ReadTimeout => 408,
                     _ => 400,
                 };
                 let body = error_body(&e.to_string());
@@ -335,7 +378,19 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         last_request = Instant::now();
         shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = route(shared, &request);
+        // Panic isolation: a panic anywhere in routing (a bug, or the
+        // fault-injection hook in chaos tests) must cost one response, not
+        // the daemon. `spade_parallel` propagates worker panics through its
+        // scoped-thread joins, so catching here covers the whole engine.
+        // State touched by the panicking request stays safe to reuse: the
+        // poisoned-lock accessors use `PoisonError::into_inner`, and the
+        // admission permit's RAII drop runs during the unwind.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
+                .unwrap_or_else(|_| {
+                    shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    Response::error(500, "internal error").closing()
+                });
         shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         match response.status {
             400..=499 => shared.metrics.responses_4xx.fetch_add(1, Ordering::Relaxed),
@@ -344,8 +399,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         };
 
         // Finish the in-flight response, but do not start another request
-        // on this connection once draining.
-        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        // on this connection once draining, and recycle the connection after
+        // a response that marked itself terminal (504/500).
+        let keep_alive =
+            request.keep_alive && !response.close && !shared.shutdown.load(Ordering::SeqCst);
         let extra: Vec<(&str, &str)> =
             response.headers.iter().map(|(k, v)| (*k, v.as_str())).collect();
         if http::write_response(
@@ -384,6 +441,10 @@ struct Response {
     content_type: &'static str,
     headers: Vec<(&'static str, String)>,
     body: Arc<[u8]>,
+    /// Close the connection after writing this response (used after a
+    /// timeout or caught panic, where the worker should shed per-connection
+    /// state rather than trust the peer's framing to stay aligned).
+    close: bool,
 }
 
 impl Response {
@@ -393,11 +454,17 @@ impl Response {
             content_type: "application/json",
             headers: Vec::new(),
             body: body.into_bytes().into(),
+            close: false,
         }
     }
 
     fn error(status: u16, message: &str) -> Response {
         Response::json(status, error_body(message))
+    }
+
+    fn closing(mut self) -> Response {
+        self.close = true;
+        self
     }
 }
 
@@ -470,10 +537,17 @@ fn stats(shared: &Shared) -> Response {
     w.key("reload_total").uint(m.reload_total.load(Ordering::Relaxed));
     w.key("connections_total").uint(m.connections_total.load(Ordering::Relaxed));
     w.key("rejected_busy_total").uint(m.rejected_busy_total.load(Ordering::Relaxed));
+    w.key("shed_total").uint(m.shed_total.load(Ordering::Relaxed));
+    w.key("timeouts_total").uint(m.timeouts_total.load(Ordering::Relaxed));
+    w.key("panics_total").uint(m.panics_total.load(Ordering::Relaxed));
+    w.key("cancel_latency_ms_total").uint(m.cancel_latency_ms_total.load(Ordering::Relaxed));
     w.key("http_errors_total").uint(m.http_errors_total.load(Ordering::Relaxed));
     w.key("responses_4xx").uint(m.responses_4xx.load(Ordering::Relaxed));
     w.key("responses_5xx").uint(m.responses_5xx.load(Ordering::Relaxed));
     w.key("in_flight").uint(m.in_flight.load(Ordering::Relaxed));
+    w.key("queue_depth").uint(m.queue_depth.load(Ordering::Relaxed));
+    w.key("admission_capacity").uint(shared.admission.capacity());
+    w.key("admission_inflight_cost").uint(shared.admission.inflight());
     w.end_object();
     w.end_object();
     Response::json(200, w.finish())
@@ -513,6 +587,26 @@ fn metrics(shared: &Shared) -> Response {
         "Malformed or over-limit requests",
         m.http_errors_total.load(Ordering::Relaxed),
     );
+    counter(
+        "shed_total",
+        "Explore requests shed by admission control",
+        m.shed_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "timeouts_total",
+        "Explore requests cancelled at their deadline",
+        m.timeouts_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "panics_total",
+        "Requests answered 500 after a caught panic",
+        m.panics_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "cancel_latency_ms_total",
+        "Milliseconds spent past the deadline before cancellation unwound",
+        m.cancel_latency_ms_total.load(Ordering::Relaxed),
+    );
     counter("cache_hits_total", "Result-cache hits", cache.hits);
     counter("cache_misses_total", "Result-cache misses", cache.misses);
     counter("cache_evictions_total", "Result-cache evictions", cache.evictions);
@@ -523,6 +617,21 @@ fn metrics(shared: &Shared) -> Response {
         ));
     };
     gauge("in_flight", "Requests currently executing", m.in_flight.load(Ordering::Relaxed));
+    gauge(
+        "queue_depth",
+        "Connections accepted but not yet picked up by a worker",
+        m.queue_depth.load(Ordering::Relaxed),
+    );
+    gauge(
+        "admission_capacity",
+        "Admission-control capacity in work units (0 = unlimited)",
+        shared.admission.capacity(),
+    );
+    gauge(
+        "admission_inflight_cost",
+        "Estimated work units currently admitted",
+        shared.admission.inflight(),
+    );
     gauge("cache_bytes", "Result-cache bytes in use", cache.bytes as u64);
     gauge("snapshot_generation", "Current snapshot generation", state.generation);
     gauge("snapshot_triples", "Triples served", state.offline.graph.len() as u64);
@@ -531,6 +640,7 @@ fn metrics(shared: &Shared) -> Response {
         content_type: "text/plain; version=0.0.4",
         headers: Vec::new(),
         body: out.into_bytes().into(),
+        close: false,
     }
 }
 
@@ -609,12 +719,51 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
             content_type: "application/json",
             headers: vec![("X-Cache", "hit".to_owned())],
             body: hit,
+            close: false,
         };
     }
 
+    // Fault-injection site for chaos tests (no-op unless `SPADE_FAULT`
+    // names it): fires after parsing and the cache, i.e. exactly where a
+    // real evaluation bug would strike.
+    spade_parallel::fault::fire("serve.explore");
+
+    // Admission control: estimate the work from the snapshot's offline
+    // stats and shed instead of queueing when the in-flight sum would
+    // exceed capacity. Cache hits above never reach this point — answering
+    // from memory is always admissible.
+    let cost = crate::admission::estimate_cost(&state.offline, &shared.base, &request);
+    let Some(_permit) = shared.admission.try_admit(cost) else {
+        shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+        let mut response =
+            Response::error(503, "estimated cost exceeds admission capacity, retry later");
+        response.headers.push(("Retry-After", "1".to_owned()));
+        return response;
+    };
+
     // The evaluation runs outside every lock, against this request's
-    // pinned generation.
-    let report = shared.engine.run_on(&state.offline, &request);
+    // pinned generation, under the per-request deadline (if configured).
+    let budget = match shared.request_timeout {
+        Some(timeout) => Budget::with_deadline(timeout),
+        None => Budget::unlimited(),
+    };
+    let report = match shared.engine.run_on_budgeted(&state.offline, &request, &budget) {
+        Ok(report) => report,
+        Err(cancelled) => {
+            shared.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            if let Some(deadline) = budget.deadline() {
+                // How far past the deadline the cooperative unwind surfaced
+                // — the observable cancellation latency.
+                let over = Instant::now().saturating_duration_since(deadline);
+                shared
+                    .metrics
+                    .cancel_latency_ms_total
+                    .fetch_add(over.as_millis() as u64, Ordering::Relaxed);
+            }
+            return Response::error(504, &format!("request deadline exceeded ({cancelled})"))
+                .closing();
+        }
+    };
     let body: Arc<[u8]> = report.to_json(false).into_bytes().into();
     // Skip the insert when a reload swapped generations mid-evaluation:
     // the old-generation key could never be looked up again, so storing it
@@ -631,6 +780,7 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
         content_type: "application/json",
         headers: vec![("X-Cache", "miss".to_owned())],
         body,
+        close: false,
     }
 }
 
@@ -657,6 +807,11 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
         }
     };
 
+    // Fault-injection site for chaos tests: a simulated I/O failure takes
+    // the same keep-the-old-generation path as a genuinely unreadable file.
+    if let Some(e) = spade_parallel::fault::io_error("serve.reload") {
+        return Response::error(409, &format!("reload failed, keeping generation: {e}"));
+    }
     match OfflineState::open(&path, shared.eval_threads) {
         Ok(offline) => {
             let next = Arc::new(ServingState {

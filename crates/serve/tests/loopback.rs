@@ -249,7 +249,7 @@ fn error_paths_match_the_wire_spec() {
     }
 
     let config = ServeConfig {
-        limits: Limits { max_head_bytes: 2048, max_body_bytes: 256 },
+        limits: Limits { max_head_bytes: 2048, max_body_bytes: 256, ..Limits::default() },
         ..serve_config(0)
     };
     let server = Server::start(config, base_config(), &path).expect("server starts");
