@@ -16,10 +16,19 @@
 //! headline optimized-vs-baseline ratio is always measured at 1 thread so
 //! it stays comparable across PRs and machines.
 //!
+//! A bitmap kernel micro-suite rides along (`--suite bitmap` runs it
+//! alone, `--suite engine` the engine comparison alone; the default `all`
+//! runs both): container-kernel ns/op across sparse×sparse, sparse×dense,
+//! run-friendly, and skewed operand shapes, for every binary op plus the
+//! in-place and k-way variants, written into the same JSON under
+//! `bitmap_suite`.
+//!
 //! Usage: `cargo run --release -p spade-bench --bin bench_engine
-//! [--scale <facts>] [--seed <n>] [--threads <n[,m,…]>] [--out <path>]`
+//! [--scale <facts>] [--seed <n>] [--threads <n[,m,…]>] [--out <path>]
+//! [--suite all|engine|bitmap]`
 
 use spade_bench::{geo_mean, HarnessArgs};
+use spade_bitmap::Bitmap;
 use spade_core::json::JsonWriter;
 use spade_cube::engine_baseline::run_engine_baseline;
 use spade_cube::mvdcube::{mvd_cube_pruned, prepare, MvdCubeOptions};
@@ -29,7 +38,7 @@ use spade_datagen::synthetic::generate_columns;
 use spade_datagen::ColumnSet;
 use spade_storage::AggFn;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Outcome {
     name: String,
@@ -160,6 +169,172 @@ fn run_case(
     }
 }
 
+// ——— bitmap kernel micro-suite ———
+
+/// One measured `(shape, op)` pair.
+struct BitmapMeasurement {
+    shape: &'static str,
+    op: &'static str,
+    ns_per_op: f64,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Uniformly scattered values — array containers when sparse, bitset when
+/// dense.
+fn scattered(n: usize, universe: u32, seed: u64) -> Bitmap {
+    let mut s = seed.wrapping_mul(2).wrapping_add(1);
+    Bitmap::from_iter((0..n).map(|_| ((lcg(&mut s) >> 32) as u32) % universe))
+}
+
+/// Every other value over `[start, start + 2·n)` — dense bitset containers
+/// that never canonicalize to runs.
+fn stride2(n: u32, start: u32) -> Bitmap {
+    Bitmap::from_sorted_iter((0..n).map(|i| start + 2 * i))
+}
+
+/// Contiguous blocks — run containers.
+fn block_runs(n_blocks: usize, block_len: u32, universe: u32, seed: u64) -> Bitmap {
+    let mut s = seed.wrapping_mul(2).wrapping_add(1);
+    let mut starts: Vec<u32> =
+        (0..n_blocks).map(|_| ((lcg(&mut s) >> 32) as u32) % universe).collect();
+    starts.sort_unstable();
+    let mut bm = Bitmap::new();
+    for st in starts {
+        bm.union_with(&Bitmap::from_sorted_iter(st..st.saturating_add(block_len)));
+    }
+    bm
+}
+
+/// Minimum over `repeats` of the average duration of `iters` calls.
+fn best_avg(iters: usize, repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed());
+    }
+    best.as_secs_f64() * 1e9 / iters as f64
+}
+
+fn run_bitmap_suite(seed: u64) -> Vec<BitmapMeasurement> {
+    const U: u32 = 1 << 20;
+    // (shape name, a, b, k-way sources). Shapes chosen so each exercises a
+    // distinct kernel family: array two-pointer/galloping, word-at-a-time
+    // bitset ops, run merges, and the mixed paths.
+    let shapes: Vec<(&'static str, Bitmap, Bitmap, Vec<Bitmap>)> = vec![
+        (
+            "sparse_sparse",
+            scattered(4_000, U, seed),
+            scattered(4_000, U, seed + 1),
+            (0..8).map(|i| scattered(4_000, U, seed + 10 + i)).collect(),
+        ),
+        (
+            "sparse_dense",
+            scattered(4_000, U, seed + 2),
+            stride2(300_000, 0),
+            (0..8).map(|i| stride2(40_000, 50_000 * i)).collect(),
+        ),
+        (
+            "dense_dense",
+            stride2(300_000, 0),
+            stride2(300_000, 300_000),
+            (0..8).map(|i| stride2(80_000, 100_000 * i)).collect(),
+        ),
+        (
+            "run_run",
+            block_runs(64, 4_000, U, seed + 3),
+            block_runs(64, 4_000, U, seed + 4),
+            (0..8).map(|i| block_runs(32, 4_000, U, seed + 20 + i)).collect(),
+        ),
+        (
+            "run_dense",
+            block_runs(64, 4_000, U, seed + 5),
+            stride2(300_000, 0),
+            (0..8).map(|i| block_runs(32, 4_000, U, seed + 30 + i)).collect(),
+        ),
+        (
+            "skewed_small_large",
+            scattered(128, U, seed + 6),
+            scattered(60_000, U, seed + 7),
+            (0..8).map(|i| scattered(128, U, seed + 40 + i)).collect(),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (shape, a, b, sources) in &shapes {
+        let refs: Vec<&Bitmap> = sources.iter().collect();
+        let (iters, repeats) = (20, 3);
+        // Warm-up (also forces lazy allocs out of the timed region).
+        std::hint::black_box(a.union(b));
+
+        out.push(BitmapMeasurement {
+            shape,
+            op: "union",
+            ns_per_op: best_avg(iters, repeats, || {
+                std::hint::black_box(a.union(b));
+            }),
+        });
+        out.push(BitmapMeasurement {
+            shape,
+            op: "intersect",
+            ns_per_op: best_avg(iters, repeats, || {
+                std::hint::black_box(a.intersect(b));
+            }),
+        });
+        out.push(BitmapMeasurement {
+            shape,
+            op: "difference",
+            ns_per_op: best_avg(iters, repeats, || {
+                std::hint::black_box(a.and_not(b));
+            }),
+        });
+        out.push(BitmapMeasurement {
+            shape,
+            op: "intersect_len",
+            ns_per_op: best_avg(iters, repeats, || {
+                std::hint::black_box(a.intersect_len(b));
+            }),
+        });
+        out.push(BitmapMeasurement {
+            shape,
+            op: "union_with",
+            ns_per_op: best_avg(iters, repeats, || {
+                let mut x = a.clone();
+                x.union_with(b);
+                std::hint::black_box(x);
+            }),
+        });
+        out.push(BitmapMeasurement {
+            shape,
+            op: "union_with_all_8",
+            ns_per_op: best_avg(iters, repeats, || {
+                let mut x = a.clone();
+                x.union_with_all(&refs);
+                std::hint::black_box(x);
+            }),
+        });
+    }
+    out
+}
+
+fn write_bitmap_suite(w: &mut JsonWriter, measurements: &[BitmapMeasurement]) {
+    w.key("bitmap_suite").begin_array();
+    for m in measurements {
+        w.begin_object();
+        w.key("shape").string(m.shape);
+        w.key("op").string(m.op);
+        w.key("ns_per_op").f64_fixed(m.ns_per_op, 1);
+        w.end_object();
+    }
+    w.end_array();
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     // This bench defaults to a larger graph than the shared harness
@@ -169,6 +344,50 @@ fn main() {
     let out_path = args.out_path("BENCH_engine.json");
     let seed = args.seed;
     let sweep = args.thread_sweep(&[1, 2, 8]);
+
+    // `--suite all|engine|bitmap` (free-form args land in `rest`).
+    let suite = {
+        let mut suite = "all".to_owned();
+        let mut it = args.rest.iter();
+        while let Some(a) = it.next() {
+            if a == "--suite" {
+                suite = it.next().cloned().unwrap_or(suite);
+            } else if let Some(v) = a.strip_prefix("--suite=") {
+                suite = v.to_owned();
+            }
+        }
+        suite
+    };
+    let run_engine_suite = suite == "all" || suite == "engine";
+    let run_kernels = suite == "all" || suite == "bitmap";
+    assert!(
+        run_engine_suite || run_kernels,
+        "unknown --suite {suite:?} (expected all, engine, or bitmap)"
+    );
+
+    let bitmap_suite = if run_kernels {
+        let measurements = run_bitmap_suite(seed);
+        for m in &measurements {
+            eprintln!("bitmap {:20} {:16} {:12.0} ns/op", m.shape, m.op, m.ns_per_op);
+        }
+        measurements
+    } else {
+        Vec::new()
+    };
+
+    if !run_engine_suite {
+        // Bitmap-only run: write just the micro-suite section.
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("bench").string("bitmap_kernels");
+        write_bitmap_suite(&mut w, &bitmap_suite);
+        w.end_object();
+        let json = w.finish();
+        std::fs::write(&out_path, &json).expect("write bench json");
+        println!("{json}");
+        eprintln!("bitmap micro-suite ({} measurements) → {out_path}", bitmap_suite.len());
+        return;
+    }
 
     // Corpus generation is untimed, so it may fan out over all cores.
     let column_sets: Vec<ColumnSet> =
@@ -245,6 +464,9 @@ fn main() {
         w.end_object();
     }
     w.end_array();
+    if run_kernels {
+        write_bitmap_suite(&mut w, &bitmap_suite);
+    }
     w.end_object();
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");

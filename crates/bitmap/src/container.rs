@@ -1,29 +1,78 @@
-//! The two Roaring container kinds for one 16-bit chunk.
+//! The three Roaring container kinds for one 16-bit chunk, and the
+//! canonical-representation rule that picks between them.
 //!
-//! A chunk switches from the sorted-array representation to the 8 KiB bitset
-//! once it holds more than [`ARRAY_TO_BITSET_THRESHOLD`] values, and back when
-//! it shrinks below it — the break-even point where 2 bytes/value equals the
-//! fixed bitset cost (65536 bits).
+//! Every public container op ends by *canonicalizing*: the chunk is
+//! stored in whichever representation is cheapest in bytes for its
+//! current contents —
+//!
+//! | representation | bytes | wins when |
+//! |---|---|---|
+//! | sorted array | `2 × cardinality` | sparse scattered values |
+//! | run list | `4 × runs` | clustered values (few intervals) |
+//! | bitset | `8192` fixed | dense scattered values |
+//!
+//! with ties broken Array ≻ Run ≻ Bitset. Because the choice is a pure
+//! function of the *set* (never of the op path that produced it), equal
+//! sets always have identical representations: derived `PartialEq` is
+//! exact set equality, and engine results stay bit-identical no matter
+//! how a cell was assembled (plan invariance).
+//!
+//! The binary ops dispatch on the representation pair and call the
+//! matching kernel from [`crate::kernels`] / [`crate::run`]; see the
+//! crate docs for the full kernel table.
 
-/// Canonical Roaring threshold: 4096 values × 2 bytes = 8 KiB = bitset size.
+use crate::kernels;
+use crate::run::{self, RunContainer};
+
+/// Maximum cardinality a (canonical) array container can hold: 4096
+/// values × 2 bytes = 8 KiB = the fixed bitset size.
 pub const ARRAY_TO_BITSET_THRESHOLD: usize = 4096;
 
-const BITSET_WORDS: usize = 1024;
+const BITSET_WORDS: usize = kernels::BITSET_WORDS;
+
+/// Fixed container cost of the bitset representation, in bytes.
+const BITSET_BYTES: u64 = (BITSET_WORDS * 8) as u64;
+
+/// The representation the canonical rule picks for given stats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Repr {
+    Array,
+    Run,
+    Bitset,
+}
+
+/// Cheapest representation for a chunk with `card` values in `runs`
+/// runs; ties break Array ≻ Run ≻ Bitset.
+fn best_repr(card: u32, runs: u32) -> Repr {
+    let array_bytes = 2 * card as u64;
+    let run_bytes = 4 * runs as u64;
+    if array_bytes <= run_bytes && array_bytes <= BITSET_BYTES {
+        Repr::Array
+    } else if run_bytes <= BITSET_BYTES {
+        Repr::Run
+    } else {
+        Repr::Bitset
+    }
+}
 
 /// One chunk's worth (low 16 bits) of values.
 #[derive(Clone, PartialEq, Eq)]
 pub enum Container {
-    /// Sorted array of low values; used while sparse.
+    /// Sorted array of low values; canonical while sparse and scattered.
     Array(Vec<u16>),
-    /// 65536-bit set with an explicit cardinality; used while dense.
+    /// Sorted inclusive intervals; canonical while clustered.
+    Run(RunContainer),
+    /// 65536-bit set with cached stats; canonical while dense and
+    /// scattered.
     Bitset(Box<BitsetContainer>),
 }
 
-/// Fixed 8 KiB bit set plus cached cardinality.
+/// Fixed 8 KiB bit set plus cached cardinality and run count.
 #[derive(Clone, PartialEq, Eq)]
 pub struct BitsetContainer {
     words: [u64; BITSET_WORDS],
     cardinality: u32,
+    runs: u32,
 }
 
 impl Default for Container {
@@ -34,7 +83,7 @@ impl Default for Container {
 
 impl BitsetContainer {
     fn new() -> Self {
-        BitsetContainer { words: [0; BITSET_WORDS], cardinality: 0 }
+        BitsetContainer { words: [0; BITSET_WORDS], cardinality: 0, runs: 0 }
     }
 
     /// The raw 64-bit words (for container-at-a-time decoding).
@@ -42,34 +91,51 @@ impl BitsetContainer {
         &self.words
     }
 
-    #[inline]
-    fn set(&mut self, low: u16) -> bool {
-        let (w, b) = (low as usize / 64, low as usize % 64);
-        let mask = 1u64 << b;
-        let was = self.words[w] & mask != 0;
-        self.words[w] |= mask;
-        if !was {
-            self.cardinality += 1;
-        }
-        !was
+    /// Recomputes the cached stats from the words, word-at-a-time.
+    fn refresh_stats(&mut self) {
+        let (card, runs) = kernels::words_stats(&self.words);
+        self.cardinality = card;
+        self.runs = runs;
     }
 
+    /// Sets a bit, keeping both cached stats current in O(1) via the
+    /// neighbor bits: joining two runs loses one, extending a run is
+    /// neutral, an isolated bit adds one.
+    #[inline]
+    fn set(&mut self, low: u16) -> bool {
+        let (w, b) = (low as usize >> 6, low & 63);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.cardinality += 1;
+        let left = low > 0 && self.get(low - 1);
+        let right = low < u16::MAX && self.get(low + 1);
+        self.runs = self.runs + 1 - left as u32 - right as u32;
+        true
+    }
+
+    /// Clears a bit, with the mirrored O(1) run-count update (splitting
+    /// a run adds one).
     #[inline]
     fn unset(&mut self, low: u16) -> bool {
-        let (w, b) = (low as usize / 64, low as usize % 64);
+        let (w, b) = (low as usize >> 6, low & 63);
         let mask = 1u64 << b;
-        let was = self.words[w] & mask != 0;
-        self.words[w] &= !mask;
-        if was {
-            self.cardinality -= 1;
+        if self.words[w] & mask == 0 {
+            return false;
         }
-        was
+        self.words[w] &= !mask;
+        self.cardinality -= 1;
+        let left = low > 0 && self.get(low - 1);
+        let right = low < u16::MAX && self.get(low + 1);
+        self.runs = self.runs - 1 + left as u32 + right as u32;
+        true
     }
 
     #[inline]
     fn get(&self, low: u16) -> bool {
-        let (w, b) = (low as usize / 64, low as usize % 64);
-        self.words[w] & (1u64 << b) != 0
+        self.words[low as usize >> 6] & (1u64 << (low & 63)) != 0
     }
 
     fn to_array(&self) -> Vec<u16> {
@@ -86,46 +152,171 @@ impl BitsetContainer {
     }
 }
 
+/// Canonical container from a bitset with current cached stats.
+fn from_bitset(bs: Box<BitsetContainer>) -> Container {
+    match best_repr(bs.cardinality, bs.runs) {
+        Repr::Bitset => Container::Bitset(bs),
+        Repr::Array => Container::Array(bs.to_array()),
+        Repr::Run => {
+            let mut runs = Vec::with_capacity(bs.runs as usize);
+            kernels::words_to_runs(&bs.words, &mut runs);
+            Container::Run(RunContainer::from_runs(runs))
+        }
+    }
+}
+
+/// Canonical container from sorted deduplicated low values (any length).
+fn from_lows(lows: Vec<u16>) -> Container {
+    let card = lows.len() as u32;
+    let runs = kernels::array_runs(&lows);
+    match best_repr(card, runs) {
+        Repr::Array => Container::Array(lows),
+        Repr::Run => Container::Run(RunContainer::from_sorted_lows(&lows)),
+        Repr::Bitset => {
+            let mut bs = Box::new(BitsetContainer::new());
+            kernels::scatter(&lows, &mut bs.words);
+            bs.cardinality = card;
+            bs.runs = runs;
+            Container::Bitset(bs)
+        }
+    }
+}
+
+/// Canonical container from a normalized run container.
+fn from_run(rc: RunContainer) -> Container {
+    match best_repr(rc.cardinality(), rc.n_runs()) {
+        Repr::Run => Container::Run(rc),
+        Repr::Array => {
+            let mut lows = Vec::with_capacity(rc.cardinality() as usize);
+            rc.to_lows(&mut lows);
+            Container::Array(lows)
+        }
+        Repr::Bitset => {
+            let mut bs = Box::new(BitsetContainer::new());
+            for &(s, e) in rc.runs() {
+                kernels::set_range(&mut bs.words, s, e);
+            }
+            bs.cardinality = rc.cardinality();
+            bs.runs = rc.n_runs();
+            Container::Bitset(bs)
+        }
+    }
+}
+
 impl Container {
     pub fn singleton(low: u16) -> Self {
         Container::Array(vec![low])
     }
 
-    /// Builds from sorted, deduplicated low values.
+    /// Builds the canonical container from sorted, deduplicated low
+    /// values.
     pub fn from_sorted_lows(lows: &[u16]) -> Self {
-        if lows.len() > ARRAY_TO_BITSET_THRESHOLD {
-            let mut bs = BitsetContainer::new();
-            for &low in lows {
-                bs.set(low);
+        let card = lows.len() as u32;
+        let runs = kernels::array_runs(lows);
+        match best_repr(card, runs) {
+            Repr::Array => Container::Array(lows.to_vec()),
+            Repr::Run => Container::Run(RunContainer::from_sorted_lows(lows)),
+            Repr::Bitset => {
+                let mut bs = Box::new(BitsetContainer::new());
+                kernels::scatter(lows, &mut bs.words);
+                bs.cardinality = card;
+                bs.runs = runs;
+                Container::Bitset(bs)
             }
-            Container::Bitset(Box::new(bs))
-        } else {
-            Container::Array(lows.to_vec())
         }
     }
 
-    pub fn insert(&mut self, low: u16) -> bool {
+    /// Canonical container holding the full inclusive range `[s, e]` —
+    /// `O(1)`, the building block of [`crate::Bitmap::full`].
+    pub fn from_range(s: u16, e: u16) -> Self {
+        debug_assert!(s <= e);
+        from_run(RunContainer::from_runs(vec![(s, e)]))
+    }
+
+    /// Number of runs (maximal intervals of consecutive values).
+    fn n_runs(&self) -> u32 {
         match self {
+            Container::Array(values) => kernels::array_runs(values),
+            Container::Run(rc) => rc.n_runs(),
+            Container::Bitset(bs) => bs.runs,
+        }
+    }
+
+    /// Re-establishes the canonical (cheapest) representation. Every
+    /// public mutating op ends here.
+    fn canonicalize(&mut self) {
+        let target = best_repr(self.cardinality(), self.n_runs());
+        let matches_target = matches!(
+            (&*self, target),
+            (Container::Array(_), Repr::Array)
+                | (Container::Run(_), Repr::Run)
+                | (Container::Bitset(_), Repr::Bitset)
+        );
+        if matches_target {
+            return;
+        }
+        *self = match std::mem::take(self) {
+            Container::Array(v) => from_lows(v),
+            Container::Run(rc) => from_run(rc),
+            Container::Bitset(bs) => from_bitset(bs),
+        };
+    }
+
+    /// True when this container holds the cheapest of the three
+    /// representations for its contents *and* all cached stats are
+    /// consistent — the invariant every public op restores. Exposed for
+    /// the property-test suite.
+    pub fn is_canonical(&self) -> bool {
+        match self {
+            Container::Array(values) => {
+                if !values.windows(2).all(|w| w[0] < w[1]) {
+                    return false;
+                }
+            }
+            Container::Run(rc) => {
+                let runs = rc.runs();
+                let normal = runs.iter().all(|&(s, e)| s <= e)
+                    && runs.windows(2).all(|w| (w[0].1 as u32) + 1 < w[1].0 as u32);
+                let card: u32 = runs.iter().map(|&(s, e)| e as u32 - s as u32 + 1).sum();
+                if !normal || card != rc.cardinality() {
+                    return false;
+                }
+            }
+            Container::Bitset(bs) => {
+                if kernels::words_stats(&bs.words) != (bs.cardinality, bs.runs) {
+                    return false;
+                }
+            }
+        }
+        let target = best_repr(self.cardinality(), self.n_runs());
+        matches!(
+            (self, target),
+            (Container::Array(_), Repr::Array)
+                | (Container::Run(_), Repr::Run)
+                | (Container::Bitset(_), Repr::Bitset)
+        )
+    }
+
+    pub fn insert(&mut self, low: u16) -> bool {
+        let added = match self {
             Container::Array(values) => match values.binary_search(&low) {
                 Ok(_) => false,
                 Err(pos) => {
                     values.insert(pos, low);
-                    if values.len() > ARRAY_TO_BITSET_THRESHOLD {
-                        let mut bs = BitsetContainer::new();
-                        for &v in values.iter() {
-                            bs.set(v);
-                        }
-                        *self = Container::Bitset(Box::new(bs));
-                    }
                     true
                 }
             },
+            Container::Run(rc) => rc.insert(low),
             Container::Bitset(bs) => bs.set(low),
+        };
+        if added {
+            self.canonicalize();
         }
+        added
     }
 
     pub fn remove(&mut self, low: u16) -> bool {
-        match self {
+        let removed = match self {
             Container::Array(values) => match values.binary_search(&low) {
                 Ok(pos) => {
                     values.remove(pos);
@@ -133,19 +324,19 @@ impl Container {
                 }
                 Err(_) => false,
             },
-            Container::Bitset(bs) => {
-                let removed = bs.unset(low);
-                if removed && (bs.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
-                    *self = Container::Array(bs.to_array());
-                }
-                removed
-            }
+            Container::Run(rc) => rc.remove(low),
+            Container::Bitset(bs) => bs.unset(low),
+        };
+        if removed {
+            self.canonicalize();
         }
+        removed
     }
 
     pub fn contains(&self, low: u16) -> bool {
         match self {
             Container::Array(values) => values.binary_search(&low).is_ok(),
+            Container::Run(rc) => rc.contains(low),
             Container::Bitset(bs) => bs.get(low),
         }
     }
@@ -153,6 +344,7 @@ impl Container {
     pub fn cardinality(&self) -> u32 {
         match self {
             Container::Array(values) => values.len() as u32,
+            Container::Run(rc) => rc.cardinality(),
             Container::Bitset(bs) => bs.cardinality,
         }
     }
@@ -164,29 +356,43 @@ impl Container {
     pub fn min(&self) -> Option<u16> {
         match self {
             Container::Array(values) => values.first().copied(),
-            Container::Bitset(bs) => bs.to_array().first().copied(),
+            Container::Run(rc) => rc.min(),
+            Container::Bitset(bs) => bs
+                .words
+                .iter()
+                .enumerate()
+                .find(|(_, &w)| w != 0)
+                .map(|(i, w)| (i * 64 + w.trailing_zeros() as usize) as u16),
         }
     }
 
     pub fn max(&self) -> Option<u16> {
         match self {
             Container::Array(values) => values.last().copied(),
-            Container::Bitset(bs) => bs.to_array().last().copied(),
+            Container::Run(rc) => rc.max(),
+            Container::Bitset(bs) => bs
+                .words
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, &w)| w != 0)
+                .map(|(i, w)| (i * 64 + 63 - w.leading_zeros() as usize) as u16),
         }
     }
 
     /// K-way union of several containers in one pass — the fan-in path of
     /// cube-cell consolidation, where a child cell absorbs many parent
     /// cells at once. Equivalent to folding [`Container::union_with`]
-    /// pairwise, but without the per-step reallocation and re-merge.
+    /// pairwise (canonicalization makes the representations identical
+    /// too), but without the per-step reallocation and re-merge.
     pub fn union_many(parts: &[&Container]) -> Container {
         debug_assert!(!parts.is_empty());
         if parts.len() == 1 {
             return parts[0].clone();
         }
-        let any_bitset = parts.iter().any(|c| matches!(c, Container::Bitset(_)));
+        let all_arrays = parts.iter().all(|c| matches!(c, Container::Array(_)));
         let total: usize = parts.iter().map(|c| c.cardinality() as usize).sum();
-        if !any_bitset && total <= ARRAY_TO_BITSET_THRESHOLD {
+        if all_arrays && total <= ARRAY_TO_BITSET_THRESHOLD {
             // All-array, provably small: concatenate + sort + dedup.
             let mut lows: Vec<u16> = Vec::with_capacity(total);
             for c in parts {
@@ -196,10 +402,11 @@ impl Container {
             }
             lows.sort_unstable();
             lows.dedup();
-            return Container::Array(lows);
+            return from_lows(lows);
         }
-        // Accumulate through one bitset.
-        let mut bs = BitsetContainer::new();
+        // Accumulate through one bitset: scatter arrays, range-fill runs,
+        // word-OR bitsets; one stats pass at the end.
+        let mut bs = Box::new(BitsetContainer::new());
         for c in parts {
             match c {
                 Container::Bitset(b) => {
@@ -207,46 +414,53 @@ impl Container {
                         bs.words[w] |= word;
                     }
                 }
-                Container::Array(v) => {
-                    for &low in v {
-                        bs.words[low as usize / 64] |= 1u64 << (low as usize % 64);
+                Container::Array(v) => kernels::scatter(v, &mut bs.words),
+                Container::Run(r) => {
+                    for &(s, e) in r.runs() {
+                        kernels::set_range(&mut bs.words, s, e);
                     }
                 }
             }
         }
-        bs.cardinality = bs.words.iter().map(|w| w.count_ones()).sum();
-        // Mirror `union_with`'s representation choice: any bitset input
-        // keeps a bitset; all-array results convert back when small.
-        if !any_bitset && (bs.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
-            Container::Array(bs.to_array())
-        } else {
-            Container::Bitset(Box::new(bs))
-        }
+        bs.refresh_stats();
+        from_bitset(bs)
     }
 
     pub fn union_with(&mut self, other: &Container) {
-        match (&mut *self, other) {
-            (Container::Bitset(a), Container::Bitset(b)) => {
-                let mut card = 0u32;
-                for (wa, wb) in a.words.iter_mut().zip(b.words.iter()) {
-                    *wa |= *wb;
-                    card += wa.count_ones();
-                }
+        *self = match (std::mem::take(self), other) {
+            (Container::Bitset(mut a), Container::Bitset(b)) => {
+                let (card, runs) = kernels::union_words(&mut a.words, &b.words);
                 a.cardinality = card;
+                a.runs = runs;
+                from_bitset(a)
             }
-            (Container::Bitset(a), Container::Array(b)) => {
+            (Container::Bitset(mut a), Container::Array(b)) => {
                 for &low in b {
                     a.set(low);
                 }
+                from_bitset(a)
             }
-            (Container::Array(_), Container::Bitset(b)) => {
-                let mut bs = (**b).clone();
-                if let Container::Array(a) = self {
-                    for &low in a.iter() {
-                        bs.set(low);
-                    }
+            (Container::Bitset(mut a), Container::Run(r)) => {
+                for &(s, e) in r.runs() {
+                    kernels::set_range(&mut a.words, s, e);
                 }
-                *self = Container::Bitset(Box::new(bs));
+                a.refresh_stats();
+                from_bitset(a)
+            }
+            (Container::Array(a), Container::Bitset(b)) => {
+                let mut bs = b.clone();
+                for &low in &a {
+                    bs.set(low);
+                }
+                from_bitset(bs)
+            }
+            (Container::Run(rc), Container::Bitset(b)) => {
+                let mut bs = b.clone();
+                for &(s, e) in rc.runs() {
+                    kernels::set_range(&mut bs.words, s, e);
+                }
+                bs.refresh_stats();
+                from_bitset(bs)
             }
             (Container::Array(a), Container::Array(b)) => {
                 let mut merged = Vec::with_capacity(a.len() + b.len());
@@ -270,108 +484,210 @@ impl Container {
                 }
                 merged.extend_from_slice(&a[i..]);
                 merged.extend_from_slice(&b[j..]);
-                if merged.len() > ARRAY_TO_BITSET_THRESHOLD {
-                    let mut bs = BitsetContainer::new();
-                    for &v in &merged {
-                        bs.set(v);
-                    }
-                    *self = Container::Bitset(Box::new(bs));
-                } else {
-                    *a = merged;
-                }
+                from_lows(merged)
             }
-        }
+            (Container::Array(a), Container::Run(r)) => {
+                let mut ar = Vec::new();
+                run::lows_to_runs(&a, &mut ar);
+                let mut out = Vec::new();
+                run::merge_runs(&ar, r.runs(), &mut out);
+                from_run(RunContainer::from_runs(out))
+            }
+            (Container::Run(rc), Container::Array(b)) => {
+                let mut br = Vec::new();
+                run::lows_to_runs(b, &mut br);
+                let mut out = Vec::new();
+                run::merge_runs(rc.runs(), &br, &mut out);
+                from_run(RunContainer::from_runs(out))
+            }
+            (Container::Run(a), Container::Run(b)) => {
+                let mut out = Vec::new();
+                run::merge_runs(a.runs(), b.runs(), &mut out);
+                from_run(RunContainer::from_runs(out))
+            }
+        };
     }
 
     pub fn intersect(&self, other: &Container) -> Container {
         match (self, other) {
             (Container::Bitset(a), Container::Bitset(b)) => {
-                let mut out = BitsetContainer::new();
-                let mut card = 0u32;
-                for (wo, (wa, wb)) in
-                    out.words.iter_mut().zip(a.words.iter().zip(b.words.iter()))
-                {
-                    *wo = wa & wb;
-                    card += wo.count_ones();
-                }
+                let mut out = a.clone();
+                let (card, runs) = kernels::intersect_words(&mut out.words, &b.words);
                 out.cardinality = card;
-                if (card as usize) <= ARRAY_TO_BITSET_THRESHOLD {
-                    Container::Array(out.to_array())
-                } else {
-                    Container::Bitset(Box::new(out))
+                out.runs = runs;
+                from_bitset(out)
+            }
+            (Container::Array(a), Container::Bitset(b))
+            | (Container::Bitset(b), Container::Array(a)) => {
+                from_lows(a.iter().copied().filter(|&v| b.get(v)).collect())
+            }
+            (Container::Run(r), Container::Bitset(b))
+            | (Container::Bitset(b), Container::Run(r)) => {
+                let mut out = Box::new(BitsetContainer::new());
+                for &(s, e) in r.runs() {
+                    kernels::copy_range(&b.words, &mut out.words, s, e);
                 }
-            }
-            (Container::Array(a), b @ Container::Bitset(_)) => {
-                Container::Array(a.iter().copied().filter(|&v| b.contains(v)).collect())
-            }
-            (a @ Container::Bitset(_), Container::Array(b)) => {
-                Container::Array(b.iter().copied().filter(|&v| a.contains(v)).collect())
+                out.refresh_stats();
+                from_bitset(out)
             }
             (Container::Array(a), Container::Array(b)) => {
                 let mut out = Vec::new();
-                let (mut i, mut j) = (0, 0);
-                while i < a.len() && j < b.len() {
-                    match a[i].cmp(&b[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            out.push(a[i]);
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-                Container::Array(out)
+                kernels::intersect_arrays(a, b, &mut out);
+                from_lows(out)
+            }
+            (Container::Array(a), Container::Run(r))
+            | (Container::Run(r), Container::Array(a)) => {
+                let mut out = Vec::new();
+                run::array_intersect_runs(a, r.runs(), &mut out);
+                from_lows(out)
+            }
+            (Container::Run(a), Container::Run(b)) => {
+                let mut out = Vec::new();
+                run::intersect_runs(a.runs(), b.runs(), &mut out);
+                from_run(RunContainer::from_runs(out))
             }
         }
+    }
+
+    /// In-place intersection; recycles this container's allocation on
+    /// the array and bitset fast paths.
+    pub fn intersect_with(&mut self, other: &Container) {
+        match (&mut *self, other) {
+            (Container::Bitset(a), Container::Bitset(b)) => {
+                let (card, runs) = kernels::intersect_words(&mut a.words, &b.words);
+                a.cardinality = card;
+                a.runs = runs;
+            }
+            (Container::Array(a), Container::Bitset(b)) => a.retain(|&v| b.get(v)),
+            (Container::Array(a), Container::Array(b)) => {
+                let mut w = 0usize;
+                let mut j = 0usize;
+                for i in 0..a.len() {
+                    let v = a[i];
+                    j = kernels::gallop(b, j, v);
+                    if j == b.len() {
+                        break;
+                    }
+                    if b[j] == v {
+                        a[w] = v;
+                        w += 1;
+                        j += 1;
+                    }
+                }
+                a.truncate(w);
+            }
+            (Container::Array(a), Container::Run(r)) => {
+                let runs = r.runs();
+                let mut w = 0usize;
+                let mut j = 0usize;
+                for i in 0..a.len() {
+                    let v = a[i];
+                    while j < runs.len() && runs[j].1 < v {
+                        j += 1;
+                    }
+                    if j == runs.len() {
+                        break;
+                    }
+                    if runs[j].0 <= v {
+                        a[w] = v;
+                        w += 1;
+                    }
+                }
+                a.truncate(w);
+            }
+            _ => {
+                *self = self.intersect(other);
+                return;
+            }
+        }
+        self.canonicalize();
     }
 
     pub fn intersect_len(&self, other: &Container) -> u32 {
         match (self, other) {
             (Container::Bitset(a), Container::Bitset(b)) => {
-                a.words.iter().zip(b.words.iter()).map(|(x, y)| (x & y).count_ones()).sum()
+                kernels::intersect_words_card(&a.words, &b.words)
             }
-            (Container::Array(a), b @ Container::Bitset(_)) => {
-                a.iter().filter(|&&v| b.contains(v)).count() as u32
+            (Container::Array(a), Container::Bitset(b))
+            | (Container::Bitset(b), Container::Array(a)) => {
+                a.iter().filter(|&&v| b.get(v)).count() as u32
             }
-            (a @ Container::Bitset(_), Container::Array(b)) => {
-                b.iter().filter(|&&v| a.contains(v)).count() as u32
+            (Container::Run(r), Container::Bitset(b))
+            | (Container::Bitset(b), Container::Run(r)) => {
+                r.runs().iter().map(|&(s, e)| kernels::range_card(&b.words, s, e)).sum()
             }
-            (Container::Array(_), Container::Array(_)) => self.intersect(other).cardinality(),
+            (Container::Array(a), Container::Array(b)) => kernels::intersect_arrays_card(a, b),
+            (Container::Array(a), Container::Run(r))
+            | (Container::Run(r), Container::Array(a)) => {
+                run::array_intersect_runs_card(a, r.runs())
+            }
+            (Container::Run(a), Container::Run(b)) => {
+                run::intersect_runs_card(a.runs(), b.runs())
+            }
         }
     }
 
     pub fn and_not(&self, other: &Container) -> Container {
-        match self {
-            Container::Array(a) => {
-                Container::Array(a.iter().copied().filter(|&v| !other.contains(v)).collect())
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                let mut out = Vec::new();
+                kernels::difference_arrays(a, b, &mut out);
+                from_lows(out)
             }
-            Container::Bitset(a) => {
-                let mut out = BitsetContainer::new();
-                match other {
-                    Container::Bitset(b) => {
-                        let mut card = 0u32;
-                        for (wo, (wa, wb)) in
-                            out.words.iter_mut().zip(a.words.iter().zip(b.words.iter()))
-                        {
-                            *wo = wa & !wb;
-                            card += wo.count_ones();
-                        }
-                        out.cardinality = card;
-                    }
-                    Container::Array(b) => {
-                        out.words = a.words;
-                        out.cardinality = a.cardinality;
-                        for &low in b {
-                            out.unset(low);
-                        }
-                    }
+            (Container::Array(a), Container::Bitset(b)) => {
+                from_lows(a.iter().copied().filter(|&v| !b.get(v)).collect())
+            }
+            (Container::Array(a), Container::Run(r)) => {
+                let mut out = Vec::new();
+                run::array_subtract_runs(a, r.runs(), &mut out);
+                from_lows(out)
+            }
+            (Container::Run(a), Container::Run(b)) => {
+                let mut out = Vec::new();
+                run::subtract_runs(a.runs(), b.runs(), &mut out);
+                from_run(RunContainer::from_runs(out))
+            }
+            (Container::Run(a), Container::Array(b)) => {
+                let mut br = Vec::new();
+                run::lows_to_runs(b, &mut br);
+                let mut out = Vec::new();
+                run::subtract_runs(a.runs(), &br, &mut out);
+                from_run(RunContainer::from_runs(out))
+            }
+            (Container::Run(a), Container::Bitset(b)) => {
+                let mut out = Box::new(BitsetContainer::new());
+                for &(s, e) in a.runs() {
+                    kernels::set_range(&mut out.words, s, e);
                 }
-                if (out.cardinality as usize) <= ARRAY_TO_BITSET_THRESHOLD {
-                    Container::Array(out.to_array())
-                } else {
-                    Container::Bitset(Box::new(out))
+                let (card, runs) = kernels::difference_words(&mut out.words, &b.words);
+                out.cardinality = card;
+                out.runs = runs;
+                from_bitset(out)
+            }
+            (Container::Bitset(a), Container::Bitset(b)) => {
+                let mut out = a.clone();
+                let (card, runs) = kernels::difference_words(&mut out.words, &b.words);
+                out.cardinality = card;
+                out.runs = runs;
+                from_bitset(out)
+            }
+            (Container::Bitset(a), Container::Array(b)) => {
+                let mut out = a.clone();
+                for &low in b {
+                    out.unset(low);
                 }
+                from_bitset(out)
+            }
+            (Container::Bitset(a), Container::Run(r)) => {
+                let mut mask = Box::new([0u64; BITSET_WORDS]);
+                for &(s, e) in r.runs() {
+                    kernels::set_range(&mut mask, s, e);
+                }
+                let mut out = a.clone();
+                let (card, runs) = kernels::difference_words(&mut out.words, &mask);
+                out.cardinality = card;
+                out.runs = runs;
+                from_bitset(out)
             }
         }
     }
@@ -382,6 +698,7 @@ impl Container {
             Container::Array(values) => match values.binary_search(&low) {
                 Ok(pos) | Err(pos) => pos as u32,
             },
+            Container::Run(rc) => rc.rank(low),
             Container::Bitset(bs) => {
                 let (w, b) = (low as usize / 64, low as usize % 64);
                 let mut total: u32 = bs.words[..w].iter().map(|x| x.count_ones()).sum();
@@ -397,6 +714,7 @@ impl Container {
     pub fn select(&self, n: u16) -> Option<u16> {
         match self {
             Container::Array(values) => values.get(n as usize).copied(),
+            Container::Run(rc) => rc.select(n as u32),
             Container::Bitset(bs) => {
                 let mut remaining = n as u32;
                 for (wi, &word) in bs.words.iter().enumerate() {
@@ -418,14 +736,34 @@ impl Container {
     pub fn heap_bytes(&self) -> usize {
         match self {
             Container::Array(values) => values.len() * 2,
-            Container::Bitset(_) => BITSET_WORDS * 8 + 4,
+            Container::Run(rc) => rc.runs().len() * 4,
+            Container::Bitset(_) => BITSET_WORDS * 8 + 8,
         }
     }
 
     pub fn iter(&self) -> ContainerIter<'_> {
         match self {
             Container::Array(values) => ContainerIter::Array(values.iter()),
+            Container::Run(rc) => ContainerIter::Run {
+                runs: rc.runs(),
+                idx: 0,
+                next: rc.runs().first().map_or(0, |r| r.0 as u32),
+            },
             Container::Bitset(bs) => ContainerIter::Bitset { bs, word: 0, bits: bs.words[0] },
+        }
+    }
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Container::Array(v) => write!(f, "Array(card={})", v.len()),
+            Container::Run(rc) => {
+                write!(f, "Run(card={}, runs={})", rc.cardinality(), rc.n_runs())
+            }
+            Container::Bitset(bs) => {
+                write!(f, "Bitset(card={}, runs={})", bs.cardinality, bs.runs)
+            }
         }
     }
 }
@@ -433,6 +771,7 @@ impl Container {
 /// Ascending iterator over one container's low values.
 pub enum ContainerIter<'a> {
     Array(std::slice::Iter<'a, u16>),
+    Run { runs: &'a [(u16, u16)], idx: usize, next: u32 },
     Bitset { bs: &'a BitsetContainer, word: usize, bits: u64 },
 }
 
@@ -442,6 +781,21 @@ impl<'a> Iterator for ContainerIter<'a> {
     fn next(&mut self) -> Option<u16> {
         match self {
             ContainerIter::Array(iter) => iter.next().copied(),
+            ContainerIter::Run { runs, idx, next } => {
+                if *idx >= runs.len() {
+                    return None;
+                }
+                let v = *next as u16;
+                if *next >= runs[*idx].1 as u32 {
+                    *idx += 1;
+                    if *idx < runs.len() {
+                        *next = runs[*idx].0 as u32;
+                    }
+                } else {
+                    *next += 1;
+                }
+                Some(v)
+            }
             ContainerIter::Bitset { bs, word, bits } => loop {
                 if *bits != 0 {
                     let b = bits.trailing_zeros();
@@ -462,27 +816,84 @@ impl<'a> Iterator for ContainerIter<'a> {
 mod tests {
     use super::*;
 
+    /// Scattered values (stride 2) — run-hostile, so representation is
+    /// driven purely by cardinality.
+    fn scattered(n: usize) -> Vec<u16> {
+        (0..n).map(|i| (i * 2) as u16).collect()
+    }
+
+    #[test]
+    fn canonical_rule_picks_cheapest() {
+        // Sparse scattered → array.
+        let c = Container::from_sorted_lows(&scattered(100));
+        assert!(matches!(c, Container::Array(_)) && c.is_canonical());
+        // Dense scattered → bitset (cardinality over 4096, runs over 2048).
+        let c = Container::from_sorted_lows(&scattered(5000));
+        assert!(matches!(c, Container::Bitset(_)) && c.is_canonical());
+        // Clustered → run, regardless of cardinality.
+        let c = Container::from_sorted_lows(&(0..6000).collect::<Vec<u16>>());
+        assert!(matches!(c, Container::Run(_)) && c.is_canonical());
+        let c = Container::from_sorted_lows(&(10..16).collect::<Vec<u16>>());
+        assert!(matches!(c, Container::Run(_)) && c.is_canonical());
+        // Tiny sets stay arrays (tie-break favors Array over Run).
+        let c = Container::from_sorted_lows(&[7, 8]);
+        assert!(matches!(c, Container::Array(_)) && c.is_canonical());
+    }
+
     #[test]
     fn threshold_conversion_both_ways() {
         let mut c = Container::default();
-        for v in 0..=ARRAY_TO_BITSET_THRESHOLD as u16 {
+        for v in scattered(ARRAY_TO_BITSET_THRESHOLD + 1) {
             c.insert(v);
+            assert!(c.is_canonical());
         }
         assert!(matches!(c, Container::Bitset(_)));
         c.remove(0);
-        assert!(matches!(c, Container::Array(_)));
+        assert!(matches!(c, Container::Array(_)) && c.is_canonical());
         assert_eq!(c.cardinality(), ARRAY_TO_BITSET_THRESHOLD as u32);
     }
 
     #[test]
+    fn contiguous_inserts_become_runs() {
+        let mut c = Container::default();
+        for v in 0..5000u16 {
+            c.insert(v);
+        }
+        assert!(matches!(c, Container::Run(_)) && c.is_canonical());
+        assert_eq!(c.cardinality(), 5000);
+        // Punching scattered holes re-fragments it back toward a bitset.
+        for v in (0..5000u16).step_by(2) {
+            c.remove(v);
+            assert!(c.is_canonical());
+        }
+        assert_eq!(c.cardinality(), 2500);
+        assert!(matches!(c, Container::Array(_)));
+    }
+
+    #[test]
     fn bitset_rank_select() {
-        let lows: Vec<u16> = (0..6000).map(|i| i as u16).collect();
+        let lows = scattered(6000);
         let c = Container::from_sorted_lows(&lows);
         assert!(matches!(c, Container::Bitset(_)));
-        assert_eq!(c.rank(100), 100);
-        assert_eq!(c.select(100), Some(100));
-        assert_eq!(c.select(5999), Some(5999));
+        assert_eq!(c.rank(100), 50);
+        assert_eq!(c.select(100), Some(200));
+        assert_eq!(c.select(5999), Some(11_998));
         assert_eq!(c.select(6000), None);
+        assert_eq!(c.min(), Some(0));
+        assert_eq!(c.max(), Some(11_998));
+    }
+
+    #[test]
+    fn run_rank_select_iter() {
+        let c = Container::from_sorted_lows(&(100..7000).collect::<Vec<u16>>());
+        assert!(matches!(c, Container::Run(_)));
+        assert_eq!(c.rank(100), 0);
+        assert_eq!(c.rank(150), 50);
+        assert_eq!(c.select(0), Some(100));
+        assert_eq!(c.select(6899), Some(6999));
+        assert_eq!(c.select(6900), None);
+        let decoded: Vec<u16> = c.iter().collect();
+        assert_eq!(decoded, (100..7000).collect::<Vec<u16>>());
     }
 
     #[test]
@@ -490,13 +901,21 @@ mod tests {
         let sparse = Container::from_sorted_lows(&[1, 3, 5]);
         let dense_lows: Vec<u16> = (1000..6000).collect();
         let dense = Container::from_sorted_lows(&dense_lows);
+        assert!(matches!(dense, Container::Run(_)));
         let mut a = sparse.clone();
         a.union_with(&dense);
         assert_eq!(a.cardinality(), 3 + 5000);
         let mut b = dense;
         b.union_with(&sparse);
         assert_eq!(b.cardinality(), 3 + 5000);
+        assert_eq!(a, b); // canonical: same set ⇒ same representation
         assert_eq!(a.intersect_len(&b), 5003);
+
+        let scat = Container::from_sorted_lows(&scattered(5000));
+        let mut c = scat.clone();
+        c.union_with(&sparse);
+        assert_eq!(c.cardinality(), 5003); // all of {1, 3, 5} are odd, scattered is even
+        assert!(c.is_canonical());
     }
 
     #[test]
@@ -508,5 +927,28 @@ mod tests {
         let s = Container::from_sorted_lows(&[0, 1, 2]);
         assert_eq!(a.and_not(&s).cardinality(), 4997);
         assert_eq!(s.and_not(&a).cardinality(), 0);
+        let bs = Container::from_sorted_lows(&scattered(5000));
+        assert_eq!(a.and_not(&bs).cardinality(), 2500);
+        assert_eq!(bs.and_not(&a).cardinality(), 2500);
+        assert!(bs.and_not(&a).is_canonical());
+    }
+
+    #[test]
+    fn intersect_with_matches_intersect() {
+        let shapes: Vec<Container> = vec![
+            Container::from_sorted_lows(&[5, 9, 1000, 40_000]),
+            Container::from_sorted_lows(&(0..5000).collect::<Vec<u16>>()),
+            Container::from_sorted_lows(&scattered(5000)),
+            Container::from_sorted_lows(&scattered(300)),
+        ];
+        for x in &shapes {
+            for y in &shapes {
+                let expect = x.intersect(y);
+                let mut got = x.clone();
+                got.intersect_with(y);
+                assert!(got.is_canonical());
+                assert!(got == expect, "intersect_with diverged");
+            }
+        }
     }
 }

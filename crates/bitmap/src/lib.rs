@@ -7,21 +7,51 @@
 //! that occupies several parent cells into a single child-cell membership —
 //! the correctness core of the algorithm.
 //!
-//! This crate is a from-scratch implementation of the two classic Roaring
-//! container kinds:
+//! This crate is a from-scratch implementation of the three Roaring
+//! container kinds, keyed by the high 16 bits of the 32-bit value:
 //!
-//! * an **array container** (sorted `Vec<u16>`) for sparse chunks, and
-//! * a **bitset container** (`[u64; 1024]`) for dense chunks,
+//! * an **array container** (sorted `Vec<u16>`, `2·card` bytes) for sparse
+//!   scattered chunks,
+//! * a **run container** (sorted inclusive intervals, `4·runs` bytes) for
+//!   clustered chunks, and
+//! * a **bitset container** (`[u64; 1024]`, fixed 8 KiB) for dense
+//!   scattered chunks.
 //!
-//! keyed by the high 16 bits of the 32-bit value. Containers convert between
-//! representations at the canonical 4096-element threshold. The public type
-//! [`Bitmap`] offers the operations Spade needs: insert, contains, union,
-//! intersection, difference, iteration in increasing order, cardinality, and
-//! the worst-case size bound used in the paper's memory analysis.
+//! After every mutating op a chunk is stored in whichever representation
+//! is *cheapest in bytes* for its contents (ties: Array ≻ Run ≻ Bitset).
+//! Because that choice depends only on the set — never on the op sequence
+//! that produced it — equal bitmaps always have identical representations,
+//! so derived equality is exact set equality and the engine's
+//! plan-invariance guarantee survives any mix of container kinds.
+//!
+//! Binary ops run container-at-a-time; the kernel that fires depends on
+//! the operand-representation pair:
+//!
+//! | self \ other | Array                            | Run                        | Bitset                         |
+//! |--------------|----------------------------------|----------------------------|--------------------------------|
+//! | **Array**    | two-pointer merge, or *galloping* (exponential search) when sizes are skewed ≥16× | one forward walk, intervals as bounds | per-element bit probe          |
+//! | **Run**      | (symmetric)                      | interval merge, `O(runs)`  | range-masked word ops          |
+//! | **Bitset**   | bit scatter / probe              | range fill / range popcount | word-at-a-time `u64` loops with fused cardinality+run counting |
+//!
+//! The word-at-a-time loops ([`crate::kernels`] internally) are plain
+//! fixed-length `u64` passes with no per-bit branches, shaped for
+//! autovectorization; bulk bitset ops recompute cardinality *and* run
+//! count in the same pass so the canonical-representation decision is
+//! free. In-place variants ([`Bitmap::union_with`],
+//! [`Bitmap::intersect_with`], [`Bitmap::union_with_all`] k-way fan-in)
+//! recycle allocations across the engine's merge cascade.
+//!
+//! The public type [`Bitmap`] offers the operations Spade needs: insert,
+//! contains, union, intersection, difference, iteration in increasing
+//! order, cardinality, rank/select, and the worst-case size bound used in
+//! the paper's memory analysis.
 
 mod container;
+mod kernels;
+mod run;
 
 pub use container::Container;
+pub use run::RunContainer;
 
 use container::ARRAY_TO_BITSET_THRESHOLD;
 
@@ -62,11 +92,22 @@ impl Bitmap {
         Self::default()
     }
 
-    /// Creates a bitmap holding `0..n`, the common "all facts" set.
+    /// Creates a bitmap holding `0..n`, the common "all facts" set —
+    /// `O(chunks)`: every chunk is a single run container.
     pub fn full(n: u32) -> Self {
         let mut bm = Self::new();
-        for v in 0..n {
-            bm.insert(v);
+        if n == 0 {
+            return bm;
+        }
+        let full_chunks = (n >> 16) as usize;
+        for key in 0..full_chunks {
+            bm.keys.push(key as u16);
+            bm.containers.push(Container::from_range(0, u16::MAX));
+        }
+        let rem = n & 0xFFFF;
+        if rem > 0 {
+            bm.keys.push(full_chunks as u16);
+            bm.containers.push(Container::from_range(0, (rem - 1) as u16));
         }
         bm
     }
@@ -85,19 +126,45 @@ impl Bitmap {
 
     /// Builds from a sorted, deduplicated slice. Faster than repeated insert.
     pub fn from_sorted(values: &[u32]) -> Self {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly sorted");
+        let mut scratch = Vec::new();
+        Self::from_sorted_iter_in(values.iter().copied(), &mut scratch)
+    }
+
+    /// Builds from a strictly ascending iterator of values without
+    /// collecting them first.
+    pub fn from_sorted_iter<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        let mut scratch = Vec::new();
+        Self::from_sorted_iter_in(values, &mut scratch)
+    }
+
+    /// Hot-path variant of [`Bitmap::from_sorted_iter`] that reuses a
+    /// caller-owned low-bits scratch buffer, so a loop constructing many
+    /// bitmaps (e.g. one per cube cell) allocates the buffer once.
+    pub fn from_sorted_iter_in<I: IntoIterator<Item = u32>>(
+        values: I,
+        scratch: &mut Vec<u16>,
+    ) -> Self {
         let mut bm = Self::new();
-        let mut i = 0;
-        while i < values.len() {
-            let (key, _) = split(values[i]);
-            let mut j = i;
-            while j < values.len() && split(values[j]).0 == key {
-                j += 1;
+        scratch.clear();
+        let mut cur_key: Option<u16> = None;
+        let mut last: Option<u32> = None;
+        for v in values {
+            debug_assert!(last.is_none_or(|p| p < v), "input must be strictly sorted");
+            last = Some(v);
+            let (key, low) = split(v);
+            if cur_key != Some(key) {
+                if let Some(k) = cur_key {
+                    bm.keys.push(k);
+                    bm.containers.push(Container::from_sorted_lows(scratch));
+                }
+                scratch.clear();
+                cur_key = Some(key);
             }
-            let lows: Vec<u16> = values[i..j].iter().map(|&v| split(v).1).collect();
-            bm.keys.push(key);
-            bm.containers.push(Container::from_sorted_lows(&lows));
-            i = j;
+            scratch.push(low);
+        }
+        if let Some(k) = cur_key {
+            bm.keys.push(k);
+            bm.containers.push(Container::from_sorted_lows(scratch));
         }
         bm
     }
@@ -293,6 +360,31 @@ impl Bitmap {
         out
     }
 
+    /// In-place intersection: `self &= other`, recycling this bitmap's
+    /// chunk index and container allocations where the representation
+    /// pair allows.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        let mut w = 0usize;
+        let mut j = 0usize;
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            while j < other.keys.len() && other.keys[j] < key {
+                j += 1;
+            }
+            if j < other.keys.len() && other.keys[j] == key {
+                let mut c = std::mem::take(&mut self.containers[i]);
+                c.intersect_with(&other.containers[j]);
+                if !c.is_empty() {
+                    self.keys[w] = key;
+                    self.containers[w] = c;
+                    w += 1;
+                }
+            }
+        }
+        self.keys.truncate(w);
+        self.containers.truncate(w);
+    }
+
     /// Cardinality of the intersection without materializing it. Used by the
     /// maximal-frequent-itemset miner for support counting.
     pub fn intersect_len(&self, other: &Bitmap) -> u64 {
@@ -394,9 +486,23 @@ impl Bitmap {
         self.containers.iter().filter(|c| matches!(c, Container::Bitset(_))).count()
     }
 
-    /// The canonical sparse→dense conversion threshold (4096).
+    /// Number of chunks currently using the run (interval) representation.
+    pub fn run_containers(&self) -> usize {
+        self.containers.iter().filter(|c| matches!(c, Container::Run(_))).count()
+    }
+
+    /// The maximum cardinality of a (canonical) array container (4096).
     pub const fn dense_threshold() -> usize {
         ARRAY_TO_BITSET_THRESHOLD
+    }
+
+    /// Structural-invariant check (used by the property-test suite):
+    /// keys strictly sorted, no empty chunks, and every container in its
+    /// canonical (cheapest) representation with consistent cached stats.
+    pub fn is_canonical(&self) -> bool {
+        self.keys.len() == self.containers.len()
+            && self.keys.windows(2).all(|w| w[0] < w[1])
+            && self.containers.iter().all(|c| !c.is_empty() && c.is_canonical())
     }
 
     /// Collects the values into a `Vec` (ascending).
@@ -416,6 +522,11 @@ impl Bitmap {
             match container {
                 Container::Array(values) => {
                     out.extend(values.iter().map(|&low| high | low as u32));
+                }
+                Container::Run(rc) => {
+                    for &(s, e) in rc.runs() {
+                        out.extend((s as u32..=e as u32).map(|low| high | low));
+                    }
                 }
                 Container::Bitset(bs) => {
                     for (w, &word) in bs.words().iter().enumerate() {
@@ -514,21 +625,37 @@ mod tests {
 
     #[test]
     fn dense_conversion_roundtrip() {
+        // Scattered (stride-2) values: run-hostile, so density alone
+        // drives the representation.
         let mut bm = Bitmap::new();
-        for v in 0..10_000u32 {
+        for v in (0..20_000u32).step_by(2) {
             bm.insert(v);
         }
         assert_eq!(bm.bitset_containers(), 1);
         assert_eq!(bm.cardinality(), 10_000);
-        for v in (0..10_000).step_by(7) {
+        for v in (0..20_000).step_by(14) {
             assert!(bm.contains(v));
         }
         // Shrink below threshold again: representation converts back.
-        for v in 100..10_000u32 {
+        for v in (200..20_000u32).step_by(2) {
             bm.remove(v);
         }
         assert_eq!(bm.cardinality(), 100);
         assert_eq!(bm.bitset_containers(), 0);
+        assert!(bm.is_canonical());
+    }
+
+    #[test]
+    fn contiguous_values_use_run_containers() {
+        // The same cardinality clustered into one interval is a run
+        // container — 4 bytes instead of 8 KiB.
+        let bm = Bitmap::from_sorted_iter(0..10_000u32);
+        assert_eq!(bm.run_containers(), 1);
+        assert_eq!(bm.bitset_containers(), 0);
+        assert_eq!(bm.cardinality(), 10_000);
+        assert!(bm.heap_bytes() < 64);
+        assert_eq!(bm.to_vec(), (0..10_000u32).collect::<Vec<_>>());
+        assert!(bm.is_canonical());
     }
 
     #[test]
@@ -675,32 +802,42 @@ mod kway_tests {
 
     #[test]
     fn union_many_representation_thresholds() {
-        // All-array, small: stays an array container.
-        let small_a = Container::from_sorted_lows(&[1, 2, 3]);
-        let small_b = Container::from_sorted_lows(&[3, 4]);
+        // All-array, small, scattered: stays an array container.
+        let small_a = Container::from_sorted_lows(&[1, 3, 5]);
+        let small_b = Container::from_sorted_lows(&[5, 8]);
         let merged = Container::union_many(&[&small_a, &small_b]);
         assert!(matches!(merged, Container::Array(_)));
         assert_eq!(merged.cardinality(), 4);
 
         // All-array but summed length above the threshold with actual
-        // cardinality below it: converts back to an array (mirrors
-        // union_with).
-        let lows: Vec<u16> = (0..4000u16).collect();
+        // cardinality below it: converts back to an array.
+        let lows: Vec<u16> = (0..8000u16).step_by(2).collect();
         let dup = Container::from_sorted_lows(&lows);
         let dup2 = Container::from_sorted_lows(&lows);
         let merged = Container::union_many(&[&dup, &dup2]);
         assert!(matches!(merged, Container::Array(_)), "dedup below threshold");
         assert_eq!(merged.cardinality(), 4000);
 
-        // Above the threshold for real: becomes a bitset.
+        // Scattered above the threshold for real: becomes a bitset.
+        let lo: Vec<u16> = (0..6000u16).step_by(2).collect();
+        let hi: Vec<u16> = (5000..11_000u16).step_by(2).collect();
+        let merged = Container::union_many(&[
+            &Container::from_sorted_lows(&lo),
+            &Container::from_sorted_lows(&hi),
+        ]);
+        assert!(matches!(merged, Container::Bitset(_)));
+        assert_eq!(merged.cardinality(), 5500);
+
+        // Clustered above the threshold: the run representation wins.
         let lo: Vec<u16> = (0..3000u16).collect();
         let hi: Vec<u16> = (2500..6000u16).collect();
         let merged = Container::union_many(&[
             &Container::from_sorted_lows(&lo),
             &Container::from_sorted_lows(&hi),
         ]);
-        assert!(matches!(merged, Container::Bitset(_)));
+        assert!(matches!(merged, Container::Run(_)));
         assert_eq!(merged.cardinality(), 6000);
+        assert!(merged.is_canonical());
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! The run container: sorted run-length encoding for clustered chunks.
+//!
+//! A [`RunContainer`] stores a sorted, non-overlapping, non-adjacent list
+//! of inclusive `(start, end)` intervals covering the chunk's set bits,
+//! plus a cached cardinality. Ranges are inclusive on both ends so the
+//! full chunk is representable as the single run `(0, 65535)` without
+//! overflowing `u16` arithmetic.
+//!
+//! Binary ops between run streams are interval merges — `O(runs_a +
+//! runs_b)` regardless of cardinality, which is what makes runs win on
+//! clustered data (a contiguous block of a million facts unions in a
+//! handful of comparisons). The free functions at the bottom
+//! ([`merge_runs`], [`intersect_runs`], [`subtract_runs`]) are shared
+//! with the mixed-representation paths in [`crate::container`], which
+//! adapt sorted arrays as streams of unit runs.
+
+/// Sorted inclusive-interval run-length encoding of one 65536-value
+/// chunk.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RunContainer {
+    runs: Vec<(u16, u16)>,
+    cardinality: u32,
+}
+
+fn runs_cardinality(runs: &[(u16, u16)]) -> u32 {
+    runs.iter().map(|&(s, e)| e as u32 - s as u32 + 1).sum()
+}
+
+impl RunContainer {
+    /// Builds from an already-normalized run list (sorted, disjoint,
+    /// non-adjacent).
+    pub(crate) fn from_runs(runs: Vec<(u16, u16)>) -> Self {
+        debug_assert!(
+            runs.windows(2).all(|w| (w[0].1 as u32) + 1 < w[1].0 as u32),
+            "runs must be sorted, disjoint and non-adjacent"
+        );
+        debug_assert!(runs.iter().all(|&(s, e)| s <= e));
+        let cardinality = runs_cardinality(&runs);
+        RunContainer { runs, cardinality }
+    }
+
+    /// Builds from sorted deduplicated low bits.
+    pub(crate) fn from_sorted_lows(lows: &[u16]) -> Self {
+        let mut runs: Vec<(u16, u16)> = Vec::new();
+        for &v in lows {
+            match runs.last_mut() {
+                Some(last) if last.1 as u32 + 1 == v as u32 => last.1 = v,
+                _ => runs.push((v, v)),
+            }
+        }
+        RunContainer { runs, cardinality: lows.len() as u32 }
+    }
+
+    /// The sorted inclusive intervals.
+    pub fn runs(&self) -> &[(u16, u16)] {
+        &self.runs
+    }
+
+    pub(crate) fn cardinality(&self) -> u32 {
+        self.cardinality
+    }
+
+    pub(crate) fn n_runs(&self) -> u32 {
+        self.runs.len() as u32
+    }
+
+    pub(crate) fn min(&self) -> Option<u16> {
+        self.runs.first().map(|r| r.0)
+    }
+
+    pub(crate) fn max(&self) -> Option<u16> {
+        self.runs.last().map(|r| r.1)
+    }
+
+    /// Index of the run containing `low`, if any.
+    fn find(&self, low: u16) -> Option<usize> {
+        let i = self.runs.partition_point(|r| r.0 <= low);
+        (i > 0 && self.runs[i - 1].1 >= low).then(|| i - 1)
+    }
+
+    pub(crate) fn contains(&self, low: u16) -> bool {
+        self.find(low).is_some()
+    }
+
+    pub(crate) fn insert(&mut self, low: u16) -> bool {
+        let i = self.runs.partition_point(|r| r.0 <= low);
+        if i > 0 && self.runs[i - 1].1 >= low {
+            return false;
+        }
+        let prev_adj = i > 0 && self.runs[i - 1].1 as u32 + 1 == low as u32;
+        let next_adj = i < self.runs.len() && low as u32 + 1 == self.runs[i].0 as u32;
+        match (prev_adj, next_adj) {
+            (true, true) => {
+                self.runs[i - 1].1 = self.runs[i].1;
+                self.runs.remove(i);
+            }
+            (true, false) => self.runs[i - 1].1 = low,
+            (false, true) => self.runs[i].0 = low,
+            (false, false) => self.runs.insert(i, (low, low)),
+        }
+        self.cardinality += 1;
+        true
+    }
+
+    pub(crate) fn remove(&mut self, low: u16) -> bool {
+        let Some(i) = self.find(low) else { return false };
+        let (s, e) = self.runs[i];
+        if s == e {
+            self.runs.remove(i);
+        } else if low == s {
+            self.runs[i].0 = s + 1;
+        } else if low == e {
+            self.runs[i].1 = e - 1;
+        } else {
+            self.runs[i].1 = low - 1;
+            self.runs.insert(i + 1, (low + 1, e));
+        }
+        self.cardinality -= 1;
+        true
+    }
+
+    /// Number of stored values strictly below `low`.
+    pub(crate) fn rank(&self, low: u16) -> u32 {
+        let mut total = 0u32;
+        for &(s, e) in &self.runs {
+            if (e as u32) < low as u32 {
+                total += e as u32 - s as u32 + 1;
+            } else {
+                if (s as u32) < low as u32 {
+                    total += low as u32 - s as u32;
+                }
+                break;
+            }
+        }
+        total
+    }
+
+    /// The `n`-th smallest stored value (0-based), if present.
+    pub(crate) fn select(&self, mut n: u32) -> Option<u16> {
+        for &(s, e) in &self.runs {
+            let len = e as u32 - s as u32 + 1;
+            if n < len {
+                return Some((s as u32 + n) as u16);
+            }
+            n -= len;
+        }
+        None
+    }
+
+    /// Appends all values in order to `out`.
+    pub(crate) fn to_lows(&self, out: &mut Vec<u16>) {
+        for &(s, e) in &self.runs {
+            out.extend(s..=e);
+        }
+    }
+}
+
+/// Union of two normalized run streams into `out` (cleared first).
+pub(crate) fn merge_runs(a: &[(u16, u16)], b: &[(u16, u16)], out: &mut Vec<(u16, u16)>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut cur: Option<(u16, u16)> = None;
+    while i < a.len() || j < b.len() {
+        let next = if j >= b.len() || (i < a.len() && a[i].0 <= b[j].0) {
+            let r = a[i];
+            i += 1;
+            r
+        } else {
+            let r = b[j];
+            j += 1;
+            r
+        };
+        match cur {
+            None => cur = Some(next),
+            Some(ref mut c) => {
+                if next.0 as u32 <= c.1 as u32 + 1 {
+                    c.1 = c.1.max(next.1);
+                } else {
+                    out.push(*c);
+                    *c = next;
+                }
+            }
+        }
+    }
+    if let Some(c) = cur {
+        out.push(c);
+    }
+}
+
+/// Intersection of two normalized run streams into `out` (cleared first).
+pub(crate) fn intersect_runs(a: &[(u16, u16)], b: &[(u16, u16)], out: &mut Vec<(u16, u16)>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// `a \ b` for normalized run streams into `out` (cleared first).
+pub(crate) fn subtract_runs(a: &[(u16, u16)], b: &[(u16, u16)], out: &mut Vec<(u16, u16)>) {
+    out.clear();
+    let mut j = 0usize;
+    for &(s0, e0) in a {
+        let mut s = s0 as u32;
+        let e = e0 as u32;
+        while j < b.len() && (b[j].1 as u32) < s {
+            j += 1;
+        }
+        let mut jj = j;
+        while s <= e {
+            if jj >= b.len() || (b[jj].0 as u32) > e {
+                out.push((s as u16, e as u16));
+                break;
+            }
+            let (bs, be) = (b[jj].0 as u32, b[jj].1 as u32);
+            if bs > s {
+                out.push((s as u16, (bs - 1) as u16));
+            }
+            if be >= e {
+                break;
+            }
+            s = be + 1;
+            jj += 1;
+        }
+    }
+}
+
+/// `|a ∩ b|` for normalized run streams, no materialization.
+pub(crate) fn intersect_runs_card(a: &[(u16, u16)], b: &[(u16, u16)]) -> u32 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut card = 0u32;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            card += hi as u32 - lo as u32 + 1;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    card
+}
+
+/// `array ∩ runs` into `out` (cleared first): one forward walk over both,
+/// output is array-sized.
+pub(crate) fn array_intersect_runs(a: &[u16], runs: &[(u16, u16)], out: &mut Vec<u16>) {
+    out.clear();
+    let mut j = 0usize;
+    for &v in a {
+        while j < runs.len() && runs[j].1 < v {
+            j += 1;
+        }
+        if j == runs.len() {
+            break;
+        }
+        if runs[j].0 <= v {
+            out.push(v);
+        }
+    }
+}
+
+/// `|array ∩ runs|` without materialization.
+pub(crate) fn array_intersect_runs_card(a: &[u16], runs: &[(u16, u16)]) -> u32 {
+    let mut j = 0usize;
+    let mut card = 0u32;
+    for &v in a {
+        while j < runs.len() && runs[j].1 < v {
+            j += 1;
+        }
+        if j == runs.len() {
+            break;
+        }
+        if runs[j].0 <= v {
+            card += 1;
+        }
+    }
+    card
+}
+
+/// `array \ runs` into `out` (cleared first).
+pub(crate) fn array_subtract_runs(a: &[u16], runs: &[(u16, u16)], out: &mut Vec<u16>) {
+    out.clear();
+    let mut j = 0usize;
+    for &v in a {
+        while j < runs.len() && runs[j].1 < v {
+            j += 1;
+        }
+        if j == runs.len() || runs[j].0 > v {
+            out.push(v);
+        }
+    }
+}
+
+/// Adapts a sorted array to a normalized run stream (maximal runs, not
+/// unit runs, so downstream interval merges stay tight).
+pub(crate) fn lows_to_runs(lows: &[u16], out: &mut Vec<(u16, u16)>) {
+    out.clear();
+    for &v in lows {
+        match out.last_mut() {
+            Some(last) if last.1 as u32 + 1 == v as u32 => last.1 = v,
+            _ => out.push((v, v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set_of(runs: &[(u16, u16)]) -> BTreeSet<u16> {
+        runs.iter().flat_map(|&(s, e)| s..=e).collect()
+    }
+
+    #[test]
+    fn insert_remove_maintains_normal_form() {
+        let mut rc = RunContainer::default();
+        let mut model = BTreeSet::new();
+        // Deterministic pseudo-random walk over a small domain to force
+        // lots of merges and splits.
+        let mut x = 12345u32;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let v = (x >> 16) as u16 % 512;
+            if x & 1 == 0 {
+                assert_eq!(rc.insert(v), model.insert(v));
+            } else {
+                assert_eq!(rc.remove(v), model.remove(&v));
+            }
+            assert_eq!(rc.cardinality() as usize, model.len());
+        }
+        assert_eq!(set_of(rc.runs()), model);
+        // Normal form: sorted, disjoint, non-adjacent.
+        for w in rc.runs().windows(2) {
+            assert!((w[0].1 as u32) + 1 < w[1].0 as u32);
+        }
+        for &(s, e) in rc.runs() {
+            assert!(s <= e);
+        }
+    }
+
+    #[test]
+    fn full_domain_run_does_not_overflow() {
+        let rc = RunContainer::from_runs(vec![(0, u16::MAX)]);
+        assert_eq!(rc.cardinality(), 65536);
+        assert!(rc.contains(0) && rc.contains(u16::MAX));
+        assert_eq!(rc.rank(u16::MAX), 65535);
+        assert_eq!(rc.select(65535), Some(u16::MAX));
+        assert_eq!(rc.select(65536), None);
+        let mut one = RunContainer::from_runs(vec![(0, u16::MAX)]);
+        assert!(!one.insert(u16::MAX));
+        assert!(one.remove(u16::MAX));
+        assert_eq!(one.max(), Some(u16::MAX - 1));
+    }
+
+    #[test]
+    fn stream_ops_match_set_algebra() {
+        type Runs = Vec<(u16, u16)>;
+        let cases: Vec<(Runs, Runs)> = vec![
+            (vec![(0, 10), (20, 30)], vec![(5, 25)]),
+            (vec![(0, 65535)], vec![(100, 200), (300, 400)]),
+            (vec![], vec![(1, 2)]),
+            (vec![(5, 5), (7, 7), (9, 9)], vec![(0, 20)]),
+            (vec![(0, 100)], vec![(101, 200)]),
+            (vec![(10, 20), (40, 50), (60, 70)], vec![(15, 45), (65, 80)]),
+        ];
+        for (a, b) in cases {
+            let (sa, sb) = (set_of(&a), set_of(&b));
+            let mut out = Vec::new();
+            merge_runs(&a, &b, &mut out);
+            assert_eq!(set_of(&out), &sa | &sb, "union {a:?} {b:?}");
+            intersect_runs(&a, &b, &mut out);
+            assert_eq!(set_of(&out), &sa & &sb, "intersect {a:?} {b:?}");
+            assert_eq!(intersect_runs_card(&a, &b), (&sa & &sb).len() as u32);
+            subtract_runs(&a, &b, &mut out);
+            assert_eq!(set_of(&out), &sa - &sb, "subtract {a:?} {b:?}");
+            subtract_runs(&b, &a, &mut out);
+            assert_eq!(set_of(&out), &sb - &sa, "subtract {b:?} {a:?}");
+        }
+    }
+
+    #[test]
+    fn array_run_mixed_ops_match_set_algebra() {
+        let a: Vec<u16> = vec![0, 4, 5, 6, 19, 20, 21, 40, 65_000];
+        let runs: Vec<(u16, u16)> = vec![(5, 9), (20, 30), (64_000, 65_535)];
+        let sa: BTreeSet<u16> = a.iter().copied().collect();
+        let sr = set_of(&runs);
+        let mut out = Vec::new();
+        array_intersect_runs(&a, &runs, &mut out);
+        assert_eq!(out.iter().copied().collect::<BTreeSet<u16>>(), &sa & &sr);
+        assert_eq!(array_intersect_runs_card(&a, &runs), (&sa & &sr).len() as u32);
+        array_subtract_runs(&a, &runs, &mut out);
+        assert_eq!(out.iter().copied().collect::<BTreeSet<u16>>(), &sa - &sr);
+        let mut ar = Vec::new();
+        lows_to_runs(&a, &mut ar);
+        assert_eq!(set_of(&ar), sa);
+        assert_eq!(ar.len(), 5); // maximal runs: 0, 4-6, 19-21, 40, 65000
+    }
+
+    #[test]
+    fn rank_select_roundtrip() {
+        let rc = RunContainer::from_runs(vec![(3, 5), (10, 10), (100, 103)]);
+        let values: Vec<u16> = vec![3, 4, 5, 10, 100, 101, 102, 103];
+        for (n, &v) in values.iter().enumerate() {
+            assert_eq!(rc.select(n as u32), Some(v));
+            assert_eq!(rc.rank(v), n as u32);
+        }
+        assert_eq!(rc.rank(0), 0);
+        assert_eq!(rc.rank(7), 3);
+        assert_eq!(rc.rank(u16::MAX), 8);
+    }
+}

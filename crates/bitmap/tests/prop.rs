@@ -1,5 +1,8 @@
 //! Property tests: the bitmap must agree with a `BTreeSet<u32>` reference
-//! model under every supported operation.
+//! model under every supported operation — including the run container,
+//! the in-place variants, and the k-way fan-in — and after every mutating
+//! op each chunk must sit in its canonical (cheapest) representation
+//! ([`Bitmap::is_canonical`]).
 
 use proptest::prelude::*;
 use spade_bitmap::Bitmap;
@@ -11,31 +14,108 @@ fn values() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(prop_oneof![0u32..10_000, 60_000u32..70_000, any::<u32>()], 0..600)
 }
 
+/// Contiguous blocks — the run-container-friendly shape. Each `(start,
+/// len)` pair contributes the range `start..start+len`; blocks may
+/// overlap, merge, and straddle chunk boundaries.
+fn blocks() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec((0u32..200_000, 1u32..3_000), 0..8).prop_map(|ranges| {
+        ranges.into_iter().flat_map(|(start, len)| start..start.saturating_add(len)).collect()
+    })
+}
+
+/// Either shape, so every binary-op test sees array×run×bitset operand
+/// mixes.
+fn mixed() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        values().boxed(),
+        blocks().boxed(),
+        (values(), blocks())
+            .prop_map(|(mut v, b)| {
+                v.extend(b);
+                v
+            })
+            .boxed(),
+    ]
+}
+
+fn model_of(vals: &[u32]) -> BTreeSet<u32> {
+    vals.iter().copied().collect()
+}
+
 proptest! {
     #[test]
-    fn matches_btreeset_model(a in values(), b in values()) {
-        let set_a: BTreeSet<u32> = a.iter().copied().collect();
-        let set_b: BTreeSet<u32> = b.iter().copied().collect();
+    fn matches_btreeset_model(a in mixed(), b in mixed()) {
+        let set_a = model_of(&a);
+        let set_b = model_of(&b);
         let bm_a = Bitmap::from_iter(a.iter().copied());
         let bm_b = Bitmap::from_iter(b.iter().copied());
+        prop_assert!(bm_a.is_canonical());
 
         prop_assert_eq!(bm_a.cardinality(), set_a.len() as u64);
         prop_assert_eq!(bm_a.to_vec(), set_a.iter().copied().collect::<Vec<_>>());
 
         let union: Vec<u32> = set_a.union(&set_b).copied().collect();
-        prop_assert_eq!(bm_a.union(&bm_b).to_vec(), union);
+        let u = bm_a.union(&bm_b);
+        prop_assert!(u.is_canonical());
+        prop_assert_eq!(u.to_vec(), union);
 
         let inter: Vec<u32> = set_a.intersection(&set_b).copied().collect();
-        prop_assert_eq!(bm_a.intersect(&bm_b).to_vec(), inter.clone());
+        let i = bm_a.intersect(&bm_b);
+        prop_assert!(i.is_canonical());
+        prop_assert_eq!(i.to_vec(), inter.clone());
         prop_assert_eq!(bm_a.intersect_len(&bm_b), inter.len() as u64);
 
         let diff: Vec<u32> = set_a.difference(&set_b).copied().collect();
-        prop_assert_eq!(bm_a.and_not(&bm_b).to_vec(), diff);
+        let d = bm_a.and_not(&bm_b);
+        prop_assert!(d.is_canonical());
+        prop_assert_eq!(d.to_vec(), diff);
 
         prop_assert_eq!(bm_a.is_disjoint(&bm_b), set_a.is_disjoint(&set_b));
         prop_assert_eq!(bm_a.is_subset(&bm_b), set_a.is_subset(&set_b));
         prop_assert_eq!(bm_a.min(), set_a.iter().next().copied());
         prop_assert_eq!(bm_a.max(), set_a.iter().next_back().copied());
+    }
+
+    #[test]
+    fn in_place_ops_match_owned(a in mixed(), b in mixed()) {
+        let bm_a = Bitmap::from_iter(a.iter().copied());
+        let bm_b = Bitmap::from_iter(b.iter().copied());
+
+        let mut u = bm_a.clone();
+        u.union_with(&bm_b);
+        prop_assert!(u.is_canonical());
+        // Canonicality makes this full structural equality, not just
+        // same-set equality.
+        prop_assert_eq!(&u, &bm_a.union(&bm_b));
+
+        let mut i = bm_a.clone();
+        i.intersect_with(&bm_b);
+        prop_assert!(i.is_canonical());
+        prop_assert_eq!(&i, &bm_a.intersect(&bm_b));
+    }
+
+    #[test]
+    fn kway_union_matches_fold(base in mixed(), sources in prop::collection::vec(mixed(), 0..5)) {
+        let bm_base = Bitmap::from_iter(base.iter().copied());
+        let bms: Vec<Bitmap> =
+            sources.iter().map(|s| Bitmap::from_iter(s.iter().copied())).collect();
+        let refs: Vec<&Bitmap> = bms.iter().collect();
+
+        let mut kway = bm_base.clone();
+        kway.union_with_all(&refs);
+        prop_assert!(kway.is_canonical());
+
+        let mut folded = bm_base;
+        for r in &refs {
+            folded.union_with(r);
+        }
+        prop_assert_eq!(&kway, &folded);
+
+        let mut model = model_of(&base);
+        for s in &sources {
+            model.extend(s.iter().copied());
+        }
+        prop_assert_eq!(kway.to_vec(), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]
@@ -49,11 +129,65 @@ proptest! {
                 prop_assert_eq!(bm.remove(v), model.remove(&v));
             }
         }
+        prop_assert!(bm.is_canonical());
         prop_assert_eq!(bm.to_vec(), model.into_iter().collect::<Vec<_>>());
     }
 
     #[test]
-    fn rank_select_consistency(vals in values()) {
+    fn contiguous_insert_remove_walk(seed in any::<u64>()) {
+        // A biased walk that tends to extend / punch runs, driving chunks
+        // through Array → Run → Bitset transitions in both directions.
+        let mut bm = Bitmap::new();
+        let mut model = BTreeSet::new();
+        let mut x = seed | 1;
+        let mut cursor = 0u32;
+        for _ in 0..1200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match (x >> 60) & 7 {
+                0..=3 => {
+                    // extend a run forward
+                    cursor = cursor.wrapping_add(1) % 150_000;
+                    prop_assert_eq!(bm.insert(cursor), model.insert(cursor));
+                }
+                4 | 5 => {
+                    // jump somewhere new
+                    cursor = (x as u32) % 150_000;
+                    prop_assert_eq!(bm.insert(cursor), model.insert(cursor));
+                }
+                _ => {
+                    let v = (x as u32) % 150_000;
+                    prop_assert_eq!(bm.remove(v), model.remove(&v));
+                }
+            }
+            }
+        prop_assert!(bm.is_canonical());
+        prop_assert_eq!(bm.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn construction_paths_agree(vals in mixed()) {
+        let via_insert = Bitmap::from_iter(vals.iter().copied());
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let via_sorted = Bitmap::from_sorted(&sorted);
+        let via_iter = Bitmap::from_sorted_iter(sorted.iter().copied());
+        let mut scratch = Vec::new();
+        let via_scratch = Bitmap::from_sorted_iter_in(sorted.iter().copied(), &mut scratch);
+        // Canonical representation is a pure function of the set, so all
+        // four construction paths yield structurally identical bitmaps.
+        prop_assert!(via_insert.is_canonical());
+        prop_assert_eq!(&via_insert, &via_sorted);
+        prop_assert_eq!(&via_insert, &via_iter);
+        prop_assert_eq!(&via_insert, &via_scratch);
+        // And decode round-trips.
+        let mut out = Vec::new();
+        via_insert.decode_into(&mut out);
+        prop_assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn rank_select_consistency(vals in mixed()) {
         let bm = Bitmap::from_iter(vals.iter().copied());
         let sorted = bm.to_vec();
         for (i, &v) in sorted.iter().enumerate() {
@@ -64,7 +198,7 @@ proptest! {
     }
 
     #[test]
-    fn union_is_commutative_associative(a in values(), b in values(), c in values()) {
+    fn union_is_commutative_associative(a in mixed(), b in mixed(), c in mixed()) {
         let (ba, bb, bc) = (
             Bitmap::from_iter(a.iter().copied()),
             Bitmap::from_iter(b.iter().copied()),

@@ -12,7 +12,7 @@
 
 use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
-use crate::mfs::{maximal_frequent_sets, Item};
+use crate::mfs::{maximal_frequent_sets_budgeted, Item};
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
 use spade_storage::FactId;
@@ -88,9 +88,14 @@ pub fn enumerate_budgeted(
     })?;
     let min_count = ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
     budget.check()?;
-    let roots = maximal_frequent_sets(&items, min_count, config.max_lattice_dims, |a, b| {
-        compatible(&analysis.attributes[a], &analysis.attributes[b])
-    });
+    let roots = maximal_frequent_sets_budgeted(
+        &items,
+        min_count,
+        config.max_lattice_dims,
+        |a, b| compatible(&analysis.attributes[a], &analysis.attributes[b]),
+        config.threads,
+        budget,
+    )?;
 
     spade_parallel::try_map(roots, config.threads, |dims| {
         budget.check()?;

@@ -26,7 +26,7 @@ use crate::analysis::CfsAnalysis;
 use crate::config::SpadeConfig;
 use crate::enumeration::LatticeSpec;
 use spade_cube::earlystop;
-use spade_cube::mvdcube::{mvd_cube_pruned_budgeted, prepare, MvdCubeOptions};
+use spade_cube::mvdcube::{mvd_cube_pruned_budgeted, prepare_budgeted, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
 use spade_parallel::{Budget, Cancelled};
 use std::collections::{HashMap, HashSet};
@@ -128,7 +128,7 @@ pub fn evaluate_cfs_budgeted(
     let outcomes = spade_parallel::try_map(work, outer, |(spec, mut alive)| {
         budget.check()?;
         let sample_cap = config.early_stop.map(|es| es.sample_size);
-        let (lattice, translation) = prepare(&spec, &options, sample_cap);
+        let (lattice, translation) = prepare_budgeted(&spec, &options, sample_cap, budget)?;
         let mut pruned_by_es = 0usize;
         if let Some(es_config) = &config.early_stop {
             let samples = translation.samples.clone().expect("sampling enabled");

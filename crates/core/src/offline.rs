@@ -10,6 +10,7 @@
 use crate::attr::{AttrKind, AttributeDef};
 use crate::config::SpadeConfig;
 use crate::text;
+use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{vocab, Graph, Term, TermId, ValueKind};
 use std::collections::{HashMap, HashSet};
 
@@ -98,12 +99,28 @@ fn is_schema_property(graph: &Graph, p: TermId) -> bool {
 
 /// Gathers per-property statistics over the whole graph.
 pub fn analyze(graph: &Graph) -> OfflineStats {
+    match analyze_budgeted(graph, 1, &Budget::unlimited()) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("unlimited budget cannot cancel"),
+    }
+}
+
+/// [`analyze`] fanned out over `threads` workers under a request
+/// [`Budget`]: each property's full-graph scan is an independent work
+/// item, merged in input order, so the statistics are bit-identical to the
+/// serial pass at any thread count. Cancellation is polled once per
+/// property.
+pub fn analyze_budgeted(
+    graph: &Graph,
+    threads: usize,
+    budget: &Budget,
+) -> Result<OfflineStats, Cancelled> {
+    budget.check()?;
     let mut stats = OfflineStats::default();
-    let props: Vec<TermId> = graph.properties().collect();
-    for p in props {
-        if is_schema_property(graph, p) {
-            continue;
-        }
+    let props: Vec<TermId> =
+        graph.properties().filter(|&p| !is_schema_property(graph, p)).collect();
+    stats.properties = spade_parallel::try_map(props, threads, |p| {
+        budget.check()?;
         let pairs = graph.property_pairs(p);
         let mut subjects: HashMap<TermId, usize> = HashMap::new();
         let mut values: HashSet<TermId> = HashSet::new();
@@ -132,7 +149,7 @@ pub fn analyze(graph: &Graph) -> OfflineStats {
             }
         }
         let multi = subjects.values().filter(|&&c| c > 1).count();
-        stats.properties.push(PropertyStats {
+        Ok(PropertyStats {
             property: p,
             name: graph.dict.display(p),
             triples: pairs.len(),
@@ -143,13 +160,13 @@ pub fn analyze(graph: &Graph) -> OfflineStats {
             link_values: link,
             text_values: textv,
             numeric_bounds: bounds,
-        });
-    }
+        })
+    })?;
     stats
         .properties
         .sort_by(|a, b| b.triples.cmp(&a.triples).then(a.property.cmp(&b.property)));
     stats.by_id = stats.properties.iter().enumerate().map(|(i, s)| (s.property, i)).collect();
-    stats
+    Ok(stats)
 }
 
 /// Flattens the offline statistics into the snapshot store's fixed-width
@@ -229,10 +246,32 @@ pub fn enumerate_derivations(
     stats: &OfflineStats,
     config: &SpadeConfig,
 ) -> (Vec<AttributeDef>, DerivationCounts) {
+    match enumerate_derivations_budgeted(graph, stats, config, 1, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("unlimited budget cannot cancel"),
+    }
+}
+
+/// [`enumerate_derivations`] under a request [`Budget`], with the
+/// expensive part — the per-link-property scan over target nodes — fanned
+/// out over `threads` workers. The capped path assembly stays serial in
+/// statistics order, so the enumerated derivations are bit-identical to
+/// the serial pass at any thread count (a cancelled budget may skip
+/// scans the serial version would also have skipped via the cap, and may
+/// perform scans the serial version skips; neither affects a completed
+/// run's output).
+pub fn enumerate_derivations_budgeted(
+    graph: &Graph,
+    stats: &OfflineStats,
+    config: &SpadeConfig,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Vec<AttributeDef>, DerivationCounts), Cancelled> {
+    budget.check()?;
     let mut out = Vec::new();
     let mut counts = DerivationCounts::default();
     if !config.enable_derivations {
-        return (out, counts);
+        return Ok((out, counts));
     }
     for ps in &stats.properties {
         // (i) property counts for multi-valued properties.
@@ -248,31 +287,38 @@ pub fn enumerate_derivations(
             counts.lang += 1;
         }
     }
-    // (iv) paths p/q: p links to nodes carrying q.
-    'outer: for ps in &stats.properties {
-        if !ps.is_link() {
-            continue;
-        }
-        // The properties observed on p's targets, by frequency.
-        let mut target_props: HashMap<TermId, usize> = HashMap::new();
-        for &(_, o) in graph.property_pairs(ps.property) {
-            for &(q, _) in graph.outgoing(o) {
-                if !is_schema_property(graph, q) {
-                    *target_props.entry(q).or_default() += 1;
+    budget.check()?;
+    // (iv) paths p/q: p links to nodes carrying q. Each link property's
+    // target-property histogram is an independent full scan — fan out, then
+    // assemble serially in statistics order so the global cap picks the
+    // same derivations as the serial loop.
+    let links: Vec<TermId> =
+        stats.properties.iter().filter(|ps| ps.is_link()).map(|ps| ps.property).collect();
+    let histograms: Vec<Vec<(TermId, usize)>> =
+        spade_parallel::try_map(links.clone(), threads, |p| {
+            budget.check()?;
+            let mut target_props: HashMap<TermId, usize> = HashMap::new();
+            for &(_, o) in graph.property_pairs(p) {
+                for &(q, _) in graph.outgoing(o) {
+                    if !is_schema_property(graph, q) {
+                        *target_props.entry(q).or_default() += 1;
+                    }
                 }
             }
-        }
-        let mut qs: Vec<(TermId, usize)> = target_props.into_iter().collect();
-        qs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut qs: Vec<(TermId, usize)> = target_props.into_iter().collect();
+            qs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            Ok(qs)
+        })?;
+    'outer: for (p, qs) in links.into_iter().zip(histograms) {
         for (q, _) in qs {
             if counts.path >= config.max_path_derivations {
                 break 'outer;
             }
-            out.push(AttributeDef::new(AttrKind::Path(ps.property, q), graph));
+            out.push(AttributeDef::new(AttrKind::Path(p, q), graph));
             counts.path += 1;
         }
     }
-    (out, counts)
+    Ok((out, counts))
 }
 
 #[cfg(test)]
@@ -373,5 +419,39 @@ mod tests {
         let cfg = SpadeConfig { max_path_derivations: 2, ..Default::default() };
         let (_, counts) = enumerate_derivations(&g, &s, &cfg);
         assert_eq!(counts.path, 2);
+    }
+
+    #[test]
+    fn parallel_offline_is_thread_invariant() {
+        let (g, serial_stats) = stats_for_figure1();
+        let cfg = SpadeConfig::default();
+        let (serial_defs, serial_counts) = enumerate_derivations(&g, &serial_stats, &cfg);
+        let budget = Budget::unlimited();
+        for threads in [2usize, 8] {
+            let stats = analyze_budgeted(&g, threads, &budget).unwrap();
+            assert_eq!(stats.property_count(), serial_stats.property_count());
+            for (a, b) in stats.properties.iter().zip(&serial_stats.properties) {
+                assert_eq!(a.property, b.property);
+                assert_eq!(a.triples, b.triples);
+                assert_eq!(a.subjects, b.subjects);
+                assert_eq!(a.numeric_bounds, b.numeric_bounds);
+            }
+            let (defs, counts) =
+                enumerate_derivations_budgeted(&g, &stats, &cfg, threads, &budget).unwrap();
+            assert_eq!(counts, serial_counts);
+            let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+            let serial_names: Vec<&str> = serial_defs.iter().map(|d| d.name.as_str()).collect();
+            assert_eq!(names, serial_names);
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_offline_analysis() {
+        let (g, s) = stats_for_figure1();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        assert!(analyze_budgeted(&g, 2, &budget).is_err());
+        assert!(enumerate_derivations_budgeted(&g, &s, &SpadeConfig::default(), 2, &budget)
+            .is_err());
     }
 }

@@ -270,7 +270,8 @@ impl OfflineState {
     pub fn from_graph(mut graph: Graph, threads: usize) -> OfflineState {
         let t = Instant::now();
         spade_rdf::saturate_with_threads(&mut graph, threads);
-        let stats = offline::analyze(&graph);
+        let stats = offline::analyze_budgeted(&graph, threads, &Budget::unlimited())
+            .expect("unlimited budget cannot cancel");
         OfflineState { graph, stats, load_time: t.elapsed() }
     }
 
@@ -323,7 +324,8 @@ impl Spade {
         spade_rdf::saturate_with_threads(graph, self.config.threads);
         report.timings.saturation = t.elapsed();
         let t = Instant::now();
-        let stats = offline::analyze(graph);
+        let stats = offline::analyze_budgeted(graph, self.config.threads, &Budget::unlimited())
+            .expect("unlimited budget cannot cancel");
         report.timings.offline_analysis = t.elapsed();
         self.run_analyzed(&self.config, graph, &stats, report, &Budget::unlimited())
             .expect("unlimited budget cannot cancel")
@@ -341,7 +343,9 @@ impl Spade {
     ) -> Result<(), SnapshotPipelineError> {
         let mut graph = spade_rdf::ingest(input, self.config.threads)?;
         spade_rdf::saturate_with_threads(&mut graph, self.config.threads);
-        let stats = offline::analyze(&graph);
+        let stats =
+            offline::analyze_budgeted(&graph, self.config.threads, &Budget::unlimited())
+                .expect("unlimited budget cannot cancel");
         spade_store::write_snapshot(path, &graph, &offline::to_records(&stats))?;
         Ok(())
     }
@@ -414,7 +418,13 @@ impl Spade {
         budget: &Budget,
     ) -> Result<SpadeReport, Cancelled> {
         let t = Instant::now();
-        let (derived, derivation_counts) = offline::enumerate_derivations(graph, stats, config);
+        let (derived, derivation_counts) = offline::enumerate_derivations_budgeted(
+            graph,
+            stats,
+            config,
+            config.threads,
+            budget,
+        )?;
         report.timings.offline_analysis += t.elapsed();
         report.timings.offline = report.timings.snapshot_load
             + report.timings.saturation

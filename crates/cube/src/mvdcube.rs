@@ -13,7 +13,7 @@ use crate::engine::{run_engine, CellStorePolicy, CubeAlgebra, EngineExec};
 use crate::lattice::Lattice;
 use crate::result::CubeResult;
 use crate::spec::{CubeSpec, MdaKind};
-use crate::translate::{translate, Translation};
+use crate::translate::Translation;
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
 use spade_storage::MeasureTotals;
@@ -191,11 +191,31 @@ pub fn prepare(
     options: &MvdCubeOptions,
     sample_capacity: Option<usize>,
 ) -> (Lattice, Translation) {
+    prepare_budgeted(spec, options, sample_capacity, &Budget::unlimited())
+        .expect("unlimited budget cannot cancel")
+}
+
+/// [`prepare`] under a request [`Budget`]: translation fans out over
+/// `options.threads` and polls the budget per work item, so a cancelled
+/// request unwinds during translation instead of running it to completion.
+pub fn prepare_budgeted(
+    spec: &CubeSpec<'_>,
+    options: &MvdCubeOptions,
+    sample_capacity: Option<usize>,
+    budget: &Budget,
+) -> Result<(Lattice, Translation), Cancelled> {
     let domains = spec.domain_sizes();
     let chunks = chunk_sizes(&domains, options, spec.n_facts);
     let lattice = Lattice::new(domains, chunks);
-    let translation = translate(spec, &lattice, sample_capacity, options.seed);
-    (lattice, translation)
+    let translation = crate::translate::translate_budgeted(
+        spec,
+        &lattice,
+        sample_capacity,
+        options.seed,
+        options.threads,
+        budget,
+    )?;
+    Ok((lattice, translation))
 }
 
 /// Evaluates the full lattice with MVDCube.

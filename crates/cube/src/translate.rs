@@ -16,11 +16,29 @@
 //!
 //! When early-stop is active, the same pass fills one reservoir per root
 //! group (stratified sampling, Section 5.3).
+//!
+//! # Parallel structure
+//!
+//! [`translate_budgeted`] runs three deterministic stages on
+//! `spade_parallel`:
+//!
+//! 1. **entry generation** over fact ranges (chunk boundaries depend only
+//!    on data size; concatenated in input order this equals the serial
+//!    scan),
+//! 2. **one sort** of the flat `(partition, cell, fact)` triples — the
+//!    triples are unique, so the unstable parallel sort by the full key
+//!    reproduces the serial stable `(partition, cell)` sort exactly, and
+//! 3. **per-partition materialization**, each partition building its cell
+//!    bitmaps via `from_sorted_iter_in` (one low-bits scratch per worker,
+//!    no intermediate fact re-collection) and drawing its samples from an
+//!    RNG seeded by `(seed, partition index)` — reproducible at any
+//!    thread count.
 
 use crate::lattice::Lattice;
 use crate::spec::CubeSpec;
 use rand::Rng;
 use spade_bitmap::Bitmap;
+use spade_parallel::{Budget, Cancelled};
 use spade_storage::FactId;
 use std::collections::HashMap;
 
@@ -39,6 +57,16 @@ fn sample_run<R: Rng>(facts: &[u32], cap: usize, rng: &mut R) -> Vec<u32> {
     }
     pool.truncate(cap);
     pool
+}
+
+/// Deterministic per-partition RNG seed: a splitmix64 finalizer over the
+/// run seed and the partition's global index, so each partition's sample
+/// stream is fixed no matter which worker draws it.
+fn part_seed(seed: u64, part: u64) -> u64 {
+    let mut z = seed ^ part.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// One partition: the cells (with their fact sets) whose dimension codes
@@ -80,7 +108,12 @@ pub fn strides_for(domains: &[u32]) -> Vec<u64> {
     strides
 }
 
-/// Translates the CFS into the partitioned array representation.
+/// Facts per entry-generation work item; boundaries depend only on data
+/// size, so every thread count generates identical chunk streams.
+const FACT_CHUNK: usize = 8192;
+
+/// Translates the CFS into the partitioned array representation
+/// (serial convenience wrapper over [`translate_budgeted`]).
 ///
 /// `sample_capacity` enables reservoir sampling with the given per-group
 /// size; `seed` makes the sample deterministic.
@@ -90,8 +123,29 @@ pub fn translate(
     sample_capacity: Option<usize>,
     seed: u64,
 ) -> Translation {
+    match translate_budgeted(spec, lattice, sample_capacity, seed, 1, &Budget::unlimited()) {
+        Ok(t) => t,
+        Err(_) => unreachable!("unlimited budget cannot cancel"),
+    }
+}
+
+/// Parallel, cancellable translation. Output is bit-identical to
+/// [`translate`] at any `threads` value; `budget` is checked once per
+/// fact chunk and once per partition, so cancellation latency is bounded
+/// by one work item.
+pub fn translate_budgeted(
+    spec: &CubeSpec<'_>,
+    lattice: &Lattice,
+    sample_capacity: Option<usize>,
+    seed: u64,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Translation, Cancelled> {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    spade_parallel::fault::fire_with_budget("translate", Some(budget));
+    budget.check()?;
 
     let domains = lattice.domains.clone();
     let total_cells: u128 = domains.iter().map(|&d| d as u128).product();
@@ -99,97 +153,145 @@ pub fn translate(
     let strides = strides_for(&domains);
     let n_chunks = lattice.n_chunks();
     let part_strides = strides_for(&n_chunks);
-
-    let mut rng = SmallRng::seed_from_u64(seed);
-
-    // Flat `(partition, cell, fact)` entries; sorted once afterwards. This
-    // is cheaper and more cache-friendly than hash-accumulating per cell.
-    let mut entries: Vec<(u64, u64, u32)> = Vec::new();
     let null_codes: Vec<u32> = domains.iter().map(|&d| d - 1).collect();
 
-    let mut code_lists: Vec<&[u32]> = Vec::with_capacity(spec.n_dims());
-    for fact in 0..spec.n_facts as u32 {
-        code_lists.clear();
-        let mut any_value = false;
-        for (i, dim) in spec.dims.iter().enumerate() {
-            let codes = dim.codes_of(FactId(fact));
-            if codes.is_empty() {
-                code_lists.push(std::slice::from_ref(&null_codes[i]));
-            } else {
-                any_value = true;
-                code_lists.push(codes);
-            }
-        }
-        if !any_value {
-            continue; // the fact misses every dimension: not in the root join
-        }
-        // Odometer over the cross product of the fact's dimension values.
-        let mut idx = vec![0usize; code_lists.len()];
-        loop {
-            let mut cell: u64 = 0;
-            let mut part: u64 = 0;
-            for (d, &i) in idx.iter().enumerate() {
-                let code = code_lists[d][i];
-                cell += code as u64 * strides[d];
-                part += (code / lattice.chunks[d]) as u64 * part_strides[d];
-            }
-            entries.push((part, cell, fact));
-            // Advance the odometer.
-            let mut d = code_lists.len();
-            loop {
-                if d == 0 {
-                    break;
+    // Stage 1: flat `(partition, cell, fact)` entries, generated per fact
+    // range and concatenated in input order — identical to one serial
+    // scan, and cheaper / more cache-friendly than hash-accumulating per
+    // cell.
+    let ranges = spade_parallel::chunk_ranges(spec.n_facts, FACT_CHUNK);
+    let chunked: Vec<Vec<(u64, u64, u32)>> =
+        spade_parallel::try_map(ranges, threads, |(lo, hi)| {
+            budget.check()?;
+            let mut entries: Vec<(u64, u64, u32)> = Vec::new();
+            let mut code_lists: Vec<&[u32]> = Vec::with_capacity(spec.n_dims());
+            for fact in lo as u32..hi as u32 {
+                code_lists.clear();
+                let mut any_value = false;
+                for (i, dim) in spec.dims.iter().enumerate() {
+                    let codes = dim.codes_of(FactId(fact));
+                    if codes.is_empty() {
+                        code_lists.push(std::slice::from_ref(&null_codes[i]));
+                    } else {
+                        any_value = true;
+                        code_lists.push(codes);
+                    }
                 }
-                d -= 1;
-                idx[d] += 1;
-                if idx[d] < code_lists[d].len() {
-                    break;
+                if !any_value {
+                    continue; // the fact misses every dimension: not in the root join
                 }
-                idx[d] = 0;
-                if d == 0 {
-                    d = usize::MAX;
-                    break;
+                // Odometer over the cross product of the fact's dimension
+                // values.
+                let mut idx = vec![0usize; code_lists.len()];
+                loop {
+                    let mut cell: u64 = 0;
+                    let mut part: u64 = 0;
+                    for (d, &i) in idx.iter().enumerate() {
+                        let code = code_lists[d][i];
+                        cell += code as u64 * strides[d];
+                        part += (code / lattice.chunks[d]) as u64 * part_strides[d];
+                    }
+                    entries.push((part, cell, fact));
+                    // Advance the odometer.
+                    let mut d = code_lists.len();
+                    loop {
+                        if d == 0 {
+                            break;
+                        }
+                        d -= 1;
+                        idx[d] += 1;
+                        if idx[d] < code_lists[d].len() {
+                            break;
+                        }
+                        idx[d] = 0;
+                        if d == 0 {
+                            d = usize::MAX;
+                            break;
+                        }
+                    }
+                    if d == usize::MAX {
+                        break;
+                    }
                 }
             }
-            if d == usize::MAX {
-                break;
-            }
-        }
+            Ok(entries)
+        })?;
+    let mut entries: Vec<(u64, u64, u32)> =
+        Vec::with_capacity(chunked.iter().map(Vec::len).sum());
+    for c in chunked {
+        entries.extend(c);
     }
+    budget.check()?;
 
-    // Materialize partitions in row-major chunk order: one sort groups the
-    // entries by (partition, cell); fact ids stay ascending within a cell
-    // (stable sort over ascending-fact input), enabling `from_sorted`.
-    entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut sample_groups: Option<HashMap<u64, (Vec<u32>, u64)>> =
-        sample_capacity.map(|_| HashMap::new());
-    let mut partitions: Vec<Partition> = Vec::new();
+    // Stage 2: one sort groups the entries by (partition, cell); the
+    // triples are unique and facts ascend within each (partition, cell)
+    // group as generated, so the unstable sort by the full key equals the
+    // serial stable (partition, cell) sort bit for bit.
+    let entries = spade_parallel::par_sort(entries, threads);
+    budget.check()?;
+
+    // Stage 3: materialize partitions in row-major chunk order (the sort
+    // already put them there); each partition is independent.
+    let mut part_ranges: Vec<(u64, std::ops::Range<usize>)> = Vec::new();
     let mut i = 0;
-    let mut fact_buf: Vec<u32> = Vec::new();
     while i < entries.len() {
         let part = entries[i].0;
-        let coords: Vec<u32> = n_chunks
-            .iter()
-            .enumerate()
-            .map(|(d, _)| ((part / part_strides[d]) % n_chunks[d] as u64) as u32)
-            .collect();
-        let mut cells: Vec<(u64, Bitmap)> = Vec::new();
-        while i < entries.len() && entries[i].0 == part {
-            let cell = entries[i].1;
-            fact_buf.clear();
-            while i < entries.len() && entries[i].0 == part && entries[i].1 == cell {
-                fact_buf.push(entries[i].2);
-                i += 1;
-            }
-            if let (Some(cap), Some(groups)) = (sample_capacity, sample_groups.as_mut()) {
-                groups.insert(
-                    cell,
-                    (sample_run(&fact_buf, cap, &mut rng), fact_buf.len() as u64),
-                );
-            }
-            cells.push((cell, Bitmap::from_sorted(&fact_buf)));
+        let mut j = i;
+        while j < entries.len() && entries[j].0 == part {
+            j += 1;
         }
-        partitions.push(Partition { coords, cells });
+        part_ranges.push((part, i..j));
+        i = j;
+    }
+    let entries = &entries;
+    // One partition's cells plus its `(cell, (sample, group size))` groups.
+    type BuiltPartition = (Partition, Vec<(u64, (Vec<u32>, u64))>);
+    let built: Vec<BuiltPartition> =
+        spade_parallel::try_map(part_ranges, threads, |(part, range)| {
+            budget.check()?;
+            let run = &entries[range];
+            let coords: Vec<u32> = n_chunks
+                .iter()
+                .enumerate()
+                .map(|(d, _)| ((part / part_strides[d]) % n_chunks[d] as u64) as u32)
+                .collect();
+            let mut rng = SmallRng::seed_from_u64(part_seed(seed, part));
+            let mut cells: Vec<(u64, Bitmap)> = Vec::new();
+            let mut groups: Vec<(u64, (Vec<u32>, u64))> = Vec::new();
+            let mut scratch: Vec<u16> = Vec::new();
+            let mut fact_buf: Vec<u32> = Vec::new();
+            let mut k = 0;
+            while k < run.len() {
+                let cell = run[k].1;
+                let mut e = k;
+                while e < run.len() && run[e].1 == cell {
+                    e += 1;
+                }
+                let facts = &run[k..e];
+                let bitmap =
+                    Bitmap::from_sorted_iter_in(facts.iter().map(|t| t.2), &mut scratch);
+                if let Some(cap) = sample_capacity {
+                    fact_buf.clear();
+                    fact_buf.extend(facts.iter().map(|t| t.2));
+                    groups.push((
+                        cell,
+                        (sample_run(&fact_buf, cap, &mut rng), facts.len() as u64),
+                    ));
+                }
+                cells.push((cell, bitmap));
+                k = e;
+            }
+            Ok((Partition { coords, cells }, groups))
+        })?;
+
+    let mut partitions: Vec<Partition> = Vec::with_capacity(built.len());
+    let mut sample_groups: Option<HashMap<u64, (Vec<u32>, u64)>> =
+        sample_capacity.map(|_| HashMap::new());
+    for (partition, groups) in built {
+        if let Some(map) = sample_groups.as_mut() {
+            map.extend(groups);
+        }
+        partitions.push(partition);
     }
 
     let samples = sample_capacity.map(|cap| SampleSet {
@@ -197,7 +299,7 @@ pub fn translate(
         capacity: cap,
     });
 
-    Translation { partitions, strides, samples }
+    Ok(Translation { partitions, strides, samples })
 }
 
 #[cfg(test)]
@@ -294,6 +396,53 @@ mod tests {
             assert_eq!(items.len(), 1);
             assert_eq!(*seen, 1);
         }
+    }
+
+    #[test]
+    fn parallel_translation_is_thread_invariant() {
+        // Wide multi-valued rows so several partitions and cells exist.
+        let rows_a: Vec<Vec<&str>> = (0..300)
+            .map(|i| match i % 3 {
+                0 => vec!["a"],
+                1 => vec!["b", "c"],
+                _ => vec![],
+            })
+            .collect();
+        let rows_b: Vec<Vec<&str>> =
+            (0..300).map(|i| if i % 2 == 0 { vec!["x"] } else { vec!["y"] }).collect();
+        let col_a = CategoricalColumn::from_rows("a", &rows_a);
+        let col_b = CategoricalColumn::from_rows("b", &rows_b);
+        let spec = CubeSpec::new(vec![&col_a, &col_b], vec![], 300);
+        let lattice = Lattice::new(spec.domain_sizes(), vec![2, 2]);
+        let budget = Budget::unlimited();
+        let serial = translate(&spec, &lattice, Some(4), 42);
+        for threads in [2usize, 8] {
+            let par =
+                translate_budgeted(&spec, &lattice, Some(4), 42, threads, &budget).unwrap();
+            assert_eq!(par.strides, serial.strides);
+            assert_eq!(par.partitions.len(), serial.partitions.len());
+            for (p, s) in par.partitions.iter().zip(serial.partitions.iter()) {
+                assert_eq!(p.coords, s.coords);
+                assert_eq!(p.cells, s.cells);
+            }
+            let (ps, ss) = (par.samples.unwrap(), serial.samples.clone().unwrap());
+            assert_eq!(ps.capacity, ss.capacity);
+            let mut pg: Vec<_> = ps.groups.into_iter().collect();
+            let mut sg: Vec<_> = ss.groups.into_iter().collect();
+            pg.sort();
+            sg.sort();
+            assert_eq!(pg, sg);
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_translation() {
+        let (nat, gender) = mini_spec();
+        let spec = CubeSpec::new(vec![&nat, &gender], vec![], 2);
+        let lattice = Lattice::new(spec.domain_sizes(), vec![4, 2]);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        assert!(translate_budgeted(&spec, &lattice, None, 0, 2, &budget).is_err());
     }
 
     #[test]

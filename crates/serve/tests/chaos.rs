@@ -146,6 +146,42 @@ fn deadline_exceeded_returns_504_within_twice_the_timeout() {
 }
 
 #[test]
+fn stalled_translation_is_cancelled_within_twice_the_timeout() {
+    // Same deadline contract as the cfs stall, but the fault fires inside
+    // the parallel data-translation stage — the budget threaded through
+    // `translate_budgeted` must unwind it cooperatively.
+    let _fault = arm(Some("translate=stall:10000"));
+    let dir = temp_dir("translate_deadline");
+    let path = write_snapshot(&dir, 60, 9);
+    let timeout = Duration::from_millis(500);
+    let config = ServeConfig { request_timeout: Some(timeout), ..serve_config() };
+    let server = Server::start(config, base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let r = spade_serve::client::post(addr, "/explore", b"").expect("explore answered");
+    let elapsed = started.elapsed();
+    assert_eq!(r.status, 504, "stalled translation must time out: {}", r.text());
+    assert!(
+        elapsed < 2 * timeout,
+        "cancellation during translate must unwind within 2x the timeout, took {elapsed:?}"
+    );
+
+    let m = spade_serve::client::get(addr, "/metrics").expect("metrics answered").text();
+    assert_eq!(metric_value(&m, "spade_serve_timeouts_total"), Some(1), "metrics:\n{m}");
+
+    // No partial state: disarmed, the identical request evaluates cleanly
+    // on the same serving state and the daemon stays healthy.
+    spade_parallel::fault::set_spec(None);
+    let ok = spade_serve::client::post(addr, "/explore", b"").expect("explore answered");
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    let h = spade_serve::client::get(addr, "/healthz").expect("healthz answered");
+    assert_eq!(h.status, 200);
+
+    assert!(server.shutdown(Duration::from_secs(10)), "clean drain after translate stall");
+}
+
+#[test]
 fn saturation_sheds_with_503_and_zero_connection_resets() {
     // Stall each admitted evaluation long enough that concurrent requests
     // overlap; capacity admits exactly one request's estimated cost.
