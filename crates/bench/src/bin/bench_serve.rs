@@ -11,8 +11,19 @@
 //! the bench doubles as a concurrency-determinism smoke test. Results land
 //! in `BENCH_serve.json`.
 //!
+//! Every run also measures the telemetry substrate's warm-path cost: the
+//! exact per-request record sequence (counters, gauges, two histogram
+//! observations) is timed in isolation against live registry handles and
+//! related to the measured warm request latency. With the `noop` feature
+//! those operations compile to nothing, so the sequence cost *is* the
+//! telemetry-on vs noop delta; the run asserts it stays under a 2%
+//! throughput regression and pins the numbers under `profile_overhead` in
+//! `BENCH_serve.json`. `--profile-overhead` runs only the warm mode and
+//! this check (a quick gate, skipping the cold cells).
+//!
 //! Usage: `cargo run --release -p spade-bench --bin bench_serve
-//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
+//! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]
+//! [--profile-overhead]`
 
 use spade_bench::HarnessArgs;
 use spade_core::json::JsonWriter;
@@ -128,8 +139,49 @@ fn run_mode(
     assert!(server.shutdown(Duration::from_secs(30)), "bench server drains");
 }
 
+/// The warm-path telemetry record sequence, timed in isolation: what a
+/// cache-hit `/explore` drives through the registry (connection + request
+/// counters, in-flight/queue gauges, queue-wait and route-latency
+/// histograms). Returns the mean cost per request in nanoseconds.
+fn telemetry_ns_per_request() -> f64 {
+    let registry = spade_telemetry::Registry::new();
+    let requests = registry.counter("bench_requests_total", "requests");
+    let explore = registry.counter("bench_explore_total", "explores");
+    let cached = registry.counter("bench_explore_cached_total", "cache hits");
+    let in_flight = registry.gauge("bench_in_flight", "in flight");
+    let queue_depth = registry.gauge("bench_queue_depth", "queued");
+    let queue_wait = registry.histogram(
+        "bench_queue_wait_seconds",
+        "queue wait",
+        &spade_telemetry::DURATION_BOUNDS_SECONDS,
+    );
+    let warm = registry.histogram_with(
+        "bench_request_seconds",
+        "latency",
+        &[("route", "explore_warm")],
+        &spade_telemetry::DURATION_BOUNDS_SECONDS,
+    );
+    const ITERS: u32 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        queue_depth.add(1);
+        queue_depth.sub(1);
+        queue_wait.observe(1e-6);
+        requests.inc();
+        in_flight.add(1);
+        explore.inc();
+        cached.inc();
+        warm.observe(2e-5 + f64::from(i & 1023) * 1e-6);
+        in_flight.sub(1);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    assert_eq!(requests.get(), u64::from(ITERS), "sequence not optimized away");
+    ns
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    let profile_overhead_only = args.rest.iter().any(|a| a == "--profile-overhead");
     let scale = args.scale_or(250);
     let out_path = args.out_path("BENCH_serve.json");
     let base = SpadeConfig {
@@ -152,7 +204,9 @@ fn main() {
     let expected = spade.run_snapshot(&snapshot).expect("serial oracle").to_json(false);
 
     let mut cells = Vec::new();
-    run_mode("cold", 0, &snapshot, &base, &expected, 8, &mut cells);
+    if !profile_overhead_only {
+        run_mode("cold", 0, &snapshot, &base, &expected, 8, &mut cells);
+    }
     run_mode("warm", 64 << 20, &snapshot, &base, &expected, 64, &mut cells);
     std::fs::remove_dir_all(&dir).ok();
 
@@ -164,6 +218,27 @@ fn main() {
     };
     let warm_speedup_1 = throughput("warm", 1) / throughput("cold", 1).max(f64::MIN_POSITIVE);
 
+    // —— telemetry overhead gate ——
+    // The warm path is the worst case for the substrate: the request does
+    // almost no other work, so the record sequence is its largest relative
+    // cost. Relate the isolated sequence cost to the measured warm request
+    // time; under `noop` the sequence is free, so this ratio is the
+    // telemetry-on vs noop throughput regression.
+    let telemetry_ns = telemetry_ns_per_request();
+    let warm_rps = throughput("warm", 1);
+    let warm_request_ns = 1e9 / warm_rps.max(f64::MIN_POSITIVE);
+    let overhead_pct = 100.0 * telemetry_ns / warm_request_ns;
+    let projected_noop_rps = 1e9 / (warm_request_ns - telemetry_ns).max(1.0);
+    eprintln!(
+        "telemetry warm-path overhead: {telemetry_ns:.1} ns/req of {warm_request_ns:.0} ns \
+         ({overhead_pct:.3}% | {warm_rps:.0} req/s on vs {projected_noop_rps:.0} projected noop)"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "telemetry warm-path overhead {overhead_pct:.3}% breaches the 2% budget \
+         ({telemetry_ns:.1} ns/req against a {warm_request_ns:.0} ns warm request)"
+    );
+
     let mut w = JsonWriter::pretty();
     w.begin_object();
     w.key("bench").string("serve");
@@ -172,6 +247,14 @@ fn main() {
     w.key("n_triples").usize(graph.len());
     w.key("workers").usize(*CONCURRENCY.last().expect("non-empty"));
     w.key("warm_speedup_1conn").f64_fixed(warm_speedup_1, 2);
+    w.key("profile_overhead").begin_object();
+    w.key("telemetry_ns_per_request").f64_fixed(telemetry_ns, 1);
+    w.key("warm_request_ns").f64_fixed(warm_request_ns, 0);
+    w.key("overhead_pct").f64_fixed(overhead_pct, 4);
+    w.key("warm_req_per_sec").f64_fixed(warm_rps, 2);
+    w.key("projected_noop_req_per_sec").f64_fixed(projected_noop_rps, 2);
+    w.key("budget_pct").f64_fixed(2.0, 1);
+    w.end_object();
     w.key("cells").begin_array();
     for c in &cells {
         w.begin_object();

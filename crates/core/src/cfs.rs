@@ -10,6 +10,7 @@ use crate::config::SpadeConfig;
 use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{Graph, TermId};
 use spade_summary::weak_summary;
+use spade_telemetry::SpanCtx;
 use std::collections::HashSet;
 
 /// Which selection strategies to run.
@@ -56,19 +57,22 @@ pub fn select(
     strategies: &[CfsStrategy],
     config: &SpadeConfig,
 ) -> Vec<CandidateFactSet> {
-    select_budgeted(graph, strategies, config, &Budget::unlimited())
+    select_budgeted(graph, strategies, config, &Budget::unlimited(), &SpanCtx::disabled())
         .expect("unlimited budget cannot cancel")
 }
 
 /// [`select`] under a request [`Budget`]: the budget is polled per
 /// strategy and per candidate, so an expired request unwinds with
 /// [`Cancelled`] within one candidate's materialization. With
-/// [`Budget::unlimited`] this is exactly [`select`].
+/// [`Budget::unlimited`] this is exactly [`select`]. `ctx` records one
+/// child span per strategy (strategies run serially, so auto ordering is
+/// deterministic) with the candidate count as an attr.
 pub fn select_budgeted(
     graph: &Graph,
     strategies: &[CfsStrategy],
     config: &SpadeConfig,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<Vec<CandidateFactSet>, Cancelled> {
     spade_parallel::fault::fire_with_budget("cfs", Some(budget));
     let mut out: Vec<CandidateFactSet> = Vec::new();
@@ -76,6 +80,11 @@ pub fn select_budgeted(
 
     for strategy in strategies {
         budget.check()?;
+        let span = ctx.span(match strategy {
+            CfsStrategy::TypeBased => "type_based",
+            CfsStrategy::PropertyBased(_) => "property_based",
+            CfsStrategy::SummaryBased => "summary_based",
+        });
         let candidates: Vec<(String, Vec<TermId>)> = match strategy {
             CfsStrategy::TypeBased => {
                 let classes: Vec<TermId> = graph.classes().collect();
@@ -107,6 +116,7 @@ pub fn select_budgeted(
                 })?
             }
         };
+        span.attr("candidates", candidates.len() as u64);
         for (name, members) in candidates {
             push_unique(&mut out, &mut seen_member_sets, name, members);
         }

@@ -16,6 +16,7 @@ use crate::mfs::{maximal_frequent_sets_budgeted, Item};
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
 use spade_storage::FactId;
+use spade_telemetry::SpanCtx;
 
 /// One lattice to evaluate: dimension and measure attribute indexes into
 /// the [`CfsAnalysis::attributes`] vector.
@@ -60,18 +61,21 @@ fn compatible(
 /// fan out over `config.threads` with input-order merges — candidate
 /// generation is bit-identical at every thread count.
 pub fn enumerate(analysis: &CfsAnalysis, config: &SpadeConfig) -> Vec<LatticeSpec> {
-    enumerate_budgeted(analysis, config, &Budget::unlimited())
+    enumerate_budgeted(analysis, config, &Budget::unlimited(), &SpanCtx::disabled())
         .expect("unlimited budget cannot cancel")
 }
 
 /// [`enumerate`] under a request [`Budget`]: the budget is polled per
 /// tidset scan and per lattice root, so an expired request unwinds with
 /// [`Cancelled`] within one attribute's fact scan. With
-/// [`Budget::unlimited`] this is exactly [`enumerate`].
+/// [`Budget::unlimited`] this is exactly [`enumerate`]. `ctx` records one
+/// `mfs` span over the maximal-frequent-set mining with dimension-item and
+/// lattice-root counts as attrs.
 pub fn enumerate_budgeted(
     analysis: &CfsAnalysis,
     config: &SpadeConfig,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<Vec<LatticeSpec>, Cancelled> {
     let dim_attrs = analysis.dimension_attrs();
     if dim_attrs.is_empty() {
@@ -88,6 +92,8 @@ pub fn enumerate_budgeted(
     })?;
     let min_count = ((config.min_support * analysis.n_facts() as f64).ceil() as u64).max(1);
     budget.check()?;
+    let mfs_span = ctx.span("mfs");
+    mfs_span.attr("items", items.len() as u64);
     let roots = maximal_frequent_sets_budgeted(
         &items,
         min_count,
@@ -96,6 +102,8 @@ pub fn enumerate_budgeted(
         config.threads,
         budget,
     )?;
+    mfs_span.attr("roots", roots.len() as u64);
+    drop(mfs_span);
 
     spade_parallel::try_map(roots, config.threads, |dims| {
         budget.check()?;

@@ -29,6 +29,7 @@ use spade_cube::earlystop;
 use spade_cube::mvdcube::{mvd_cube_pruned_budgeted, prepare_budgeted, MvdCubeOptions};
 use spade_cube::{CubeResult, CubeSpec, MeasureSpec};
 use spade_parallel::{Budget, Cancelled};
+use spade_telemetry::SpanCtx;
 use std::collections::{HashMap, HashSet};
 
 /// The evaluation output for one CFS.
@@ -58,8 +59,14 @@ pub fn evaluate_cfs(
     lattices: &[LatticeSpec],
     config: &SpadeConfig,
 ) -> CfsEvaluation {
-    evaluate_cfs_budgeted(analysis, lattices, config, &Budget::unlimited())
-        .expect("unlimited budget cannot cancel")
+    evaluate_cfs_budgeted(
+        analysis,
+        lattices,
+        config,
+        &Budget::unlimited(),
+        &SpanCtx::disabled(),
+    )
+    .expect("unlimited budget cannot cancel")
 }
 
 /// [`evaluate_cfs`] under a request [`Budget`]: the budget is polled per
@@ -67,11 +74,17 @@ pub fn evaluate_cfs(
 /// pruning and cube run, so an expired request unwinds with [`Cancelled`]
 /// within one region flush. With [`Budget::unlimited`] this is exactly
 /// [`evaluate_cfs`].
+///
+/// `ctx` records one `lattice` span per lattice, ordered by lattice index
+/// ([`SpanCtx::span_at`]) so the span-tree shape is identical at every
+/// thread count; each lattice span nests the translate, early-stop, and
+/// cube-engine child spans opened by the stages it runs.
 pub fn evaluate_cfs_budgeted(
     analysis: &CfsAnalysis,
     lattices: &[LatticeSpec],
     config: &SpadeConfig,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<CfsEvaluation, Cancelled> {
     let mut evaluation = CfsEvaluation::default();
     // Split the thread budget: `outer` lattices in flight, each with
@@ -125,15 +138,22 @@ pub fn evaluate_cfs_budgeted(
     // —— parallel per-lattice evaluation ——
     // Translation, early-stop pruning (each lattice draws from its own
     // seeded sample), and the cube run are independent per lattice.
-    let outcomes = spade_parallel::try_map(work, outer, |(spec, mut alive)| {
+    #[allow(clippy::type_complexity)]
+    let indexed: Vec<(usize, (CubeSpec<'_>, HashMap<u32, Vec<bool>>))> =
+        work.into_iter().enumerate().collect();
+    let outcomes = spade_parallel::try_map(indexed, outer, |(idx, (spec, mut alive))| {
         budget.check()?;
+        let lattice_span = ctx.span_at("lattice", idx as u64);
+        let lctx = lattice_span.ctx();
         let sample_cap = config.early_stop.map(|es| es.sample_size);
-        let (lattice, translation) = prepare_budgeted(&spec, &options, sample_cap, budget)?;
+        let (lattice, translation) =
+            prepare_budgeted(&spec, &options, sample_cap, budget, &lctx)?;
         let mut pruned_by_es = 0usize;
         if let Some(es_config) = &config.early_stop {
             let samples = translation.samples.clone().expect("sampling enabled");
-            let outcome =
-                earlystop::prune_budgeted(&spec, &lattice, &samples, es_config, inner, budget)?;
+            let outcome = earlystop::prune_budgeted(
+                &spec, &lattice, &samples, es_config, inner, budget, &lctx,
+            )?;
             for (mask, flags) in &mut alive {
                 let es_flags = &outcome.alive[mask];
                 for (i, f) in flags.iter_mut().enumerate() {
@@ -146,8 +166,16 @@ pub fn evaluate_cfs_budgeted(
         }
         let evaluated_aggregates =
             alive.values().map(|f| f.iter().filter(|&&x| x).count()).sum::<usize>();
-        let result =
-            mvd_cube_pruned_budgeted(&spec, &options, &lattice, &translation, &alive, budget)?;
+        lattice_span.attr("aggregates", evaluated_aggregates as u64);
+        let result = mvd_cube_pruned_budgeted(
+            &spec,
+            &options,
+            &lattice,
+            &translation,
+            &alive,
+            budget,
+            &lctx,
+        )?;
         Ok(LatticeOutcome { result, evaluated_aggregates, pruned_by_es })
     })?;
 

@@ -51,6 +51,11 @@ pub use pipeline::{
 /// `spade-parallel` directly.
 pub use spade_parallel::{Budget, CancelReason, Cancelled};
 
+/// Per-request tracing (span trees recorded by
+/// [`Spade::run_on_traced`](pipeline::Spade::run_on_traced)) — re-exported
+/// so servers need not depend on `spade-telemetry` directly.
+pub use spade_telemetry::{Span, SpanCtx, Trace};
+
 /// The snapshot store serving this pipeline's offline state (re-exported so
 /// downstream users need not depend on `spade-store` directly).
 pub use spade_store as store;

@@ -18,6 +18,7 @@ use spade_cube::result::NULL_CODE;
 use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{Graph, NtParseError};
 use spade_store::{LoadedSnapshot, Snapshot, SnapshotError};
+use spade_telemetry::{SpanCtx, Trace};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -327,8 +328,15 @@ impl Spade {
         let stats = offline::analyze_budgeted(graph, self.config.threads, &Budget::unlimited())
             .expect("unlimited budget cannot cancel");
         report.timings.offline_analysis = t.elapsed();
-        self.run_analyzed(&self.config, graph, &stats, report, &Budget::unlimited())
-            .expect("unlimited budget cannot cancel")
+        self.run_analyzed(
+            &self.config,
+            graph,
+            &stats,
+            report,
+            &Budget::unlimited(),
+            &SpanCtx::disabled(),
+        )
+        .expect("unlimited budget cannot cancel")
     }
 
     /// Runs the **offline phase only** (ingestion, saturation, offline
@@ -397,10 +405,28 @@ impl Spade {
         request: &RequestConfig,
         budget: &Budget,
     ) -> Result<SpadeReport, Cancelled> {
+        self.run_on_traced(state, request, budget, None)
+    }
+
+    /// [`Spade::run_on_budgeted`] with per-request tracing: when `trace` is
+    /// given, every pipeline stage records a span into it (named exactly
+    /// after the [`StepTimings`] online fields, plus `offline_analysis`),
+    /// and the parallel fan-outs (per-CFS enumeration/evaluation, per
+    /// lattice, per region shard) record index-ordered child spans — the
+    /// span-tree **shape** is identical at every thread count. Tracing is
+    /// observation only: the report is bit-identical with or without it.
+    pub fn run_on_traced(
+        &self,
+        state: &OfflineState,
+        request: &RequestConfig,
+        budget: &Budget,
+        trace: Option<&Trace>,
+    ) -> Result<SpadeReport, Cancelled> {
         let config = request.apply(&self.config);
         let mut report = SpadeReport::default();
         report.timings.snapshot_load = state.load_time;
-        self.run_analyzed(&config, &state.graph, &state.stats, report, budget)
+        let ctx = trace.map(Trace::root).unwrap_or_else(SpanCtx::disabled);
+        self.run_analyzed(&config, &state.graph, &state.stats, report, budget, &ctx)
     }
 
     /// The shared tail of every entry point: derivation enumeration (the
@@ -409,6 +435,12 @@ impl Spade {
     /// engine's own for whole-pipeline runs, the request-resolved one for
     /// [`Spade::run_on`]; `report` carries whatever offline timings the
     /// caller already accumulated.
+    ///
+    /// Every step is timed through a [`SpanCtx`] span ([`Span::finish`]
+    /// measures even on a disabled context), so the [`StepTimings`] fields
+    /// and the recorded trace are one and the same measurement.
+    ///
+    /// [`Span::finish`]: spade_telemetry::Span::finish
     fn run_analyzed(
         &self,
         config: &SpadeConfig,
@@ -416,8 +448,9 @@ impl Spade {
         stats: &OfflineStats,
         mut report: SpadeReport,
         budget: &Budget,
+        ctx: &SpanCtx,
     ) -> Result<SpadeReport, Cancelled> {
-        let t = Instant::now();
+        let span = ctx.span("offline_analysis");
         let (derived, derivation_counts) = offline::enumerate_derivations_budgeted(
             graph,
             stats,
@@ -425,7 +458,7 @@ impl Spade {
             config.threads,
             budget,
         )?;
-        report.timings.offline_analysis += t.elapsed();
+        report.timings.offline_analysis += span.finish();
         report.timings.offline = report.timings.snapshot_load
             + report.timings.saturation
             + report.timings.offline_analysis;
@@ -434,50 +467,66 @@ impl Spade {
         report.profile.derivations = derivation_counts;
 
         // —— Step 1: CFS selection ——
-        let t = Instant::now();
-        let cfs_list = select_budgeted(graph, &self.strategies, config, budget)?;
-        report.timings.cfs_selection = t.elapsed();
+        let span = ctx.span("cfs_selection");
+        let cfs_list = select_budgeted(graph, &self.strategies, config, budget, &span.ctx())?;
+        span.attr("cfs", cfs_list.len() as u64);
+        report.timings.cfs_selection = span.finish();
         report.profile.cfs_count = cfs_list.len();
 
         // —— Step 2: online attribute analysis (parallel per CFS) ——
-        let t = Instant::now();
+        let span = ctx.span("attribute_analysis");
         let graph_ref: &Graph = graph;
         let analyses: Vec<CfsAnalysis> =
             spade_parallel::try_map(cfs_list.iter().collect(), config.threads, |cfs| {
                 budget.check()?;
                 Ok(analyze_cfs(graph_ref, cfs, &derived, config))
             })?;
-        report.timings.attribute_analysis = t.elapsed();
+        span.attr("cfs", analyses.len() as u64);
+        report.timings.attribute_analysis = span.finish();
 
         // —— Step 3: aggregate enumeration (parallel per CFS; each CFS
         // fans its tidset construction out further — see
         // `enumeration::enumerate`) ——
-        let t = Instant::now();
+        let span = ctx.span("enumeration");
+        let ectx = span.ctx();
         let (enum_outer, enum_inner) =
             spade_parallel::split_budget(config.threads, analyses.len());
         let enum_config = SpadeConfig { threads: enum_inner, ..config.clone() };
-        let lattice_specs: Vec<Vec<LatticeSpec>> =
-            spade_parallel::try_map(analyses.iter().collect(), enum_outer, |a| {
-                enumerate_budgeted(a, &enum_config, budget)
-            })?;
-        report.timings.enumeration = t.elapsed();
+        let lattice_specs: Vec<Vec<LatticeSpec>> = spade_parallel::try_map(
+            analyses.iter().enumerate().collect(),
+            enum_outer,
+            |(i, a)| {
+                let cfs_span = ectx.span_at("cfs", i as u64);
+                enumerate_budgeted(a, &enum_config, budget, &cfs_span.ctx())
+            },
+        )?;
+        report.timings.enumeration = span.finish();
 
         // —— Step 4: aggregate evaluation (parallel per CFS; each CFS fans
         // its lattices — and each lattice its region shards — out further,
         // see `evaluate::evaluate_cfs`). The thread budget is split across
         // the levels so the total worker count stays at `threads` instead
         // of `threads²`. ——
-        let t = Instant::now();
+        let span = ctx.span("evaluation");
+        let evctx = span.ctx();
         let (outer, inner) = spade_parallel::split_budget(config.threads, analyses.len());
         let inner_config = SpadeConfig { threads: inner, ..config.clone() };
         let evaluations: Vec<_> = spade_parallel::try_map(
-            analyses.iter().zip(&lattice_specs).collect(),
+            analyses.iter().zip(&lattice_specs).enumerate().collect(),
             outer,
-            |(analysis, lattices)| {
-                evaluate_cfs_budgeted(analysis, lattices, &inner_config, budget)
+            |(i, (analysis, lattices))| {
+                let cfs_span = evctx.span_at("cfs", i as u64);
+                cfs_span.attr("lattices", lattices.len() as u64);
+                evaluate_cfs_budgeted(
+                    analysis,
+                    lattices,
+                    &inner_config,
+                    budget,
+                    &cfs_span.ctx(),
+                )
             },
         )?;
-        report.timings.evaluation = t.elapsed();
+        report.timings.evaluation = span.finish();
         for e in &evaluations {
             report.profile.aggregates += e.enumerated_aggregates;
             report.evaluated_aggregates += e.evaluated_aggregates;
@@ -485,7 +534,7 @@ impl Spade {
         }
 
         // —— Step 5: top-k (parallel per lattice result) ——
-        let t = Instant::now();
+        let span = ctx.span("topk");
         // Score first with a light record; only the k winners get their
         // display details (dimension names, group samples) materialized.
         // Scoring fans out over the per-lattice results and merges in input
@@ -561,7 +610,7 @@ impl Spade {
                 }
             })
             .collect();
-        report.timings.topk = t.elapsed();
+        report.timings.topk = span.finish();
         Ok(report)
     }
 }

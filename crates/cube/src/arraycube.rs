@@ -148,6 +148,7 @@ pub fn array_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
         None,
         EngineExec::from_options(options),
         &spade_parallel::Budget::unlimited(),
+        &spade_telemetry::SpanCtx::disabled(),
     )
     .expect("unlimited budget cannot cancel")
 }

@@ -22,6 +22,7 @@ use spade_parallel::{Budget, Cancelled};
 use spade_stats::ci::EstimatorKind;
 use spade_stats::{GroupSample, Interestingness, InterestingnessCi};
 use spade_storage::{AggFn, FactId};
+use spade_telemetry::SpanCtx;
 use std::collections::HashMap;
 
 /// Early-stop tuning parameters.
@@ -223,15 +224,25 @@ pub fn prune(
     config: &EarlyStopConfig,
     threads: usize,
 ) -> EarlyStopOutcome {
-    prune_budgeted(spec, lattice, samples, config, threads, &Budget::unlimited())
-        .expect("unlimited budget cannot cancel")
+    prune_budgeted(
+        spec,
+        lattice,
+        samples,
+        config,
+        threads,
+        &Budget::unlimited(),
+        &SpanCtx::disabled(),
+    )
+    .expect("unlimited budget cannot cancel")
 }
 
 /// [`prune`] under a request [`Budget`]: the budget is polled per node
 /// projection and per node-batch shard, and the loop unwinds with
 /// [`Cancelled`] once the deadline passes or the request is cancelled.
 /// With [`Budget::unlimited`] this is exactly [`prune`] — checks never
-/// alter any pruning decision.
+/// alter any pruning decision. `ctx` records an `earlystop` span with
+/// batch/pruned counts.
+#[allow(clippy::too_many_arguments)]
 pub fn prune_budgeted(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
@@ -239,7 +250,9 @@ pub fn prune_budgeted(
     config: &EarlyStopConfig,
     threads: usize,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<EarlyStopOutcome, Cancelled> {
+    let span = ctx.span("earlystop");
     let mdas = spec.mdas();
     let cap = estimation_group_cap(spec.n_facts);
     let node_samples = project_samples(lattice, samples, cap, threads, budget)?;
@@ -378,6 +391,9 @@ pub fn prune_budgeted(
         }
     }
 
+    span.attr("batches", batches_run as u64);
+    span.attr("pruned", pruned as u64);
+    span.attr("aggregates", total as u64);
     Ok(EarlyStopOutcome { alive, pruned, total, batches_run })
 }
 

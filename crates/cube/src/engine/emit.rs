@@ -26,6 +26,7 @@ use super::store::{merge_sorted, RegionStore};
 use super::{CubeAlgebra, LatticePlan};
 use crate::result::{CubeResult, NodeResult};
 use spade_parallel::{Budget, Cancelled};
+use spade_telemetry::Span;
 use std::collections::BTreeMap;
 
 /// Ceiling on the number of emit tasks one evaluation plans.
@@ -67,7 +68,9 @@ pub(crate) fn emit_region_into<A: CubeAlgebra>(
 
 /// Merges shard partials and emits measures into `result`. The budget is
 /// polled once per merge task and once per emit task; on the `Ok` path the
-/// output is bit-identical to an unbudgeted run.
+/// output is bit-identical to an unbudgeted run. `span` (the engine's
+/// merge/emit span) gets region/cell-count attrs; the nested `merge` and
+/// `emit` child spans split the phase durations.
 pub(crate) fn merge_and_emit<A: CubeAlgebra>(
     algebra: &A,
     plan: &LatticePlan<A>,
@@ -75,6 +78,7 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
     threads: usize,
     mut result: CubeResult,
     budget: &Budget,
+    span: &Span,
 ) -> Result<CubeResult, Cancelled> {
     // —— gather: (node, region) → partials in shard order ——
     let mut grouped: BTreeMap<(u32, u64), Vec<RegionCells<A::Cell>>> = BTreeMap::new();
@@ -86,6 +90,8 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
 
     // —— merge: fold each region's partials in shard order (parallel) ——
     let items: Vec<_> = grouped.into_iter().collect();
+    span.attr("regions", items.len() as u64);
+    let merge_span = span.ctx().span("merge");
     let merged: Vec<KeyedRegion<A::Cell>> =
         spade_parallel::try_map(items, threads, |((mask, region), mut partials)| {
             budget.check()?;
@@ -107,8 +113,12 @@ pub(crate) fn merge_and_emit<A: CubeAlgebra>(
             Ok(((mask, region), partials.pop().expect("region parked without cells")))
         })?;
 
+    drop(merge_span);
+
     // —— emit: weighted tasks over the merged cell lists (parallel) ——
+    let emit_span = span.ctx().span("emit");
     let total_cells: u64 = merged.iter().map(|(_, cells)| cells.len() as u64).sum();
+    emit_span.attr("cells", total_cells);
     let task_cells =
         (total_cells.div_ceil(EMIT_TARGET as u64)).max(MIN_EMIT_CELLS).max(1) as usize;
     let mut tasks: Vec<EmitTask<'_, A::Cell>> = Vec::new();

@@ -90,6 +90,7 @@ use crate::translate::Translation;
 use geometry::{node_geom, NodeGeom, Projection};
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
+use spade_telemetry::SpanCtx;
 use std::collections::HashMap;
 
 /// What a cube cell holds and how cells combine — the algorithm-specific
@@ -261,6 +262,12 @@ impl EngineExec {
 /// [`Budget::unlimited`] the run cannot fail, and checks never alter any
 /// computation, so completed results stay bit-identical to a run without
 /// a deadline.
+///
+/// `ctx` records one child span per shard (ordered by shard index, so the
+/// span-tree shape is plan- and scheduler-independent for a fixed plan)
+/// plus a merge/emit span on multi-shard plans; a disabled context makes
+/// all of it free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_engine<A: CubeAlgebra>(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
@@ -269,6 +276,7 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
     alive: Option<&HashMap<u32, Vec<bool>>>,
     exec: EngineExec,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<CubeResult, Cancelled> {
     let labels = spec.mdas().into_iter().map(|m| m.label).collect();
     let result = CubeResult::new(labels);
@@ -283,11 +291,16 @@ pub(crate) fn run_engine<A: CubeAlgebra>(
         // keeps the serial engine's O(in-flight regions) memory profile —
         // no partials, no merge phase.
         let mut result = result;
-        shard::run_shard_emit(algebra, &plan, translation, chunks, &mut result, budget)?;
+        let span = ctx.span_at("shard", 0);
+        shard::run_shard_emit(algebra, &plan, translation, chunks, &mut result, budget, &span)?;
         return Ok(result);
     }
-    let outputs = spade_parallel::try_map(shards, exec.threads, |chunks| {
-        shard::run_shard(algebra, &plan, translation, &chunks, budget)
+    let indexed: Vec<(usize, Vec<shard::ShardChunk>)> =
+        shards.into_iter().enumerate().collect();
+    let outputs = spade_parallel::try_map(indexed, exec.threads, |(i, chunks)| {
+        let span = ctx.span_at("shard", i as u64);
+        shard::run_shard(algebra, &plan, translation, &chunks, budget, &span)
     })?;
-    emit::merge_and_emit(algebra, &plan, outputs, exec.threads, result, budget)
+    let merge_span = ctx.span("merge_emit");
+    emit::merge_and_emit(algebra, &plan, outputs, exec.threads, result, budget, &merge_span)
 }

@@ -35,6 +35,7 @@ use super::{CubeAlgebra, LatticePlan};
 use crate::result::CubeResult;
 use crate::translate::Translation;
 use spade_parallel::{Budget, Cancelled};
+use spade_telemetry::Span;
 use std::collections::HashMap;
 
 /// Shards planned per resolved worker (over-decomposition for load
@@ -140,6 +141,25 @@ struct RegionShard<'a, 'r, A: CubeAlgebra> {
     sink: ShardSink<'r, A>,
 }
 
+/// Attaches the shard's workload attrs (chunk/cell/fact counts, executing
+/// thread) to its span. Fact cardinalities are only summed when the span
+/// is actually recorded.
+fn annotate(span: &Span, translation: &Translation, chunks: &[ShardChunk]) {
+    if !span.recorded() {
+        return;
+    }
+    let cells: u64 = chunks.iter().map(|c| (c.end - c.start) as u64).sum();
+    let facts: u64 = chunks
+        .iter()
+        .flat_map(|c| &translation.partitions[c.partition].cells[c.start..c.end])
+        .map(|(_, facts)| facts.cardinality())
+        .sum();
+    span.attr("chunks", chunks.len() as u64);
+    span.attr("cells", cells);
+    span.attr("facts", facts);
+    span.record_thread();
+}
+
 /// Runs one shard of a multi-shard plan, returning its parked
 /// `(node, region)` partials. Deterministic: chunks are processed in plan
 /// order and the cascade below is single-owner. The budget is checked
@@ -151,7 +171,9 @@ pub(crate) fn run_shard<A: CubeAlgebra>(
     translation: &Translation,
     chunks: &[ShardChunk],
     budget: &Budget,
+    span: &Span,
 ) -> Result<ShardPartials<A::Cell>, Cancelled> {
+    annotate(span, translation, chunks);
     match cascade(algebra, plan, translation, chunks, ShardSink::Park(Vec::new()), budget)? {
         ShardSink::Park(out) => Ok(out),
         ShardSink::Emit { .. } => unreachable!("park sink in, park sink out"),
@@ -167,7 +189,9 @@ pub(crate) fn run_shard_emit<A: CubeAlgebra>(
     chunks: &[ShardChunk],
     result: &mut CubeResult,
     budget: &Budget,
+    span: &Span,
 ) -> Result<(), Cancelled> {
+    annotate(span, translation, chunks);
     let sink =
         ShardSink::Emit { result, key_buf: Vec::new(), scratch: A::EmitScratch::default() };
     cascade(algebra, plan, translation, chunks, sink, budget)?;

@@ -17,6 +17,7 @@ use crate::translate::Translation;
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
 use spade_storage::MeasureTotals;
+use spade_telemetry::SpanCtx;
 use std::collections::HashMap;
 
 /// Tuning knobs for an MVDCube run.
@@ -191,18 +192,20 @@ pub fn prepare(
     options: &MvdCubeOptions,
     sample_capacity: Option<usize>,
 ) -> (Lattice, Translation) {
-    prepare_budgeted(spec, options, sample_capacity, &Budget::unlimited())
+    prepare_budgeted(spec, options, sample_capacity, &Budget::unlimited(), &SpanCtx::disabled())
         .expect("unlimited budget cannot cancel")
 }
 
 /// [`prepare`] under a request [`Budget`]: translation fans out over
 /// `options.threads` and polls the budget per work item, so a cancelled
 /// request unwinds during translation instead of running it to completion.
+/// `ctx` records a `translate` span with cell/fact counts.
 pub fn prepare_budgeted(
     spec: &CubeSpec<'_>,
     options: &MvdCubeOptions,
     sample_capacity: Option<usize>,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<(Lattice, Translation), Cancelled> {
     let domains = spec.domain_sizes();
     let chunks = chunk_sizes(&domains, options, spec.n_facts);
@@ -214,6 +217,7 @@ pub fn prepare_budgeted(
         options.seed,
         options.threads,
         budget,
+        ctx,
     )?;
     Ok((lattice, translation))
 }
@@ -230,6 +234,7 @@ pub fn mvd_cube(spec: &CubeSpec<'_>, options: &MvdCubeOptions) -> CubeResult {
         None,
         EngineExec::from_options(options),
         &Budget::unlimited(),
+        &SpanCtx::disabled(),
     )
     .expect("unlimited budget cannot cancel")
 }
@@ -244,15 +249,25 @@ pub fn mvd_cube_pruned(
     translation: &Translation,
     alive: &HashMap<u32, Vec<bool>>,
 ) -> CubeResult {
-    mvd_cube_pruned_budgeted(spec, options, lattice, translation, alive, &Budget::unlimited())
-        .expect("unlimited budget cannot cancel")
+    mvd_cube_pruned_budgeted(
+        spec,
+        options,
+        lattice,
+        translation,
+        alive,
+        &Budget::unlimited(),
+        &SpanCtx::disabled(),
+    )
+    .expect("unlimited budget cannot cancel")
 }
 
 /// [`mvd_cube_pruned`] under a request [`Budget`]: the engine polls the
 /// budget between region flushes and merge/emit tasks and unwinds with
 /// [`Cancelled`] in bounded time once the deadline passes. Checks never
 /// alter the computation, so a completed run is bit-identical to
-/// [`mvd_cube_pruned`].
+/// [`mvd_cube_pruned`]. `ctx` records per-shard child spans (see the
+/// engine module docs).
+#[allow(clippy::too_many_arguments)]
 pub fn mvd_cube_pruned_budgeted(
     spec: &CubeSpec<'_>,
     options: &MvdCubeOptions,
@@ -260,6 +275,7 @@ pub fn mvd_cube_pruned_budgeted(
     translation: &Translation,
     alive: &HashMap<u32, Vec<bool>>,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<CubeResult, Cancelled> {
     let algebra = MvdAlgebra::new(spec);
     run_engine(
@@ -270,6 +286,7 @@ pub fn mvd_cube_pruned_budgeted(
         Some(alive),
         EngineExec::from_options(options),
         budget,
+        ctx,
     )
 }
 

@@ -40,6 +40,7 @@ use rand::Rng;
 use spade_bitmap::Bitmap;
 use spade_parallel::{Budget, Cancelled};
 use spade_storage::FactId;
+use spade_telemetry::SpanCtx;
 use std::collections::HashMap;
 
 /// Uniform sample without replacement from a materialized group run —
@@ -123,7 +124,15 @@ pub fn translate(
     sample_capacity: Option<usize>,
     seed: u64,
 ) -> Translation {
-    match translate_budgeted(spec, lattice, sample_capacity, seed, 1, &Budget::unlimited()) {
+    match translate_budgeted(
+        spec,
+        lattice,
+        sample_capacity,
+        seed,
+        1,
+        &Budget::unlimited(),
+        &SpanCtx::disabled(),
+    ) {
         Ok(t) => t,
         Err(_) => unreachable!("unlimited budget cannot cancel"),
     }
@@ -132,7 +141,9 @@ pub fn translate(
 /// Parallel, cancellable translation. Output is bit-identical to
 /// [`translate`] at any `threads` value; `budget` is checked once per
 /// fact chunk and once per partition, so cancellation latency is bounded
-/// by one work item.
+/// by one work item. `ctx` records a `translate` span with partition and
+/// cell counts.
+#[allow(clippy::too_many_arguments)]
 pub fn translate_budgeted(
     spec: &CubeSpec<'_>,
     lattice: &Lattice,
@@ -140,10 +151,12 @@ pub fn translate_budgeted(
     seed: u64,
     threads: usize,
     budget: &Budget,
+    ctx: &SpanCtx,
 ) -> Result<Translation, Cancelled> {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
+    let span = ctx.span("translate");
     spade_parallel::fault::fire_with_budget("translate", Some(budget));
     budget.check()?;
 
@@ -299,6 +312,11 @@ pub fn translate_budgeted(
         capacity: cap,
     });
 
+    if span.recorded() {
+        span.attr("partitions", partitions.len() as u64);
+        span.attr("cells", partitions.iter().map(|p| p.cells.len() as u64).sum());
+        span.attr("entries", entries.len() as u64);
+    }
     Ok(Translation { partitions, strides, samples })
 }
 
@@ -417,8 +435,16 @@ mod tests {
         let budget = Budget::unlimited();
         let serial = translate(&spec, &lattice, Some(4), 42);
         for threads in [2usize, 8] {
-            let par =
-                translate_budgeted(&spec, &lattice, Some(4), 42, threads, &budget).unwrap();
+            let par = translate_budgeted(
+                &spec,
+                &lattice,
+                Some(4),
+                42,
+                threads,
+                &budget,
+                &SpanCtx::disabled(),
+            )
+            .unwrap();
             assert_eq!(par.strides, serial.strides);
             assert_eq!(par.partitions.len(), serial.partitions.len());
             for (p, s) in par.partitions.iter().zip(serial.partitions.iter()) {
@@ -442,7 +468,8 @@ mod tests {
         let lattice = Lattice::new(spec.domain_sizes(), vec![4, 2]);
         let budget = Budget::unlimited();
         budget.cancel();
-        assert!(translate_budgeted(&spec, &lattice, None, 0, 2, &budget).is_err());
+        assert!(translate_budgeted(&spec, &lattice, None, 0, 2, &budget, &SpanCtx::disabled())
+            .is_err());
     }
 
     #[test]

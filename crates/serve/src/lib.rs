@@ -97,6 +97,19 @@
 //! The `X-Cache: hit|miss` response header reports whether the result came
 //! from the cache (bodies are identical either way).
 //!
+//! Two query parameters change the body (and therefore bypass the result
+//! cache in both directions — no lookup, no insert):
+//!
+//! * `?timings=1` — append the wall-clock `timings` object
+//!   ([`spade_core::SpadeReport::to_json`] with timings);
+//! * `?profile=1` — attach this request's span tree under a `"trace"` key:
+//!
+//! ```json
+//! {"trace": {"total_us": 1234,
+//!            "spans": [{"name": "evaluation", "start_us": 300, "dur_us": 900,
+//!                       "attrs": {"cfs": 3}, "children": ["..."]}]}}
+//! ```
+//!
 //! ## `POST /reload`
 //!
 //! Atomically replaces the served snapshot. Body: `{}` or absent to reload
@@ -116,22 +129,41 @@
 //! `200` with a nested object: `snapshot` (generation, source path,
 //! triples, terms, properties, load_ms), `cache` (hits, misses, evictions,
 //! entries, bytes), `server` (workers, request_threads, uptime_secs,
-//! request counters).
+//! request counters, and a `slow_log` sub-object with its threshold and
+//! capacity).
 //!
 //! ## `GET /metrics`
 //!
-//! Prometheus text exposition (`text/plain; version=0.0.4`):
+//! Prometheus text exposition (`text/plain; version=0.0.4`) rendered from
+//! the [`spade_telemetry::Registry`]. Counters:
 //! `spade_serve_requests_total`, `spade_serve_explore_total`,
 //! `spade_serve_explore_cached_total`, `spade_serve_reload_total`,
 //! `spade_serve_connections_total`, `spade_serve_rejected_busy_total`,
-//! `spade_serve_http_errors_total`, `spade_serve_shed_total`,
+//! `spade_serve_http_errors_total`, `spade_serve_responses_4xx_total`,
+//! `spade_serve_responses_5xx_total`, `spade_serve_shed_total`,
 //! `spade_serve_timeouts_total`, `spade_serve_panics_total`,
-//! `spade_serve_cancel_latency_ms_total`,
-//! `spade_serve_cache_{hits,misses,evictions}_total`,
-//! and gauges `spade_serve_in_flight`, `spade_serve_queue_depth`,
+//! `spade_serve_cancel_latency_ms_total` (deprecated — see the
+//! `cancel_latency_seconds` histogram),
+//! `spade_serve_cache_{hits,misses,evictions}_total`.
+//! Gauges: `spade_serve_in_flight`, `spade_serve_queue_depth`,
 //! `spade_serve_admission_capacity`, `spade_serve_admission_inflight_cost`,
 //! `spade_serve_cache_bytes`, `spade_serve_snapshot_generation`,
-//! `spade_serve_snapshot_triples`.
+//! `spade_serve_snapshot_triples`, `spade_serve_uptime_seconds`.
+//! Histograms (cumulative `_bucket{le=…}` / `_sum` / `_count` series):
+//! `spade_serve_request_seconds{route="explore_cold"|"explore_warm"|"reload"}`,
+//! `spade_serve_stage_seconds{stage=…}` (one series per online pipeline
+//! stage), `spade_serve_queue_wait_seconds`, and
+//! `spade_serve_cancel_latency_seconds`.
+//!
+//! ## `GET /debug/slow`
+//!
+//! The in-memory slow-request log: the worst-`capacity` requests at or
+//! above `--slow-ms`, each with its route, status, generation, duration,
+//! and full span tree. `{"threshold_ms": …, "capacity": …, "entries":
+//! [{"id": …, "route": "explore", "status": 200, "generation": 1,
+//! "duration_ms": …, "unix_ms": …, "trace": {…}}]}`. With `--slow-ms 0`
+//! (default) every traced request qualifies and the log keeps the
+//! worst 32.
 //!
 //! ## Status codes
 //!
@@ -165,9 +197,11 @@
 //!   parallel batches and region flushes (never mid-batch, so outputs stay
 //!   bit-identical when no cancellation fires); an expired request unwinds
 //!   with a typed cancellation, answers `504`, and the worker is recycled.
-//!   `timeouts_total` counts them; `cancel_latency_ms_total /
-//!   timeouts_total` is the observed cancellation latency (the check
-//!   granularity — expect milliseconds, bounded by one region flush).
+//!   `timeouts_total` counts them; the `cancel_latency_seconds` histogram
+//!   is the observed cancellation latency distribution (the check
+//!   granularity — expect milliseconds, bounded by one region flush). The
+//!   older `cancel_latency_ms_total` counter still emits for dashboards
+//!   built on it, but the histogram supersedes it.
 //! * **Overload** — two independent valves. The accept queue
 //!   (`ServeConfig::queue_depth`) bounds *connections*: overflow is `503`
 //!   at accept time, counted in `rejected_busy_total`, visible as the
@@ -188,9 +222,44 @@
 //!   untouched.
 //!
 //! SLO guidance: alert on `panics_total > 0`, on `shed_total` rising while
-//! `in_flight` is low (capacity set too tight), and on
-//! `cancel_latency_ms_total / timeouts_total` approaching the request
-//! timeout itself (checks too coarse for the configured deadline).
+//! `in_flight` is low (capacity set too tight), and on the upper buckets
+//! of `cancel_latency_seconds` approaching the request timeout itself
+//! (checks too coarse for the configured deadline).
+//!
+//! # Observability
+//!
+//! Every layer of the daemon reports through one dependency-free
+//! substrate, [`spade_telemetry`]:
+//!
+//! * **Metrics** — all counters, gauges, and histograms live in a single
+//!   [`spade_telemetry::Registry`] and render deterministically (sorted
+//!   family order, fixed bucket bounds) at `GET /metrics`. Values owned
+//!   elsewhere (cache statistics, snapshot facts, uptime) are mirrored
+//!   into the registry at scrape time, so the exposition is one
+//!   consistent snapshot. Latency histograms share the
+//!   [`spade_telemetry::DURATION_BOUNDS_SECONDS`] bounds (0.5 ms – 10 s),
+//!   so `histogram_quantile` works uniformly across routes and stages.
+//! * **Traces** — every cold `/explore` records a hierarchical span tree
+//!   ([`spade_core::Trace`]) through the whole pipeline: the six online
+//!   stages at the top level, then per-CFS, per-lattice, translate,
+//!   early-stop, and cube-engine shard/merge spans below. Span-tree
+//!   *shape* is deterministic at any thread count (parallel fan-outs
+//!   record index-ordered siblings); only timings vary. The top-level
+//!   stage spans are the same measurement as the report's `timings`
+//!   object — there is one timing source. Per-stage durations also feed
+//!   the `spade_serve_stage_seconds` histogram, so stage-level latency
+//!   is graphable without tracing every request.
+//! * **Profiles** — `POST /explore?profile=1` attaches the span tree to
+//!   the response (see the wire protocol above); `GET /debug/slow`
+//!   retains the worst-N span trees at or above `--slow-ms`.
+//! * **Logs** — `--log-json` writes one structured JSON line per request
+//!   to stderr: `{"unix_ms": …, "id": …, "method": …, "route": …,
+//!   "status": …, "generation": …, "duration_ms": …}` plus a `"cause"`
+//!   key (`panic`, `timeout`, `shed`) on 500/503/504 responses.
+//!
+//! Tracing is observation-only: response bodies stay bit-identical with
+//! and without it, and the substrate's overhead on the warm path is
+//! bounded by the `--profile-overhead` mode of `bench_serve`.
 //!
 //! # Running
 //!

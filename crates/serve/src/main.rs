@@ -5,7 +5,7 @@
 //! spade-serve --snapshot data.spade [--addr 127.0.0.1:7878] [--workers N]
 //!             [--threads N] [--cache-bytes N] [--max-body-bytes N]
 //!             [--drain-secs N] [--request-timeout F] [--admission-capacity N]
-//!             [--k N] [--min-support F]
+//!             [--k N] [--min-support F] [--slow-ms N] [--log-json]
 //! ```
 
 use spade_serve::server::{ServeConfig, Server};
@@ -17,7 +17,7 @@ fn usage() -> ! {
         "usage: spade-serve --snapshot <path> [--addr <host:port>] [--workers <n>] \
          [--threads <n>] [--cache-bytes <n>] [--max-body-bytes <n>] [--drain-secs <n>] \
          [--request-timeout <secs>] [--admission-capacity <n>] \
-         [--k <n>] [--min-support <f>]"
+         [--k <n>] [--min-support <f>] [--slow-ms <n>] [--log-json]"
     );
     std::process::exit(2);
 }
@@ -62,6 +62,8 @@ fn main() {
                 config.admission_capacity =
                     parse(&value("--admission-capacity"), "--admission-capacity")
             }
+            "--slow-ms" => config.slow_ms = parse(&value("--slow-ms"), "--slow-ms"),
+            "--log-json" => config.log_json = true,
             "--k" => base.k = parse(&value("--k"), "--k"),
             "--min-support" => {
                 base.min_support = parse(&value("--min-support"), "--min-support")

@@ -5,7 +5,10 @@ use crate::admission::AdmissionController;
 use crate::cache::{CacheStats, ResultCache};
 use crate::http::{self, Conn, HttpError, Limits, Request};
 use spade_core::json::{self, Json, JsonWriter};
-use spade_core::{Budget, OfflineState, RequestConfig, Spade, SpadeConfig};
+use spade_core::{Budget, OfflineState, RequestConfig, Spade, SpadeConfig, Trace};
+use spade_telemetry::{
+    Counter, Gauge, Histogram, Registry, SlowEntry, SlowLog, DURATION_BOUNDS_SECONDS,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -50,6 +53,16 @@ pub struct ServeConfig {
     /// would push the in-flight sum past this is shed with 503 +
     /// `Retry-After` before any evaluation starts. `0` = always admit.
     pub admission_capacity: u64,
+    /// Slow-request log threshold in milliseconds: an `/explore` must run
+    /// at least this long to enter the bounded worst-N log served at
+    /// `GET /debug/slow`. `0` (the default) logs the worst N regardless of
+    /// absolute duration.
+    pub slow_ms: u64,
+    /// How many slow-request traces the log retains (the N worst).
+    pub slow_capacity: usize,
+    /// Emit one structured JSON log line per request to stderr (request
+    /// id, method, route, status, generation, duration, failure cause).
+    pub log_json: bool,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +78,9 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             request_timeout: None,
             admission_capacity: 0,
+            slow_ms: 0,
+            slow_capacity: 32,
+            log_json: false,
         }
     }
 }
@@ -105,26 +121,186 @@ pub struct ServingState {
     pub source: PathBuf,
 }
 
-#[derive(Default)]
+/// The online pipeline stages recorded as top-level spans by
+/// [`spade_core::Spade::run_on_traced`] — one `stage_seconds` histogram
+/// series per name.
+const STAGES: [&str; 6] = [
+    "offline_analysis",
+    "cfs_selection",
+    "attribute_analysis",
+    "enumeration",
+    "evaluation",
+    "topk",
+];
+
+/// Every server metric, registered on one [`Registry`] and rendered at
+/// `GET /metrics`. Counters and gauges the server owns are updated at the
+/// event site; values owned elsewhere (cache statistics, snapshot facts,
+/// uptime) are mirrored into their handles at scrape time, so the rendered
+/// exposition is always one consistent pass over the registry.
 struct Metrics {
-    requests_total: AtomicU64,
-    explore_total: AtomicU64,
-    explore_cached_total: AtomicU64,
-    reload_total: AtomicU64,
-    http_errors_total: AtomicU64,
-    responses_4xx: AtomicU64,
-    responses_5xx: AtomicU64,
-    connections_total: AtomicU64,
-    rejected_busy_total: AtomicU64,
-    shed_total: AtomicU64,
-    timeouts_total: AtomicU64,
-    panics_total: AtomicU64,
+    registry: Registry,
+    requests_total: Counter,
+    explore_total: Counter,
+    explore_cached_total: Counter,
+    reload_total: Counter,
+    http_errors_total: Counter,
+    responses_4xx: Counter,
+    responses_5xx: Counter,
+    connections_total: Counter,
+    rejected_busy_total: Counter,
+    shed_total: Counter,
+    timeouts_total: Counter,
+    panics_total: Counter,
     /// Total milliseconds requests kept running *past* their deadline before
-    /// the cooperative cancellation unwound them — the budget-check
-    /// granularity made observable (divide by `timeouts_total` for the mean).
-    cancel_latency_ms_total: AtomicU64,
-    in_flight: AtomicU64,
-    queue_depth: AtomicU64,
+    /// the cooperative cancellation unwound them.
+    ///
+    /// **Deprecated**: superseded by the `cancel_latency_seconds` histogram,
+    /// which carries the full distribution instead of a lossy sum. Still
+    /// emitted for one release so existing dashboards keep working; remove
+    /// after the next release.
+    cancel_latency_ms_total: Counter,
+    cache_hits_total: Counter,
+    cache_misses_total: Counter,
+    cache_evictions_total: Counter,
+    in_flight: Gauge,
+    queue_depth: Gauge,
+    admission_capacity: Gauge,
+    admission_inflight_cost: Gauge,
+    cache_bytes: Gauge,
+    snapshot_generation: Gauge,
+    snapshot_triples: Gauge,
+    uptime_seconds: Gauge,
+    /// `request_seconds{route=...}`: explore_cold (full evaluation),
+    /// explore_warm (cache hit), reload.
+    request_seconds_explore_cold: Histogram,
+    request_seconds_explore_warm: Histogram,
+    request_seconds_reload: Histogram,
+    /// `stage_seconds{stage=...}`, fed from every cold explore's trace —
+    /// parallel to [`STAGES`].
+    stage_seconds: Vec<Histogram>,
+    /// Time connections spent queued between accept and worker pickup.
+    queue_wait_seconds: Histogram,
+    /// How far past its deadline a cancelled request ran before the
+    /// cooperative unwind surfaced (replaces `cancel_latency_ms_total`).
+    cancel_latency_seconds: Histogram,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let r = Registry::new();
+        let b = &DURATION_BOUNDS_SECONDS;
+        Metrics {
+            requests_total: r.counter("spade_serve_requests_total", "Requests routed"),
+            explore_total: r.counter("spade_serve_explore_total", "Explore requests"),
+            explore_cached_total: r.counter(
+                "spade_serve_explore_cached_total",
+                "Explore requests answered from cache",
+            ),
+            reload_total: r.counter("spade_serve_reload_total", "Successful reloads"),
+            http_errors_total: r
+                .counter("spade_serve_http_errors_total", "Malformed or over-limit requests"),
+            responses_4xx: r
+                .counter("spade_serve_responses_4xx_total", "Responses with a 4xx status"),
+            responses_5xx: r
+                .counter("spade_serve_responses_5xx_total", "Responses with a 5xx status"),
+            connections_total: r
+                .counter("spade_serve_connections_total", "Accepted connections"),
+            rejected_busy_total: r.counter(
+                "spade_serve_rejected_busy_total",
+                "Connections answered 503 at the accept queue",
+            ),
+            shed_total: r.counter(
+                "spade_serve_shed_total",
+                "Explore requests shed by admission control",
+            ),
+            timeouts_total: r.counter(
+                "spade_serve_timeouts_total",
+                "Explore requests cancelled at their deadline",
+            ),
+            panics_total: r.counter(
+                "spade_serve_panics_total",
+                "Requests answered 500 after a caught panic",
+            ),
+            cancel_latency_ms_total: r.counter(
+                "spade_serve_cancel_latency_ms_total",
+                "DEPRECATED (use cancel_latency_seconds): milliseconds past deadline, summed",
+            ),
+            cache_hits_total: r.counter("spade_serve_cache_hits_total", "Result-cache hits"),
+            cache_misses_total: r
+                .counter("spade_serve_cache_misses_total", "Result-cache misses"),
+            cache_evictions_total: r
+                .counter("spade_serve_cache_evictions_total", "Result-cache evictions"),
+            in_flight: r.gauge("spade_serve_in_flight", "Requests currently executing"),
+            queue_depth: r.gauge(
+                "spade_serve_queue_depth",
+                "Connections accepted but not yet picked up by a worker",
+            ),
+            admission_capacity: r.gauge(
+                "spade_serve_admission_capacity",
+                "Admission-control capacity in work units (0 = unlimited)",
+            ),
+            admission_inflight_cost: r.gauge(
+                "spade_serve_admission_inflight_cost",
+                "Estimated work units currently admitted",
+            ),
+            cache_bytes: r.gauge("spade_serve_cache_bytes", "Result-cache bytes in use"),
+            snapshot_generation: r
+                .gauge("spade_serve_snapshot_generation", "Current snapshot generation"),
+            snapshot_triples: r.gauge("spade_serve_snapshot_triples", "Triples served"),
+            uptime_seconds: r
+                .gauge("spade_serve_uptime_seconds", "Whole seconds since the server started"),
+            request_seconds_explore_cold: r.histogram_with(
+                "spade_serve_request_seconds",
+                "Request handling latency by route",
+                &[("route", "explore_cold")],
+                b,
+            ),
+            request_seconds_explore_warm: r.histogram_with(
+                "spade_serve_request_seconds",
+                "Request handling latency by route",
+                &[("route", "explore_warm")],
+                b,
+            ),
+            request_seconds_reload: r.histogram_with(
+                "spade_serve_request_seconds",
+                "Request handling latency by route",
+                &[("route", "reload")],
+                b,
+            ),
+            stage_seconds: STAGES
+                .iter()
+                .map(|stage| {
+                    r.histogram_with(
+                        "spade_serve_stage_seconds",
+                        "Per-pipeline-stage duration across cold explores",
+                        &[("stage", stage)],
+                        b,
+                    )
+                })
+                .collect(),
+            queue_wait_seconds: r.histogram(
+                "spade_serve_queue_wait_seconds",
+                "Time connections waited between accept and worker pickup",
+                b,
+            ),
+            cancel_latency_seconds: r.histogram(
+                "spade_serve_cancel_latency_seconds",
+                "Time past the deadline before cooperative cancellation unwound",
+                b,
+            ),
+            registry: r,
+        }
+    }
+
+    /// Feeds one cold explore's trace into the per-stage histograms.
+    fn observe_stages(&self, trace: &Trace) {
+        for (name, duration) in trace.stage_durations() {
+            if let Some(i) = STAGES.iter().position(|s| *s == name) {
+                self.stage_seconds[i].observe_duration(duration);
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -137,6 +313,12 @@ struct Shared {
     /// bump); never held while serving `/explore`.
     reload: Mutex<()>,
     metrics: Metrics,
+    /// Bounded worst-N log of slow `/explore` traces (`GET /debug/slow`).
+    slow: SlowLog,
+    /// One structured JSON log line per request on stderr when set.
+    log_json: bool,
+    /// Monotone request-id source for logs and the slow log.
+    request_ids: AtomicU64,
     shutdown: AtomicBool,
     limits: Limits,
     idle_timeout: Duration,
@@ -189,7 +371,10 @@ impl Server {
             })),
             cache: Mutex::new(ResultCache::new(config.cache_bytes)),
             reload: Mutex::new(()),
-            metrics: Metrics::default(),
+            metrics: Metrics::new(),
+            slow: SlowLog::new(config.slow_ms, config.slow_capacity),
+            log_json: config.log_json,
+            request_ids: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             limits: config.limits,
             idle_timeout: config.idle_timeout,
@@ -201,7 +386,10 @@ impl Server {
             started: Instant::now(),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        // Each queued connection carries its enqueue instant so the worker
+        // that picks it up can record the observed queue wait.
+        let (tx, rx) =
+            std::sync::mpsc::sync_channel::<(TcpStream, Instant)>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -258,14 +446,14 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<(TcpStream, Instant)>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // drops tx; workers drain the queue then stop
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_total.inc();
                 let _ = stream.set_nodelay(true);
                 // The read timeout is the worker's poll tick: each tick it
                 // re-checks the shutdown flag and the connection's idle
@@ -274,12 +462,12 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                 // Gauge up *before* the send: once the stream is in the
                 // channel a worker may pop (and decrement) immediately, and
                 // incrementing after the fact would transiently underflow.
-                shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-                match tx.try_send(stream) {
+                shared.metrics.queue_depth.add(1);
+                match tx.try_send((stream, Instant::now())) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(mut stream)) => {
-                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        shared.metrics.rejected_busy_total.fetch_add(1, Ordering::Relaxed);
+                    Err(TrySendError::Full((mut stream, _))) => {
+                        shared.metrics.queue_depth.sub(1);
+                        shared.metrics.rejected_busy_total.inc();
                         let body = error_body("server busy, retry later");
                         let _ = http::write_response(
                             &mut stream,
@@ -291,7 +479,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                         );
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        shared.metrics.queue_depth.sub(1);
                         return;
                     }
                 }
@@ -304,7 +492,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         // Hold the receiver lock only while popping — never while serving.
         let next = {
@@ -312,8 +500,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
             rx.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => {
-                shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            Ok((stream, enqueued)) => {
+                shared.metrics.queue_depth.sub(1);
+                shared.metrics.queue_wait_seconds.observe_duration(enqueued.elapsed());
                 handle_connection(shared, stream);
             }
             // On shutdown the acceptor drops the sender; `recv` still hands
@@ -351,7 +540,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
             Err(HttpError::Io(_)) => return,
             Err(e) => {
-                shared.metrics.http_errors_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.http_errors_total.inc();
                 let status = match e {
                     HttpError::BodyTooLarge => 413,
                     HttpError::HeadTooLarge => 431,
@@ -376,8 +565,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         };
 
         last_request = Instant::now();
-        shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let request_id = shared.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.metrics.requests_total.inc();
+        shared.metrics.in_flight.add(1);
+        let started = Instant::now();
         // Panic isolation: a panic anywhere in routing (a bug, or the
         // fault-injection hook in chaos tests) must cost one response, not
         // the daemon. `spade_parallel` propagates worker panics through its
@@ -385,18 +576,25 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         // State touched by the panicking request stays safe to reuse: the
         // poisoned-lock accessors use `PoisonError::into_inner`, and the
         // admission permit's RAII drop runs during the unwind.
-        let response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
-                .unwrap_or_else(|_| {
-                    shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
-                    Response::error(500, "internal error").closing()
-                });
-        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let (response, panicked) =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(shared, &request, request_id)
+            })) {
+                Ok(response) => (response, false),
+                Err(_) => {
+                    shared.metrics.panics_total.inc();
+                    (Response::error(500, "internal error").closing(), true)
+                }
+            };
+        shared.metrics.in_flight.sub(1);
         match response.status {
-            400..=499 => shared.metrics.responses_4xx.fetch_add(1, Ordering::Relaxed),
-            500..=599 => shared.metrics.responses_5xx.fetch_add(1, Ordering::Relaxed),
-            _ => 0,
-        };
+            400..=499 => shared.metrics.responses_4xx.inc(),
+            500..=599 => shared.metrics.responses_5xx.inc(),
+            _ => {}
+        }
+        if shared.log_json {
+            log_request(shared, &request, request_id, &response, panicked, started.elapsed());
+        }
 
         // Finish the in-flight response, but do not start another request
         // on this connection once draining, and recycle the connection after
@@ -476,19 +674,83 @@ fn error_body(message: &str) -> String {
     w.finish()
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+/// One structured JSON log line per request on stderr (`--log-json`).
+/// Fields: unix_ms, id, method, route (path without query), status,
+/// generation, duration_ms, and a `cause` for failure statuses
+/// (panic / timeout / shed).
+fn log_request(
+    shared: &Shared,
+    request: &Request,
+    id: u64,
+    response: &Response,
+    panicked: bool,
+    elapsed: Duration,
+) {
+    let route = request.path.split('?').next().unwrap_or(&request.path);
+    let cause = if panicked {
+        Some("panic")
+    } else {
+        match response.status {
+            504 => Some("timeout"),
+            503 => Some("shed"),
+            _ => None,
+        }
+    };
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("unix_ms").uint(unix_ms());
+    w.key("id").uint(id);
+    w.key("method").string(&request.method);
+    w.key("route").string(route);
+    w.key("status").uint(u64::from(response.status));
+    w.key("generation").uint(current(shared).generation);
+    w.key("duration_ms").f64(elapsed.as_secs_f64() * 1e3);
+    if let Some(cause) = cause {
+        w.key("cause").string(cause);
+    }
+    w.end_object();
+    eprintln!("{}", w.finish());
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn route(shared: &Shared, request: &Request, request_id: u64) -> Response {
+    // The request target may carry a query string (`/explore?profile=1`);
+    // routing matches on the path alone.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/stats") => stats(shared),
         ("GET", "/metrics") => metrics(shared),
-        ("POST", "/explore") => explore(shared, &request.body),
+        ("GET", "/debug/slow") => Response::json(200, shared.slow.to_json()),
+        ("POST", "/explore") => explore(shared, query, &request.body, request_id),
         ("POST", "/reload") => reload(shared, &request.body),
-        (_, "/healthz" | "/stats" | "/metrics") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/debug/slow") => {
             Response::error(405, "use GET for this route")
         }
         (_, "/explore" | "/reload") => Response::error(405, "use POST for this route"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `true` when `name` appears in the query string as a truthy flag
+/// (`name`, `name=1`, or `name=true`).
+fn query_flag(query: &str, name: &str) -> bool {
+    query.split('&').any(|pair| {
+        let (key, value) = match pair.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (pair, "1"),
+        };
+        key == name && (value == "1" || value == "true")
+    })
 }
 
 fn current(shared: &Shared) -> Arc<ServingState> {
@@ -531,23 +793,27 @@ fn stats(shared: &Shared) -> Response {
     w.key("workers").usize(shared.workers);
     w.key("request_threads").usize(shared.request_threads);
     w.key("uptime_secs").f64(shared.started.elapsed().as_secs_f64());
-    w.key("requests_total").uint(m.requests_total.load(Ordering::Relaxed));
-    w.key("explore_total").uint(m.explore_total.load(Ordering::Relaxed));
-    w.key("explore_cached_total").uint(m.explore_cached_total.load(Ordering::Relaxed));
-    w.key("reload_total").uint(m.reload_total.load(Ordering::Relaxed));
-    w.key("connections_total").uint(m.connections_total.load(Ordering::Relaxed));
-    w.key("rejected_busy_total").uint(m.rejected_busy_total.load(Ordering::Relaxed));
-    w.key("shed_total").uint(m.shed_total.load(Ordering::Relaxed));
-    w.key("timeouts_total").uint(m.timeouts_total.load(Ordering::Relaxed));
-    w.key("panics_total").uint(m.panics_total.load(Ordering::Relaxed));
-    w.key("cancel_latency_ms_total").uint(m.cancel_latency_ms_total.load(Ordering::Relaxed));
-    w.key("http_errors_total").uint(m.http_errors_total.load(Ordering::Relaxed));
-    w.key("responses_4xx").uint(m.responses_4xx.load(Ordering::Relaxed));
-    w.key("responses_5xx").uint(m.responses_5xx.load(Ordering::Relaxed));
-    w.key("in_flight").uint(m.in_flight.load(Ordering::Relaxed));
-    w.key("queue_depth").uint(m.queue_depth.load(Ordering::Relaxed));
+    w.key("requests_total").uint(m.requests_total.get());
+    w.key("explore_total").uint(m.explore_total.get());
+    w.key("explore_cached_total").uint(m.explore_cached_total.get());
+    w.key("reload_total").uint(m.reload_total.get());
+    w.key("connections_total").uint(m.connections_total.get());
+    w.key("rejected_busy_total").uint(m.rejected_busy_total.get());
+    w.key("shed_total").uint(m.shed_total.get());
+    w.key("timeouts_total").uint(m.timeouts_total.get());
+    w.key("panics_total").uint(m.panics_total.get());
+    w.key("cancel_latency_ms_total").uint(m.cancel_latency_ms_total.get());
+    w.key("http_errors_total").uint(m.http_errors_total.get());
+    w.key("responses_4xx").uint(m.responses_4xx.get());
+    w.key("responses_5xx").uint(m.responses_5xx.get());
+    w.key("in_flight").uint(m.in_flight.get());
+    w.key("queue_depth").uint(m.queue_depth.get());
     w.key("admission_capacity").uint(shared.admission.capacity());
     w.key("admission_inflight_cost").uint(shared.admission.inflight());
+    w.key("slow_log").begin_object();
+    w.key("threshold_ms").uint(shared.slow.threshold_ms());
+    w.key("capacity").usize(shared.slow.capacity());
+    w.end_object();
     w.end_object();
     w.end_object();
     Response::json(200, w.finish())
@@ -557,89 +823,23 @@ fn metrics(shared: &Shared) -> Response {
     let state = current(shared);
     let cache = shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
     let m = &shared.metrics;
-    let mut out = String::new();
-    let mut counter = |name: &str, help: &str, value: u64| {
-        out.push_str(&format!(
-            "# HELP spade_serve_{name} {help}\n# TYPE spade_serve_{name} counter\n\
-             spade_serve_{name} {value}\n",
-        ));
-    };
-    counter("requests_total", "Requests routed", m.requests_total.load(Ordering::Relaxed));
-    counter("explore_total", "Explore requests", m.explore_total.load(Ordering::Relaxed));
-    counter(
-        "explore_cached_total",
-        "Explore requests answered from cache",
-        m.explore_cached_total.load(Ordering::Relaxed),
-    );
-    counter("reload_total", "Successful reloads", m.reload_total.load(Ordering::Relaxed));
-    counter(
-        "connections_total",
-        "Accepted connections",
-        m.connections_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "rejected_busy_total",
-        "Connections answered 503 at the accept queue",
-        m.rejected_busy_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "http_errors_total",
-        "Malformed or over-limit requests",
-        m.http_errors_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "shed_total",
-        "Explore requests shed by admission control",
-        m.shed_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "timeouts_total",
-        "Explore requests cancelled at their deadline",
-        m.timeouts_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "panics_total",
-        "Requests answered 500 after a caught panic",
-        m.panics_total.load(Ordering::Relaxed),
-    );
-    counter(
-        "cancel_latency_ms_total",
-        "Milliseconds spent past the deadline before cancellation unwound",
-        m.cancel_latency_ms_total.load(Ordering::Relaxed),
-    );
-    counter("cache_hits_total", "Result-cache hits", cache.hits);
-    counter("cache_misses_total", "Result-cache misses", cache.misses);
-    counter("cache_evictions_total", "Result-cache evictions", cache.evictions);
-    let mut gauge = |name: &str, help: &str, value: u64| {
-        out.push_str(&format!(
-            "# HELP spade_serve_{name} {help}\n# TYPE spade_serve_{name} gauge\n\
-             spade_serve_{name} {value}\n",
-        ));
-    };
-    gauge("in_flight", "Requests currently executing", m.in_flight.load(Ordering::Relaxed));
-    gauge(
-        "queue_depth",
-        "Connections accepted but not yet picked up by a worker",
-        m.queue_depth.load(Ordering::Relaxed),
-    );
-    gauge(
-        "admission_capacity",
-        "Admission-control capacity in work units (0 = unlimited)",
-        shared.admission.capacity(),
-    );
-    gauge(
-        "admission_inflight_cost",
-        "Estimated work units currently admitted",
-        shared.admission.inflight(),
-    );
-    gauge("cache_bytes", "Result-cache bytes in use", cache.bytes as u64);
-    gauge("snapshot_generation", "Current snapshot generation", state.generation);
-    gauge("snapshot_triples", "Triples served", state.offline.graph.len() as u64);
+    // Mirror values owned outside the registry (cache statistics, snapshot
+    // facts, admission state, uptime) into their handles, then render one
+    // consistent exposition.
+    m.cache_hits_total.mirror(cache.hits);
+    m.cache_misses_total.mirror(cache.misses);
+    m.cache_evictions_total.mirror(cache.evictions);
+    m.cache_bytes.set(cache.bytes as u64);
+    m.snapshot_generation.set(state.generation);
+    m.snapshot_triples.set(state.offline.graph.len() as u64);
+    m.admission_capacity.set(shared.admission.capacity());
+    m.admission_inflight_cost.set(shared.admission.inflight());
+    m.uptime_seconds.set(shared.started.elapsed().as_secs());
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4",
         headers: Vec::new(),
-        body: out.into_bytes().into(),
+        body: m.registry.render().into_bytes().into(),
         close: false,
     }
 }
@@ -695,8 +895,40 @@ fn parse_explore(body: &[u8]) -> Result<RequestConfig, String> {
     Ok(request)
 }
 
-fn explore(shared: &Shared, body: &[u8]) -> Response {
-    shared.metrics.explore_total.fetch_add(1, Ordering::Relaxed);
+/// Records an `/explore` outcome into the slow-request log, attaching the
+/// request's rendered span tree.
+fn record_slow(
+    shared: &Shared,
+    request_id: u64,
+    status: u16,
+    generation: u64,
+    elapsed: Duration,
+    trace: &Trace,
+) {
+    shared.slow.record(SlowEntry {
+        id: request_id,
+        route: "explore",
+        status,
+        generation,
+        duration_ms: elapsed.as_millis() as u64,
+        unix_ms: unix_ms(),
+        trace_json: format!(
+            "{{\"total_us\":{},\"spans\":{}}}",
+            elapsed.as_micros(),
+            trace.spans_json()
+        ),
+    });
+}
+
+fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Response {
+    let started = Instant::now();
+    shared.metrics.explore_total.inc();
+    // `?profile=1` attaches the span tree to the response; `?timings=1`
+    // appends the (nondeterministic) step timings. Either one makes the
+    // body request-specific, so both bypass the byte-exact result cache.
+    let profile = query_flag(query, "profile");
+    let with_timings = query_flag(query, "timings");
+    let bypass_cache = profile || with_timings;
     let mut request = match parse_explore(body) {
         Ok(request) => request,
         Err(message) => return Response::error(400, &message),
@@ -710,17 +942,20 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
 
     let state = current(shared);
     let key = format!("g{}:{}", state.generation, request.canonical_key());
-    if let Some(hit) =
-        shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
-    {
-        shared.metrics.explore_cached_total.fetch_add(1, Ordering::Relaxed);
-        return Response {
-            status: 200,
-            content_type: "application/json",
-            headers: vec![("X-Cache", "hit".to_owned())],
-            body: hit,
-            close: false,
-        };
+    if !bypass_cache {
+        if let Some(hit) =
+            shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+        {
+            shared.metrics.explore_cached_total.inc();
+            shared.metrics.request_seconds_explore_warm.observe_duration(started.elapsed());
+            return Response {
+                status: 200,
+                content_type: "application/json",
+                headers: vec![("X-Cache", "hit".to_owned())],
+                body: hit,
+                close: false,
+            };
+        }
     }
 
     // Fault-injection site for chaos tests (no-op unless `SPADE_FAULT`
@@ -734,7 +969,7 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
     // from memory is always admissible.
     let cost = crate::admission::estimate_cost(&state.offline, &shared.base, &request);
     let Some(_permit) = shared.admission.try_admit(cost) else {
-        shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.shed_total.inc();
         let mut response =
             Response::error(503, "estimated cost exceeds admission capacity, retry later");
         response.headers.push(("Retry-After", "1".to_owned()));
@@ -743,38 +978,67 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
 
     // The evaluation runs outside every lock, against this request's
     // pinned generation, under the per-request deadline (if configured).
+    // Every cold explore is traced: the trace feeds the per-stage
+    // histograms and the slow log, and is attached to the body on
+    // `?profile=1`. Tracing is observation only — bodies stay bit-identical.
     let budget = match shared.request_timeout {
         Some(timeout) => Budget::with_deadline(timeout),
         None => Budget::unlimited(),
     };
-    let report = match shared.engine.run_on_budgeted(&state.offline, &request, &budget) {
-        Ok(report) => report,
-        Err(cancelled) => {
-            shared.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
-            if let Some(deadline) = budget.deadline() {
-                // How far past the deadline the cooperative unwind surfaced
-                // — the observable cancellation latency.
-                let over = Instant::now().saturating_duration_since(deadline);
-                shared
-                    .metrics
-                    .cancel_latency_ms_total
-                    .fetch_add(over.as_millis() as u64, Ordering::Relaxed);
-            }
-            return Response::error(504, &format!("request deadline exceeded ({cancelled})"))
+    let trace = Trace::new();
+    let report =
+        match shared.engine.run_on_traced(&state.offline, &request, &budget, Some(&trace)) {
+            Ok(report) => report,
+            Err(cancelled) => {
+                shared.metrics.timeouts_total.inc();
+                if let Some(deadline) = budget.deadline() {
+                    // How far past the deadline the cooperative unwind
+                    // surfaced — the observable cancellation latency.
+                    let over = Instant::now().saturating_duration_since(deadline);
+                    shared.metrics.cancel_latency_ms_total.add(over.as_millis() as u64);
+                    shared.metrics.cancel_latency_seconds.observe_duration(over);
+                }
+                record_slow(
+                    shared,
+                    request_id,
+                    504,
+                    state.generation,
+                    started.elapsed(),
+                    &trace,
+                );
+                return Response::error(
+                    504,
+                    &format!("request deadline exceeded ({cancelled})"),
+                )
                 .closing();
-        }
-    };
-    let body: Arc<[u8]> = report.to_json(false).into_bytes().into();
-    // Skip the insert when a reload swapped generations mid-evaluation:
-    // the old-generation key could never be looked up again, so storing it
+            }
+        };
+    shared.metrics.observe_stages(&trace);
+    let mut text = report.to_json(with_timings);
+    if profile {
+        // Splice the span tree into the report object under `"trace"`.
+        text.truncate(text.len() - 1);
+        text.push_str(&format!(
+            ",\"trace\":{{\"total_us\":{},\"spans\":{}}}}}",
+            trace.elapsed_us(),
+            trace.spans_json()
+        ));
+    }
+    let body: Arc<[u8]> = text.into_bytes().into();
+    // Skip the insert when the body is request-specific (profile/timings)
+    // or when a reload swapped generations mid-evaluation: the
+    // old-generation key could never be looked up again, so storing it
     // would only waste cache budget (and could evict live entries).
-    if current(shared).generation == state.generation {
+    if !bypass_cache && current(shared).generation == state.generation {
         shared
             .cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, Arc::clone(&body));
     }
+    let elapsed = started.elapsed();
+    shared.metrics.request_seconds_explore_cold.observe_duration(elapsed);
+    record_slow(shared, request_id, 200, state.generation, elapsed, &trace);
     Response {
         status: 200,
         content_type: "application/json",
@@ -785,6 +1049,7 @@ fn explore(shared: &Shared, body: &[u8]) -> Response {
 }
 
 fn reload(shared: &Shared, body: &[u8]) -> Response {
+    let started = Instant::now();
     // One reload at a time; `/explore` traffic never takes this lock.
     let _guard = shared.reload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let previous = current(shared);
@@ -826,7 +1091,8 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
             // (keys embed the generation); drop them now instead of letting
             // them age out of the byte budget.
             shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
-            shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.reload_total.inc();
+            shared.metrics.request_seconds_reload.observe_duration(started.elapsed());
             let mut w = JsonWriter::compact();
             w.begin_object();
             w.key("status").string("reloaded");

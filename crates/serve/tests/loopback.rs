@@ -297,6 +297,138 @@ fn error_paths_match_the_wire_spec() {
 }
 
 #[test]
+fn metrics_exposition_is_prometheus_conformant() {
+    let dir = temp_dir("conformance");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    let server =
+        Server::start(serve_config(1 << 20), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    // Exercise every histogram family: a cold explore (request + stage
+    // seconds), a warm repeat (the warm route series), and a reload.
+    assert_eq!(client.post("/explore", b"").expect("cold").status, 200);
+    assert_eq!(client.post("/explore", b"").expect("warm").status, 200);
+    assert_eq!(client.post("/reload", b"").expect("reload").status, 200);
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    // The full parse-back: HELP/TYPE structure, monotone cumulative
+    // buckets, +Inf == _count, finite sums — on the live exposition.
+    let summary = spade_telemetry::conformance::check(&text)
+        .unwrap_or_else(|e| panic!("non-conformant exposition: {e}\n{text}"));
+    assert!(summary.histograms >= 3, "expected ≥3 histogram families: {summary:?}");
+    assert!(text.contains("spade_serve_request_seconds_bucket{route=\"explore_cold\""));
+    assert!(text.contains("spade_serve_request_seconds_bucket{route=\"explore_warm\""));
+    assert!(text.contains("spade_serve_request_seconds_bucket{route=\"reload\""));
+    assert!(text.contains("spade_serve_stage_seconds_bucket{stage=\"evaluation\""));
+    // The deprecated counter still emits next to its replacement histogram.
+    assert!(text.contains("spade_serve_cancel_latency_ms_total 0"));
+    assert!(text.contains("# TYPE spade_serve_cancel_latency_seconds histogram"));
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Reduces a `?profile=1` span tree to names + nesting + sibling order.
+fn shape_of(spans: &[spade_core::json::Json], out: &mut String) {
+    for span in spans {
+        out.push_str(span.get("name").and_then(|n| n.as_str()).expect("span name"));
+        if let Some(children) = span.get("children").and_then(|c| c.as_array()) {
+            out.push('(');
+            shape_of(children, out);
+            out.push(')');
+        }
+        out.push(';');
+    }
+}
+
+#[test]
+fn profile_span_tree_shape_is_thread_invariant() {
+    let dir = temp_dir("profile");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    let server =
+        Server::start(serve_config(1 << 20), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    let baseline = client.post("/explore", b"").expect("baseline").text();
+    let mut shapes: Vec<(usize, String)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let body = format!("{{\"threads\": {threads}}}");
+        let r = client.post("/explore?profile=1", body.as_bytes()).expect("profiled");
+        assert_eq!(r.status, 200);
+        // Profiled responses bypass the cache in both directions.
+        assert_eq!(r.header("x-cache"), Some("miss"));
+        let text = r.text();
+        assert!(text.contains("\"trace\":{"), "profile attaches the trace: {text}");
+        let doc = spade_core::json::parse(&text).expect("profiled JSON");
+        let trace = doc.get("trace").expect("trace key");
+        assert!(trace.get("total_us").and_then(|v| v.as_usize()).is_some());
+        let spans = trace.get("spans").and_then(|s| s.as_array()).expect("spans");
+        let mut shape = String::new();
+        shape_of(spans, &mut shape);
+        shapes.push((threads, shape));
+        // Minus the trace, the profiled body is the plain deterministic one.
+        let report_only = &text[..text.rfind(",\"trace\":{").expect("trace suffix")];
+        assert_eq!(format!("{report_only}}}"), baseline);
+    }
+    for w in shapes.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "span-tree shape differs between threads={} and threads={}",
+            w[0].0, w[1].0
+        );
+    }
+    // The tree really descends through the pipeline into the engine.
+    let shape = &shapes[0].1;
+    for stage in ["offline_analysis;", "cfs_selection(", "evaluation(", "lattice(", "topk;"] {
+        assert!(shape.contains(stage), "missing {stage} in {shape}");
+    }
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_log_retains_traced_requests() {
+    let dir = temp_dir("slowlog");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    // Threshold 0: every cold explore qualifies for the slow log.
+    let config = ServeConfig { slow_ms: 0, slow_capacity: 4, ..serve_config(0) };
+    let server = Server::start(config, base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    for _ in 0..3 {
+        assert_eq!(client.post("/explore", b"").expect("explore").status, 200);
+    }
+    let slow = client.get("/debug/slow").expect("debug/slow");
+    assert_eq!(slow.status, 200);
+    let doc = spade_core::json::parse(&slow.text()).expect("slow log JSON");
+    assert_eq!(doc.get("threshold_ms").and_then(|v| v.as_usize()), Some(0));
+    assert_eq!(doc.get("capacity").and_then(|v| v.as_usize()), Some(4));
+    let entries = doc.get("entries").and_then(|e| e.as_array()).expect("entries");
+    assert_eq!(entries.len(), 3);
+    for entry in entries {
+        assert_eq!(entry.get("route").and_then(|v| v.as_str()), Some("explore"));
+        assert_eq!(entry.get("status").and_then(|v| v.as_usize()), Some(200));
+        assert_eq!(entry.get("generation").and_then(|v| v.as_usize()), Some(1));
+        let trace = entry.get("trace").expect("trace");
+        assert!(trace.get("spans").and_then(|s| s.as_array()).is_some_and(|s| !s.is_empty()));
+    }
+    // Stats exposes the slow-log configuration.
+    let stats = client.get("/stats").expect("stats");
+    let stats_doc = spade_core::json::parse(&stats.text()).expect("stats JSON");
+    let slow_log = stats_doc.get("server").and_then(|s| s.get("slow_log")).expect("slow_log");
+    assert_eq!(slow_log.get("capacity").and_then(|v| v.as_usize()), Some(4));
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shutdown_drains_and_closes_the_listener() {
     let dir = temp_dir("shutdown");
     let path = write_snapshot(&dir, "corpus.spade", 100, 11);

@@ -1,0 +1,55 @@
+//! Reads a Prometheus text exposition from stdin and validates it with
+//! [`spade_telemetry::conformance::check`]. Exits non-zero on any
+//! violation. `--min-histograms N` additionally requires at least N
+//! histogram families.
+//!
+//! CI pipes a live `/metrics` scrape through this:
+//! `curl -s localhost:7878/metrics | promcheck --min-histograms 3`
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut min_histograms = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-histograms" => {
+                min_histograms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-histograms needs an integer");
+            }
+            other => {
+                eprintln!("promcheck: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("promcheck: failed to read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match spade_telemetry::conformance::check(&text) {
+        Ok(summary) => {
+            if summary.histograms < min_histograms {
+                eprintln!(
+                    "promcheck: expected >= {min_histograms} histograms, found {}",
+                    summary.histograms
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "promcheck: ok ({} families, {} histograms, {} series)",
+                summary.families, summary.histograms, summary.series
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("promcheck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
