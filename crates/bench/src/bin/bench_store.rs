@@ -15,15 +15,23 @@
 //! idempotence, so the bench doubles as a correctness smoke test. Results
 //! land in `BENCH_store.json` (triples/sec both ways and the speedup).
 //!
+//! A second section, **open_mode**, compares the two [`OpenMode`]s of
+//! `Snapshot::open_with` per case — `Mmap` (map the file, validate, no
+//! copy) against `Read` (allocate + read the whole image) — and probes the
+//! resident-memory story behind the multi-graph catalog: VmRSS deltas
+//! while holding 1 and 4 materialized [`OfflineState`]s per mode (mapped
+//! images are released with `MADV_DONTNEED` after materialization, so the
+//! mapped states should cost roughly the heap graph alone).
+//!
 //! Usage: `cargo run --release -p spade-bench --bin bench_store
 //! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]`
 
 use spade_bench::{geo_mean, HarnessArgs};
 use spade_core::json::JsonWriter;
-use spade_core::offline;
+use spade_core::{offline, OfflineState};
 use spade_datagen::corpus::{NtCase, NT_CASES};
 use spade_rdf::{ingest, saturate_with_threads, Graph};
-use spade_store::{write_snapshot, Snapshot};
+use spade_store::{write_snapshot, OpenMode, Snapshot};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -37,6 +45,10 @@ struct Outcome {
     offline_triples_per_sec: f64,
     load_triples_per_sec: f64,
     speedup: f64,
+    /// `Snapshot::open_with` latency (validate + checksum, no `load`).
+    mmap_open_secs: f64,
+    read_open_secs: f64,
+    open_speedup: f64,
 }
 
 fn check_agreement(loaded: &Graph, fresh: &Graph, case: &str) {
@@ -108,7 +120,29 @@ fn run_case(
         load_secs = load_secs.min(t.elapsed().as_secs_f64());
         std::hint::black_box((&loaded.graph, &s));
     }
-    std::fs::remove_file(&path).ok();
+
+    // Open-mode comparison: the same validated open (header, sections,
+    // checksum) without materialization. Mmap skips the image allocation
+    // and copy; both still stream every byte once for the checksum. More
+    // repeats than the load loop — opens are cheap and the page cache is
+    // warm either way after the loops above.
+    let mut mmap_open_secs = f64::INFINITY;
+    let mut read_open_secs = f64::INFINITY;
+    for _ in 0..repeats.max(5) {
+        let t = Instant::now();
+        let snap = Snapshot::open_with(&path, threads, OpenMode::Mmap).unwrap();
+        mmap_open_secs = mmap_open_secs.min(t.elapsed().as_secs_f64());
+        assert!(snap.is_mapped(), "{}: mmap open must actually map", case.name);
+        std::hint::black_box(&snap);
+
+        let t = Instant::now();
+        let snap = Snapshot::open_with(&path, threads, OpenMode::Read).unwrap();
+        read_open_secs = read_open_secs.min(t.elapsed().as_secs_f64());
+        assert!(!snap.is_mapped(), "{}: read open must copy", case.name);
+        std::hint::black_box(&snap);
+    }
+    // The snapshot file is left in place: main's RSS probe reuses it, then
+    // removes the whole directory.
 
     let n_triples = graph.len();
     Outcome {
@@ -121,7 +155,51 @@ fn run_case(
         offline_triples_per_sec: n_triples as f64 / offline_secs,
         load_triples_per_sec: n_triples as f64 / load_secs,
         speedup: offline_secs / load_secs,
+        mmap_open_secs,
+        read_open_secs,
+        open_speedup: read_open_secs / mmap_open_secs,
     }
+}
+
+/// Current VmRSS in bytes from `/proc/self/status` (0 when unavailable —
+/// the probe then reports zeros instead of failing the bench).
+fn vm_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+struct RssProbe {
+    mode: &'static str,
+    file_bytes: u64,
+    /// VmRSS delta over the pre-open baseline while holding 1 state.
+    held_1_bytes: u64,
+    /// … and while holding 4 states of the same snapshot.
+    held_4_bytes: u64,
+}
+
+/// Opens 1 then 4 [`OfflineState`]s of `path` under `mode` and records the
+/// VmRSS growth over a fresh baseline — the catalog's "what does one more
+/// resident graph cost" number. Mapped images are `MADV_DONTNEED`-released
+/// after materialization, so `Mmap` should grow by roughly the heap graph
+/// alone while `Read` also pays the full image per state.
+fn rss_probe(path: &Path, threads: usize, mode: OpenMode, label: &'static str) -> RssProbe {
+    let file_bytes = std::fs::metadata(path).expect("snapshot file").len();
+    let baseline = vm_rss_bytes();
+    let mut states = Vec::new();
+    states.push(OfflineState::open_with(path, threads, mode).expect("state opens"));
+    let held_1 = vm_rss_bytes().saturating_sub(baseline);
+    for _ in 0..3 {
+        states.push(OfflineState::open_with(path, threads, mode).expect("state opens"));
+    }
+    let held_4 = vm_rss_bytes().saturating_sub(baseline);
+    std::hint::black_box(&states);
+    drop(states);
+    RssProbe { mode: label, file_bytes, held_1_bytes: held_1, held_4_bytes: held_4 }
 }
 
 fn main() {
@@ -139,7 +217,7 @@ fn main() {
     for case in &NT_CASES {
         let o = run_case(case, scale, args.seed, args.threads, 3, &dir);
         eprintln!(
-            "{:14} {:7} triples ({:8} B file) | offline {:8.1} ms ({:9.0} t/s) | load {:8.2} ms ({:9.0} t/s) | speedup {:.1}x",
+            "{:14} {:7} triples ({:8} B file) | offline {:8.1} ms ({:9.0} t/s) | load {:8.2} ms ({:9.0} t/s) | speedup {:.1}x | open mmap {:7.3} ms vs read {:7.3} ms ({:.1}x)",
             o.name,
             o.n_triples,
             o.file_bytes,
@@ -148,14 +226,37 @@ fn main() {
             o.load_secs * 1e3,
             o.load_triples_per_sec,
             o.speedup,
+            o.mmap_open_secs * 1e3,
+            o.read_open_secs * 1e3,
+            o.open_speedup,
         );
         outcomes.push(o);
+    }
+
+    // RSS probe on the largest snapshot left behind by the case loop —
+    // Mmap first so the Read probe's heap churn cannot inflate it.
+    let largest = outcomes
+        .iter()
+        .max_by_key(|o| o.file_bytes)
+        .map(|o| dir.join(format!("{}.spade", o.name)))
+        .expect("at least one case");
+    let probes = [
+        rss_probe(&largest, args.threads, OpenMode::Mmap, "mmap"),
+        rss_probe(&largest, args.threads, OpenMode::Read, "read"),
+    ];
+    for p in &probes {
+        eprintln!(
+            "rss[{:4}] {:9} B file | held 1 state: +{:9} B | held 4 states: +{:9} B",
+            p.mode, p.file_bytes, p.held_1_bytes, p.held_4_bytes,
+        );
     }
 
     std::fs::remove_dir_all(&dir).ok();
 
     let speedups: Vec<f64> = outcomes.iter().map(|o| o.speedup).collect();
     let geo_mean_speedup = geo_mean(&speedups);
+    let open_speedups: Vec<f64> = outcomes.iter().map(|o| o.open_speedup).collect();
+    let geo_mean_open_speedup = geo_mean(&open_speedups);
 
     // Shared deterministic writer (spade_core::json) — no serde offline.
     let mut w = JsonWriter::pretty();
@@ -178,12 +279,33 @@ fn main() {
         w.key("offline_triples_per_sec").f64_fixed(o.offline_triples_per_sec, 1);
         w.key("load_triples_per_sec").f64_fixed(o.load_triples_per_sec, 1);
         w.key("speedup").f64_fixed(o.speedup, 4);
+        w.key("mmap_open_secs").f64_fixed(o.mmap_open_secs, 6);
+        w.key("read_open_secs").f64_fixed(o.read_open_secs, 6);
+        w.key("open_speedup").f64_fixed(o.open_speedup, 4);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("open_mode").begin_object();
+    w.key("mmap").string("Snapshot::open_with(OpenMode::Mmap): map + validate, no copy");
+    w.key("read").string("Snapshot::open_with(OpenMode::Read): allocate + read whole image");
+    w.key("geo_mean_open_speedup").f64_fixed(geo_mean_open_speedup, 4);
+    w.key("rss_probes").begin_array();
+    for p in &probes {
+        w.begin_object();
+        w.key("mode").string(p.mode);
+        w.key("file_bytes").uint(p.file_bytes);
+        w.key("held_1_rss_bytes").uint(p.held_1_bytes);
+        w.key("held_4_rss_bytes").uint(p.held_4_bytes);
         w.end_object();
     }
     w.end_array();
     w.end_object();
+    w.end_object();
     let json = w.finish();
     std::fs::write(&out_path, &json).expect("write BENCH_store.json");
     println!("{json}");
-    eprintln!("geo-mean snapshot-load speedup {geo_mean_speedup:.1}x → {out_path}");
+    eprintln!(
+        "geo-mean snapshot-load speedup {geo_mean_speedup:.1}x, \
+         mmap-vs-read open speedup {geo_mean_open_speedup:.1}x → {out_path}"
+    );
 }

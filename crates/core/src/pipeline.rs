@@ -17,7 +17,7 @@ use spade_cube::arm::top_k_of_result;
 use spade_cube::result::NULL_CODE;
 use spade_parallel::{Budget, Cancelled};
 use spade_rdf::{Graph, NtParseError};
-use spade_store::{LoadedSnapshot, Snapshot, SnapshotError};
+use spade_store::{LoadedSnapshot, OpenMode, Snapshot, SnapshotError};
 use spade_telemetry::{SpanCtx, Trace};
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -242,18 +242,42 @@ pub struct OfflineState {
     /// saturation + analysis) — reported as
     /// [`StepTimings::snapshot_load`] by snapshot-backed runs.
     pub load_time: Duration,
+    /// The validated snapshot this state was opened from, kept alive so a
+    /// memory-mapped image stays addressable for the lifetime of the
+    /// state (its resident pages are released right after load — holding
+    /// it costs address space, not RSS) and is dropped — unmapped — with
+    /// the state. `None` for graph-built and in-memory-image states.
+    snapshot: Option<Snapshot>,
 }
 
 impl OfflineState {
     /// Loads the state from a snapshot file written by
-    /// [`Spade::snapshot_ntriples`] (or `spade_store::write_snapshot`).
+    /// [`Spade::snapshot_ntriples`] (or `spade_store::write_snapshot`),
+    /// memory-mapping the file by default (see [`OfflineState::open_with`]).
     pub fn open(
         path: impl AsRef<Path>,
         threads: usize,
     ) -> Result<OfflineState, SnapshotPipelineError> {
+        Self::open_with(path, threads, OpenMode::default())
+    }
+
+    /// [`OfflineState::open`] with an explicit [`OpenMode`]. The opened
+    /// snapshot is retained inside the state; in the default mapped mode
+    /// its pages are released after materialization, so the state's
+    /// steady-state memory is the in-memory graph alone — dropping the
+    /// state (e.g. catalog eviction) unmaps the file and returns the RSS.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        threads: usize,
+        mode: OpenMode,
+    ) -> Result<OfflineState, SnapshotPipelineError> {
         let t = Instant::now();
-        let loaded = Snapshot::open(path, threads)?.load(threads)?;
-        Ok(OfflineState::from_loaded(loaded, t.elapsed()))
+        let snapshot = Snapshot::open_with(path, threads, mode)?;
+        let loaded = snapshot.load(threads)?;
+        snapshot.release_resident_pages();
+        let mut state = OfflineState::from_loaded(loaded, t.elapsed());
+        state.snapshot = Some(snapshot);
+        Ok(state)
     }
 
     /// [`OfflineState::open`] over an in-memory snapshot image.
@@ -273,12 +297,39 @@ impl OfflineState {
         spade_rdf::saturate_with_threads(&mut graph, threads);
         let stats = offline::analyze_budgeted(&graph, threads, &Budget::unlimited())
             .expect("unlimited budget cannot cancel");
-        OfflineState { graph, stats, load_time: t.elapsed() }
+        OfflineState { graph, stats, load_time: t.elapsed(), snapshot: None }
     }
 
     fn from_loaded(loaded: LoadedSnapshot, load_time: Duration) -> OfflineState {
         let stats = offline::from_records(&loaded.graph, &loaded.stats);
-        OfflineState { graph: loaded.graph, stats, load_time }
+        OfflineState { graph: loaded.graph, stats, load_time, snapshot: None }
+    }
+
+    /// Whether the retained snapshot is a live file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.snapshot.as_ref().is_some_and(Snapshot::is_mapped)
+    }
+
+    /// Bytes of the on-disk image backing this state (0 when none).
+    pub fn image_len(&self) -> usize {
+        self.snapshot.as_ref().map_or(0, Snapshot::image_len)
+    }
+
+    /// A deliberately simple upper-bound estimate of this state's resident
+    /// memory, used by the serving catalog's eviction budget: the
+    /// materialized graph is proportional to the snapshot payload (triples,
+    /// index columns, dictionary text all reappear on the heap, hash-map
+    /// overhead roughly offsetting columnar compactness), plus the image
+    /// itself when it is heap-backed rather than mapped.
+    pub fn resident_estimate(&self) -> u64 {
+        let image = self.image_len() as u64;
+        let heap = if self.snapshot.is_some() {
+            image
+        } else {
+            // Graph-built states: approximate from triple count alone.
+            (self.graph.len() as u64) * 48
+        };
+        heap + if self.is_mapped() { 0 } else { image }
     }
 }
 

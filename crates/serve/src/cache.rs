@@ -150,6 +150,23 @@ impl ResultCache {
         self.bytes = 0;
     }
 
+    /// Drops every entry whose key starts with `prefix` — one graph's
+    /// partition of the shared cache (keys are `{graph}@g{generation}:…`),
+    /// retired when that graph reloads or is evicted from the catalog.
+    /// Stale recency pairs are invalidated lazily, as everywhere else.
+    /// Returns how many entries were dropped (not counted as budget
+    /// evictions: nothing was displaced by pressure).
+    pub fn retire_prefix(&mut self, prefix: &str) -> usize {
+        let keys: Vec<String> =
+            self.map.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        for key in &keys {
+            if let Some(entry) = self.map.remove(key) {
+                self.bytes -= Self::cost(key, &entry.body);
+            }
+        }
+        keys.len()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -227,6 +244,25 @@ mod tests {
         assert_eq!(c.stats().bytes, 0);
         assert_eq!(c.stats().hits, 1);
         assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn retire_prefix_drops_only_one_partition() {
+        let mut c = ResultCache::new(10_000);
+        c.insert("a@g1:x".into(), body(10));
+        c.insert("a@g1:y".into(), body(10));
+        c.insert("b@g1:x".into(), body(10));
+        let before = c.stats().bytes;
+        assert_eq!(c.retire_prefix("a@"), 2);
+        assert_eq!(c.stats().entries, 1);
+        assert!(c.stats().bytes < before);
+        assert!(c.get("a@g1:x").is_none());
+        assert!(c.get("b@g1:x").is_some());
+        // Not budget pressure — not an eviction.
+        assert_eq!(c.stats().evictions, 0);
+        // A retired key can be re-inserted and served again.
+        c.insert("a@g2:x".into(), body(10));
+        assert!(c.get("a@g2:x").is_some());
     }
 
     #[test]

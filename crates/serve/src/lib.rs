@@ -27,9 +27,13 @@
 //!   (the pipeline's determinism guarantee), which makes the byte-budgeted
 //!   LRU **result cache** ([`cache`]) exact: a hit returns the very bytes
 //!   a fresh evaluation would produce,
-//! * **hot reload** swaps an `Arc<ServingState>` atomically: in-flight
-//!   requests finish on the generation they started with; nothing is
-//!   dropped,
+//! * one daemon serves a whole **graph catalog** ([`catalog`]): each
+//!   registered snapshot opens lazily (memory-mapped) on first touch, and
+//!   an optional byte budget evicts the least-recently-used cold graphs so
+//!   N snapshots on disk cost far less than N resident states,
+//! * **hot reload** swaps an `Arc<ServingState>` atomically per graph:
+//!   in-flight requests finish on the generation they started with;
+//!   nothing is dropped,
 //! * **graceful shutdown**: SIGTERM/SIGINT ([`signal`]) stops the
 //!   acceptor, drains queued connections, finishes in-flight requests, and
 //!   exits within a bounded deadline,
@@ -45,6 +49,41 @@
 //! `/metrics`. Errors are always `{"error": "<message>"}` with the status
 //! codes below. `Connection: keep-alive` is honored (HTTP/1.1 default);
 //! `Content-Length` framing only (no `Transfer-Encoding`).
+//!
+//! ## Multi-graph routing
+//!
+//! The daemon serves a **catalog** of named graphs. Started with
+//! `--snapshot-dir DIR`, every `DIR/*.spade` file registers a graph named
+//! after its file stem (names are one URL-safe token: `[A-Za-z0-9_.-]`,
+//! at most 128 chars; oddly-named files are skipped). Started with
+//! `--snapshot FILE`, the catalog holds that one graph. Each graph is
+//! addressed as a path segment:
+//!
+//! * `POST /graphs/{name}/explore` — explore against that graph;
+//! * `POST /graphs/{name}/reload` — reload that graph only;
+//! * `GET /graphs` — the catalog: `{"default": "…", "graphs": [{"name":
+//!   …, "loaded": …, "generation": …, "resident_bytes": …, "path": …}]}`.
+//!
+//! An unknown `{name}` is `404`. The legacy unprefixed routes (`/explore`,
+//! `/reload`) and the unlabeled snapshot gauges keep working — they are
+//! bound to the **default graph** (`--default-graph`, else the
+//! `--snapshot` stem, else the first name in sorted order), so one-graph
+//! deployments upgrade without touching clients or dashboards.
+//!
+//! The default graph is loaded **eagerly** at startup (a broken default
+//! snapshot still fails startup, exactly like the one-graph server);
+//! every other graph opens **lazily** on its first request — and because
+//! snapshot opens are memory-mapped (see `spade-store`), the open itself
+//! is near-free and the materialized per-graph state is the only real
+//! resident cost. `--graph-memory-budget BYTES` caps the sum of loaded
+//! states' resident estimates: crossing it evicts the least-recently-used
+//! cold graphs (their mmap and heap state are dropped, their result-cache
+//! partition retired, `503`-free: the next request transparently reopens
+//! them at a bumped generation). A graph whose snapshot has become
+//! unreadable answers `503` on the lazy open while every other graph
+//! keeps serving. Result-cache keys are partitioned per graph
+//! (`{graph}@g{generation}:{request}`), so graphs share the byte budget
+//! but can never alias each other's bodies.
 //!
 //! ## `POST /explore`
 //!
@@ -112,25 +151,33 @@
 //!
 //! ## `POST /reload`
 //!
-//! Atomically replaces the served snapshot. Body: `{}` or absent to reload
-//! the current file (picks up an in-place rewrite), or
-//! `{"path": "/new/file.spade"}` to switch files. On success: `200` with
-//! `{"status": "reloaded", "generation": N, "load_ms": …}`; the result
-//! cache is cleared (keys embed the generation). On failure: `409` and the
-//! previous state keeps serving untouched. In-flight requests always
-//! finish on the generation they started with.
+//! Atomically replaces one graph's served snapshot (the default graph on
+//! the legacy route, `{name}` on `/graphs/{name}/reload`). Body: `{}` or
+//! absent to reload the graph's current file (picks up an in-place
+//! rewrite), or `{"path": "/new/file.spade"}` to switch files. On
+//! success: `200` with `{"status": "reloaded", "graph": "…",
+//! "generation": N, "load_ms": …}`; that graph's result-cache partition
+//! is retired (keys embed the graph and generation — other graphs' entries
+//! stay warm). On failure: `409` and the previous state keeps serving
+//! untouched. In-flight requests always finish on the generation they
+//! started with.
 //!
 //! ## `GET /healthz`
 //!
-//! `200` with `{"status": "ok", "generation": N}` once serving.
+//! `200` with `{"status": "ok", "generation": N, "graph": "…",
+//! "graphs": N}` once serving (`generation` and `graph` describe the
+//! default graph).
 //!
 //! ## `GET /stats`
 //!
-//! `200` with a nested object: `snapshot` (generation, source path,
-//! triples, terms, properties, load_ms), `cache` (hits, misses, evictions,
-//! entries, bytes), `server` (workers, request_threads, uptime_secs,
-//! request counters, and a `slow_log` sub-object with its threshold and
-//! capacity).
+//! `200` with a nested object: `snapshot` (the default graph: generation,
+//! source path, triples, terms, properties, load_ms — or `"loaded":
+//! false` if the budget evicted it), `catalog` (graphs, loaded,
+//! resident_bytes, budget_bytes, loads_total, evictions_total), `graphs`
+//! (one `{name, loaded, generation, resident_bytes}` per registered
+//! graph), `cache` (hits, misses, evictions, entries, bytes), `server`
+//! (workers, request_threads, uptime_secs, request counters, and a
+//! `slow_log` sub-object with its threshold and capacity).
 //!
 //! ## `GET /metrics`
 //!
@@ -142,13 +189,22 @@
 //! `spade_serve_http_errors_total`, `spade_serve_responses_4xx_total`,
 //! `spade_serve_responses_5xx_total`, `spade_serve_shed_total`,
 //! `spade_serve_timeouts_total`, `spade_serve_panics_total`,
-//! `spade_serve_cancel_latency_ms_total` (deprecated — see the
-//! `cancel_latency_seconds` histogram),
-//! `spade_serve_cache_{hits,misses,evictions}_total`.
+//! `spade_serve_graph_loads_total`, `spade_serve_graph_evictions_total`,
+//! `spade_serve_cache_{hits,misses,evictions}_total`, and the per-graph
+//! `spade_serve_graph_explore_total{graph="…"}`. (The
+//! `spade_serve_cancel_latency_ms_total` counter was **removed** — the
+//! `cancel_latency_seconds` histogram's `_sum`/`_count` carry strictly
+//! more information; dashboards should divide those instead.)
 //! Gauges: `spade_serve_in_flight`, `spade_serve_queue_depth`,
 //! `spade_serve_admission_capacity`, `spade_serve_admission_inflight_cost`,
 //! `spade_serve_cache_bytes`, `spade_serve_snapshot_generation`,
-//! `spade_serve_snapshot_triples`, `spade_serve_uptime_seconds`.
+//! `spade_serve_snapshot_triples` (both describing the default graph),
+//! `spade_serve_graphs_loaded`, `spade_serve_graph_resident_bytes_total`,
+//! `spade_serve_graph_memory_budget_bytes`,
+//! `spade_serve_uptime_seconds`, and per graph
+//! `spade_serve_graph_generation{graph="…"}`,
+//! `spade_serve_graph_resident_bytes{graph="…"}`,
+//! `spade_serve_graph_loaded{graph="…"}`.
 //! Histograms (cumulative `_bucket{le=…}` / `_sum` / `_count` series):
 //! `spade_serve_request_seconds{route="explore_cold"|"explore_warm"|"reload"}`,
 //! `spade_serve_stage_seconds{stage=…}` (one series per online pipeline
@@ -199,9 +255,7 @@
 //!   with a typed cancellation, answers `504`, and the worker is recycled.
 //!   `timeouts_total` counts them; the `cancel_latency_seconds` histogram
 //!   is the observed cancellation latency distribution (the check
-//!   granularity — expect milliseconds, bounded by one region flush). The
-//!   older `cancel_latency_ms_total` counter still emits for dashboards
-//!   built on it, but the histogram supersedes it.
+//!   granularity — expect milliseconds, bounded by one region flush).
 //! * **Overload** — two independent valves. The accept queue
 //!   (`ServeConfig::queue_depth`) bounds *connections*: overflow is `503`
 //!   at accept time, counted in `rejected_busy_total`, visible as the
@@ -265,6 +319,8 @@
 //!
 //! ```text
 //! spade-serve --snapshot data.spade --addr 127.0.0.1:7878
+//! spade-serve --snapshot-dir /var/spade/snapshots \
+//!             --graph-memory-budget 2147483648 --addr 127.0.0.1:7878
 //! ```
 //!
 //! See [`server::ServeConfig`] for every knob. The daemon exits `0` after
@@ -272,6 +328,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod catalog;
 pub mod client;
 pub mod http;
 pub mod server;
@@ -279,6 +336,7 @@ pub mod signal;
 
 pub use admission::{AdmissionController, AdmissionPermit};
 pub use cache::{CacheStats, ResultCache};
+pub use catalog::{scan_snapshot_dir, GraphCatalog, GraphEntry};
 pub use client::{Client, Response as ClientResponse, RetryPolicy};
 pub use http::Limits;
 pub use server::{ServeConfig, ServeError, Server, ServingState};

@@ -1,20 +1,32 @@
-//! The `spade-serve` daemon: load a snapshot once, serve `/explore` until
-//! SIGTERM/SIGINT, then drain and exit 0.
+//! The `spade-serve` daemon: load a snapshot (or a whole directory of
+//! them) and serve `/explore` until SIGTERM/SIGINT, then drain and exit 0.
 //!
 //! ```text
 //! spade-serve --snapshot data.spade [--addr 127.0.0.1:7878] [--workers N]
 //!             [--threads N] [--cache-bytes N] [--max-body-bytes N]
 //!             [--drain-secs N] [--request-timeout F] [--admission-capacity N]
 //!             [--k N] [--min-support F] [--slow-ms N] [--log-json]
+//! spade-serve --snapshot-dir /dir/of/spade/files [--default-graph NAME]
+//!             [--graph-memory-budget BYTES] [...]
 //! ```
+//!
+//! `--snapshot-dir` registers every `DIR/*.spade` as a graph named after
+//! its file stem, served at `/graphs/{name}/explore`; `--snapshot` may be
+//! combined with it (or used alone, the one-graph legacy mode). The
+//! default graph — `--default-graph`, else the `--snapshot` stem, else
+//! the first name in sorted order — answers the unprefixed legacy routes
+//! and is loaded eagerly; everything else opens lazily (memory-mapped).
 
+use spade_serve::catalog::scan_snapshot_dir;
 use spade_serve::server::{ServeConfig, Server};
 use spade_serve::signal;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spade-serve --snapshot <path> [--addr <host:port>] [--workers <n>] \
+        "usage: spade-serve (--snapshot <path> | --snapshot-dir <dir>) [--addr <host:port>] \
+         [--default-graph <name>] [--graph-memory-budget <bytes>] [--workers <n>] \
          [--threads <n>] [--cache-bytes <n>] [--max-body-bytes <n>] [--drain-secs <n>] \
          [--request-timeout <secs>] [--admission-capacity <n>] \
          [--k <n>] [--min-support <f>] [--slow-ms <n>] [--log-json]"
@@ -23,7 +35,9 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let mut snapshot: Option<String> = None;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut snapshot_dir: Option<PathBuf> = None;
+    let mut default_graph: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut base = spade_core::SpadeConfig::default();
     let mut args = std::env::args().skip(1);
@@ -35,7 +49,13 @@ fn main() {
             })
         };
         match arg.as_str() {
-            "--snapshot" => snapshot = Some(value("--snapshot")),
+            "--snapshot" => snapshot = Some(PathBuf::from(value("--snapshot"))),
+            "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(value("--snapshot-dir"))),
+            "--default-graph" => default_graph = Some(value("--default-graph")),
+            "--graph-memory-budget" => {
+                config.graph_memory_budget =
+                    parse(&value("--graph-memory-budget"), "--graph-memory-budget")
+            }
             "--addr" => config.addr = value("--addr"),
             "--workers" => config.workers = parse(&value("--workers"), "--workers"),
             "--threads" => config.threads = parse(&value("--threads"), "--threads"),
@@ -75,21 +95,52 @@ fn main() {
             }
         }
     }
-    let Some(snapshot) = snapshot else {
-        eprintln!("--snapshot is required");
+    if snapshot.is_none() && snapshot_dir.is_none() {
+        eprintln!("--snapshot or --snapshot-dir is required");
         usage();
-    };
+    }
+
+    // Assemble the catalog: every *.spade in --snapshot-dir, plus the
+    // explicit --snapshot (which wins a name collision — being named on
+    // the command line is the stronger intent).
+    let mut graphs: Vec<(String, PathBuf)> = Vec::new();
+    if let Some(dir) = &snapshot_dir {
+        match scan_snapshot_dir(dir) {
+            Ok(found) if found.is_empty() => {
+                eprintln!("spade-serve: no *.spade snapshots in {}", dir.display());
+                std::process::exit(1);
+            }
+            Ok(found) => graphs = found,
+            Err(e) => {
+                eprintln!("spade-serve: cannot scan {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let snapshot_stem = snapshot.as_ref().map(|path| graph_name_of(path));
+    if let (Some(path), Some(stem)) = (&snapshot, &snapshot_stem) {
+        graphs.retain(|(name, _)| name != stem);
+        graphs.push((stem.clone(), path.clone()));
+    }
+    let default_graph = default_graph
+        .or(snapshot_stem)
+        .or_else(|| graphs.iter().map(|(name, _)| name.clone()).min())
+        .expect("graphs is non-empty here");
 
     signal::install();
     let drain = config.drain_deadline;
-    let server = match Server::start(config, base, &snapshot) {
+    let n_graphs = graphs.len();
+    let server = match Server::start_catalog(config, base, graphs, &default_graph) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("spade-serve: {e}");
             std::process::exit(1);
         }
     };
-    eprintln!("spade-serve: serving {snapshot} on http://{}", server.local_addr());
+    eprintln!(
+        "spade-serve: serving {n_graphs} graph(s), default {default_graph:?}, on http://{}",
+        server.local_addr()
+    );
 
     while !signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));
@@ -101,6 +152,15 @@ fn main() {
         if drained { "drained cleanly" } else { "drain deadline hit" }
     );
     std::process::exit(if drained { 0 } else { 1 });
+}
+
+/// Mirrors the server's legacy naming: the file stem when it is a valid
+/// routing name, else `"default"`.
+fn graph_name_of(path: &std::path::Path) -> String {
+    match path.file_stem().and_then(|s| s.to_str()) {
+        Some(stem) if spade_serve::catalog::valid_graph_name(stem) => stem.to_owned(),
+        _ => "default".to_owned(),
+    }
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {

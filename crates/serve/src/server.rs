@@ -3,6 +3,7 @@
 
 use crate::admission::AdmissionController;
 use crate::cache::{CacheStats, ResultCache};
+use crate::catalog::{Acquired, GraphCatalog, GraphEntry};
 use crate::http::{self, Conn, HttpError, Limits, Request};
 use spade_core::json::{self, Json, JsonWriter};
 use spade_core::{Budget, OfflineState, RequestConfig, Spade, SpadeConfig, Trace};
@@ -14,7 +15,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,6 +64,12 @@ pub struct ServeConfig {
     /// Emit one structured JSON log line per request to stderr (request
     /// id, method, route, status, generation, duration, failure cause).
     pub log_json: bool,
+    /// Byte budget over the sum of loaded graph states' resident
+    /// estimates (`--graph-memory-budget`). When a lazy open pushes the
+    /// sum past it, the least-recently-used cold graphs are evicted —
+    /// their mmap and heap state dropped, their cache partition retired —
+    /// and transparently reopened on the next request. `0` = unlimited.
+    pub graph_memory_budget: u64,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +88,7 @@ impl Default for ServeConfig {
             slow_ms: 0,
             slow_capacity: 32,
             log_json: false,
+            graph_memory_budget: 0,
         }
     }
 }
@@ -90,6 +98,9 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// The initial snapshot did not load.
     Snapshot(spade_core::SnapshotPipelineError),
+    /// The graph catalog configuration is invalid (no graphs, a bad or
+    /// duplicate name, an unknown default graph).
+    Catalog(String),
     /// The listener could not bind.
     Bind(io::Error),
     /// A worker or acceptor thread could not be spawned.
@@ -100,6 +111,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Snapshot(e) => write!(f, "snapshot load failed: {e}"),
+            ServeError::Catalog(m) => write!(f, "bad graph catalog: {m}"),
             ServeError::Bind(e) => write!(f, "bind failed: {e}"),
             ServeError::Spawn(e) => write!(f, "thread spawn failed: {e}"),
         }
@@ -152,14 +164,10 @@ struct Metrics {
     shed_total: Counter,
     timeouts_total: Counter,
     panics_total: Counter,
-    /// Total milliseconds requests kept running *past* their deadline before
-    /// the cooperative cancellation unwound them.
-    ///
-    /// **Deprecated**: superseded by the `cancel_latency_seconds` histogram,
-    /// which carries the full distribution instead of a lossy sum. Still
-    /// emitted for one release so existing dashboards keep working; remove
-    /// after the next release.
-    cancel_latency_ms_total: Counter,
+    /// Catalog counters: snapshot (re)opens and budget evictions, mirrored
+    /// from the [`GraphCatalog`] at scrape time.
+    graph_loads_total: Counter,
+    graph_evictions_total: Counter,
     cache_hits_total: Counter,
     cache_misses_total: Counter,
     cache_evictions_total: Counter,
@@ -170,6 +178,11 @@ struct Metrics {
     cache_bytes: Gauge,
     snapshot_generation: Gauge,
     snapshot_triples: Gauge,
+    /// Catalog gauges: how many of the registered graphs hold a loaded
+    /// state, the resident-estimate sum, and the configured budget.
+    graphs_loaded: Gauge,
+    graph_resident_bytes_total: Gauge,
+    graph_memory_budget_bytes: Gauge,
     uptime_seconds: Gauge,
     /// `request_seconds{route=...}`: explore_cold (full evaluation),
     /// explore_warm (cache hit), reload.
@@ -222,9 +235,13 @@ impl Metrics {
                 "spade_serve_panics_total",
                 "Requests answered 500 after a caught panic",
             ),
-            cancel_latency_ms_total: r.counter(
-                "spade_serve_cancel_latency_ms_total",
-                "DEPRECATED (use cancel_latency_seconds): milliseconds past deadline, summed",
+            graph_loads_total: r.counter(
+                "spade_serve_graph_loads_total",
+                "Snapshot (re)opens performed by the graph catalog",
+            ),
+            graph_evictions_total: r.counter(
+                "spade_serve_graph_evictions_total",
+                "Graph states evicted by the graph memory budget",
             ),
             cache_hits_total: r.counter("spade_serve_cache_hits_total", "Result-cache hits"),
             cache_misses_total: r
@@ -248,6 +265,18 @@ impl Metrics {
             snapshot_generation: r
                 .gauge("spade_serve_snapshot_generation", "Current snapshot generation"),
             snapshot_triples: r.gauge("spade_serve_snapshot_triples", "Triples served"),
+            graphs_loaded: r.gauge(
+                "spade_serve_graphs_loaded",
+                "Registered graphs currently holding a loaded state",
+            ),
+            graph_resident_bytes_total: r.gauge(
+                "spade_serve_graph_resident_bytes_total",
+                "Sum of loaded graph states' resident-byte estimates",
+            ),
+            graph_memory_budget_bytes: r.gauge(
+                "spade_serve_graph_memory_budget_bytes",
+                "Configured graph memory budget in bytes (0 = unlimited)",
+            ),
             uptime_seconds: r
                 .gauge("spade_serve_uptime_seconds", "Whole seconds since the server started"),
             request_seconds_explore_cold: r.histogram_with(
@@ -301,17 +330,58 @@ impl Metrics {
             }
         }
     }
+
+    /// Registers the per-graph metric series for one catalog entry. Called
+    /// exactly once per graph at startup (the registry treats a duplicate
+    /// (name, labels) registration as a bug).
+    fn for_graph(&self, name: &str) -> GraphMetrics {
+        let labels: &[(&'static str, &str)] = &[("graph", name)];
+        GraphMetrics {
+            explore_total: self.registry.counter_with(
+                "spade_serve_graph_explore_total",
+                "Explore requests routed to this graph",
+                labels,
+            ),
+            generation: self.registry.gauge_with(
+                "spade_serve_graph_generation",
+                "Last published generation of this graph (0 = never loaded)",
+                labels,
+            ),
+            resident_bytes: self.registry.gauge_with(
+                "spade_serve_graph_resident_bytes",
+                "Resident-byte estimate of this graph's loaded state (0 = cold)",
+                labels,
+            ),
+            loaded: self.registry.gauge_with(
+                "spade_serve_graph_loaded",
+                "Whether this graph currently holds a loaded state",
+                labels,
+            ),
+        }
+    }
+}
+
+/// Per-graph metric series (`{graph="…"}` labels), parallel to the
+/// catalog's entry order.
+struct GraphMetrics {
+    explore_total: Counter,
+    generation: Gauge,
+    resident_bytes: Gauge,
+    loaded: Gauge,
 }
 
 struct Shared {
     engine: Spade,
     /// The base pipeline config, kept for admission-cost estimation.
     base: SpadeConfig,
-    serving: RwLock<Arc<ServingState>>,
+    /// Graph name → lazily-opened serving state (per-graph generations,
+    /// LRU eviction under `graph_memory_budget`). Legacy single-graph
+    /// routes target `entries()[default_index]`.
+    catalog: GraphCatalog,
+    default_index: usize,
+    /// Per-graph metric handles, parallel to `catalog.entries()`.
+    graph_metrics: Vec<GraphMetrics>,
     cache: Mutex<ResultCache>,
-    /// Serializes reloads (concurrent `/reload`s would race the generation
-    /// bump); never held while serving `/explore`.
-    reload: Mutex<()>,
     metrics: Metrics,
     /// Bounded worst-N log of slow `/explore` traces (`GET /debug/slow`).
     slow: SlowLog,
@@ -324,8 +394,6 @@ struct Shared {
     idle_timeout: Duration,
     request_timeout: Option<Duration>,
     admission: AdmissionController,
-    /// Resolved total evaluation-thread budget.
-    eval_threads: usize,
     /// Per-request evaluation-thread share (`threads / workers`, ≥ 1).
     request_threads: usize,
     workers: usize,
@@ -342,17 +410,44 @@ pub struct Server {
 }
 
 impl Server {
-    /// Loads the snapshot at `snapshot` **once** and starts serving it.
-    /// Returns once the listener is bound and the workers are running.
+    /// Loads the snapshot at `snapshot` **once** and starts serving it as
+    /// a one-graph catalog (named after the file stem). Returns once the
+    /// listener is bound and the workers are running.
     pub fn start(
         config: ServeConfig,
         base: SpadeConfig,
         snapshot: impl AsRef<Path>,
     ) -> Result<Server, ServeError> {
         let snapshot = snapshot.as_ref().to_path_buf();
+        let name = default_graph_name(&snapshot);
+        Self::start_catalog(config, base, vec![(name.clone(), snapshot)], &name)
+    }
+
+    /// Starts a multi-graph server over `graphs` (name → snapshot path;
+    /// `--snapshot-dir` resolves to this via
+    /// [`crate::catalog::scan_snapshot_dir`]). The `default_graph` answers
+    /// the legacy single-graph routes and is loaded **eagerly** — a broken
+    /// default snapshot still fails startup, as the one-graph server did —
+    /// while every other graph opens lazily on first touch.
+    pub fn start_catalog(
+        config: ServeConfig,
+        base: SpadeConfig,
+        graphs: Vec<(String, PathBuf)>,
+        default_graph: &str,
+    ) -> Result<Server, ServeError> {
         let engine = Spade::new(base.clone());
         let threads = spade_parallel::resolve_threads(config.threads);
-        let offline = OfflineState::open(&snapshot, threads).map_err(ServeError::Snapshot)?;
+        let catalog = GraphCatalog::new(graphs, config.graph_memory_budget, threads)
+            .map_err(ServeError::Catalog)?;
+        let default_index = catalog.position(default_graph).ok_or_else(|| {
+            ServeError::Catalog(format!(
+                "default graph {default_graph:?} is not in the catalog"
+            ))
+        })?;
+        catalog.acquire(&catalog.entries()[default_index]).map_err(ServeError::Snapshot)?;
+        let metrics = Metrics::new();
+        let graph_metrics: Vec<GraphMetrics> =
+            catalog.entries().iter().map(|e| metrics.for_graph(e.name())).collect();
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
         listener.set_nonblocking(true).map_err(ServeError::Bind)?;
@@ -364,14 +459,11 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             base,
-            serving: RwLock::new(Arc::new(ServingState {
-                offline,
-                generation: 1,
-                source: snapshot,
-            })),
+            catalog,
+            default_index,
+            graph_metrics,
             cache: Mutex::new(ResultCache::new(config.cache_bytes)),
-            reload: Mutex::new(()),
-            metrics: Metrics::new(),
+            metrics,
             slow: SlowLog::new(config.slow_ms, config.slow_capacity),
             log_json: config.log_json,
             request_ids: AtomicU64::new(0),
@@ -380,7 +472,6 @@ impl Server {
             idle_timeout: config.idle_timeout,
             request_timeout: config.request_timeout,
             admission: AdmissionController::new(config.admission_capacity),
-            eval_threads: threads,
             request_threads,
             workers,
             started: Instant::now(),
@@ -643,6 +734,10 @@ struct Response {
     /// timeout or caught panic, where the worker should shed per-connection
     /// state rather than trust the peer's framing to stay aligned).
     close: bool,
+    /// The graph generation this response was computed against, when the
+    /// route pinned one (explore/reload); the structured log falls back to
+    /// the default graph's generation otherwise.
+    generation: Option<u64>,
 }
 
 impl Response {
@@ -653,6 +748,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into_bytes().into(),
             close: false,
+            generation: None,
         }
     }
 
@@ -662,6 +758,11 @@ impl Response {
 
     fn closing(mut self) -> Response {
         self.close = true;
+        self
+    }
+
+    fn with_generation(mut self, generation: u64) -> Response {
+        self.generation = Some(generation);
         self
     }
 }
@@ -703,7 +804,8 @@ fn log_request(
     w.key("method").string(&request.method);
     w.key("route").string(route);
     w.key("status").uint(u64::from(response.status));
-    w.key("generation").uint(current(shared).generation);
+    w.key("generation")
+        .uint(response.generation.unwrap_or_else(|| default_entry(shared).generation()));
     w.key("duration_ms").f64(elapsed.as_secs_f64() * 1e3);
     if let Some(cause) = cause {
         w.key("cause").string(cause);
@@ -726,14 +828,34 @@ fn route(shared: &Shared, request: &Request, request_id: u64) -> Response {
         Some((path, query)) => (path, query),
         None => (request.path.as_str(), ""),
     };
+    // Graph-scoped routes: `/graphs/{name}/explore` and
+    // `/graphs/{name}/reload`. The legacy unprefixed routes below are the
+    // same handlers bound to the default graph.
+    if let Some(rest) = path.strip_prefix("/graphs/") {
+        let Some((name, action)) = rest.split_once('/') else {
+            return Response::error(404, "no such route");
+        };
+        let Some(index) = shared.catalog.position(name) else {
+            return Response::error(404, &format!("no such graph {name:?}"));
+        };
+        return match (request.method.as_str(), action) {
+            ("POST", "explore") => explore(shared, index, query, &request.body, request_id),
+            ("POST", "reload") => reload(shared, index, &request.body),
+            (_, "explore" | "reload") => Response::error(405, "use POST for this route"),
+            _ => Response::error(404, "no such route"),
+        };
+    }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/stats") => stats(shared),
         ("GET", "/metrics") => metrics(shared),
+        ("GET", "/graphs") => graphs_index(shared),
         ("GET", "/debug/slow") => Response::json(200, shared.slow.to_json()),
-        ("POST", "/explore") => explore(shared, query, &request.body, request_id),
-        ("POST", "/reload") => reload(shared, &request.body),
-        (_, "/healthz" | "/stats" | "/metrics" | "/debug/slow") => {
+        ("POST", "/explore") => {
+            explore(shared, shared.default_index, query, &request.body, request_id)
+        }
+        ("POST", "/reload") => reload(shared, shared.default_index, &request.body),
+        (_, "/healthz" | "/stats" | "/metrics" | "/graphs" | "/debug/slow") => {
             Response::error(405, "use GET for this route")
         }
         (_, "/explore" | "/reload") => Response::error(405, "use POST for this route"),
@@ -753,35 +875,109 @@ fn query_flag(query: &str, name: &str) -> bool {
     })
 }
 
-fn current(shared: &Shared) -> Arc<ServingState> {
-    Arc::clone(&shared.serving.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+/// The graph name the legacy single-snapshot entry point registers: the
+/// file stem when it is a valid routing name, else `"default"`.
+fn default_graph_name(path: &Path) -> String {
+    match path.file_stem().and_then(|s| s.to_str()) {
+        Some(stem) if crate::catalog::valid_graph_name(stem) => stem.to_owned(),
+        _ => "default".to_owned(),
+    }
+}
+
+/// The catalog entry the legacy single-graph routes resolve to.
+fn default_entry(shared: &Shared) -> &Arc<GraphEntry> {
+    &shared.catalog.entries()[shared.default_index]
+}
+
+/// Retires the result-cache partitions of graphs the budget just evicted,
+/// so their bytes stop occupying the shared cache immediately.
+fn retire_cache_partitions(shared: &Shared, names: &[String]) {
+    if names.is_empty() {
+        return;
+    }
+    let mut cache = shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for name in names {
+        cache.retire_prefix(&format!("{name}@"));
+    }
 }
 
 fn healthz(shared: &Shared) -> Response {
-    let state = current(shared);
+    let entry = default_entry(shared);
     let mut w = JsonWriter::compact();
     w.begin_object();
     w.key("status").string("ok");
-    w.key("generation").uint(state.generation);
+    w.key("generation").uint(entry.generation());
+    w.key("graph").string(entry.name());
+    w.key("graphs").usize(shared.catalog.entries().len());
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+/// `GET /graphs`: the registered catalog, one object per graph.
+fn graphs_index(shared: &Shared) -> Response {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("default").string(default_entry(shared).name());
+    w.key("graphs").begin_array();
+    for entry in shared.catalog.entries() {
+        w.begin_object();
+        w.key("name").string(entry.name());
+        w.key("loaded").bool(entry.is_loaded());
+        w.key("generation").uint(entry.generation());
+        w.key("resident_bytes").uint(entry.resident_bytes());
+        w.key("path").string(&entry.path().display().to_string());
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     Response::json(200, w.finish())
 }
 
 fn stats(shared: &Shared) -> Response {
-    let state = current(shared);
+    let entry = default_entry(shared);
     let cache: CacheStats =
         shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
     let m = &shared.metrics;
     let mut w = JsonWriter::compact();
     w.begin_object();
+    // The default graph's snapshot section keeps the one-graph shape; the
+    // budget may have evicted even the default, so a cold slot reports its
+    // last generation and no triple facts.
     w.key("snapshot").begin_object();
-    w.key("generation").uint(state.generation);
-    w.key("source").string(&state.source.display().to_string());
-    w.key("triples").usize(state.offline.graph.len());
-    w.key("terms").usize(state.offline.graph.dict.len());
-    w.key("properties").usize(state.offline.stats.property_count());
-    w.key("load_ms").f64(state.offline.load_time.as_secs_f64() * 1e3);
+    w.key("graph").string(entry.name());
+    match entry.peek() {
+        Some(state) => {
+            w.key("generation").uint(state.generation);
+            w.key("source").string(&state.source.display().to_string());
+            w.key("triples").usize(state.offline.graph.len());
+            w.key("terms").usize(state.offline.graph.dict.len());
+            w.key("properties").usize(state.offline.stats.property_count());
+            w.key("load_ms").f64(state.offline.load_time.as_secs_f64() * 1e3);
+        }
+        None => {
+            w.key("generation").uint(entry.generation());
+            w.key("loaded").bool(false);
+        }
+    }
     w.end_object();
+    w.key("catalog").begin_object();
+    w.key("graphs").usize(shared.catalog.entries().len());
+    w.key("loaded").usize(shared.catalog.loaded_count());
+    w.key("resident_bytes").uint(shared.catalog.resident_bytes());
+    w.key("budget_bytes").uint(shared.catalog.budget_bytes());
+    w.key("loads_total").uint(shared.catalog.loads_total());
+    w.key("evictions_total").uint(shared.catalog.evictions_total());
+    w.end_object();
+    w.key("graphs").begin_array();
+    for entry in shared.catalog.entries() {
+        w.begin_object();
+        w.key("name").string(entry.name());
+        w.key("loaded").bool(entry.is_loaded());
+        w.key("generation").uint(entry.generation());
+        w.key("resident_bytes").uint(entry.resident_bytes());
+        w.end_object();
+    }
+    w.end_array();
     w.key("cache").begin_object();
     w.key("hits").uint(cache.hits);
     w.key("misses").uint(cache.misses);
@@ -802,7 +998,8 @@ fn stats(shared: &Shared) -> Response {
     w.key("shed_total").uint(m.shed_total.get());
     w.key("timeouts_total").uint(m.timeouts_total.get());
     w.key("panics_total").uint(m.panics_total.get());
-    w.key("cancel_latency_ms_total").uint(m.cancel_latency_ms_total.get());
+    w.key("graph_loads_total").uint(shared.catalog.loads_total());
+    w.key("graph_evictions_total").uint(shared.catalog.evictions_total());
     w.key("http_errors_total").uint(m.http_errors_total.get());
     w.key("responses_4xx").uint(m.responses_4xx.get());
     w.key("responses_5xx").uint(m.responses_5xx.get());
@@ -820,18 +1017,32 @@ fn stats(shared: &Shared) -> Response {
 }
 
 fn metrics(shared: &Shared) -> Response {
-    let state = current(shared);
     let cache = shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
     let m = &shared.metrics;
-    // Mirror values owned outside the registry (cache statistics, snapshot
-    // facts, admission state, uptime) into their handles, then render one
+    // Mirror values owned outside the registry (cache statistics, catalog
+    // state, admission state, uptime) into their handles, then render one
     // consistent exposition.
     m.cache_hits_total.mirror(cache.hits);
     m.cache_misses_total.mirror(cache.misses);
     m.cache_evictions_total.mirror(cache.evictions);
     m.cache_bytes.set(cache.bytes as u64);
-    m.snapshot_generation.set(state.generation);
-    m.snapshot_triples.set(state.offline.graph.len() as u64);
+    // The unlabeled snapshot gauges keep describing the default graph, so
+    // one-graph dashboards read unchanged; per-graph series carry the rest.
+    let entry = default_entry(shared);
+    m.snapshot_generation.set(entry.generation());
+    if let Some(state) = entry.peek() {
+        m.snapshot_triples.set(state.offline.graph.len() as u64);
+    }
+    m.graph_loads_total.mirror(shared.catalog.loads_total());
+    m.graph_evictions_total.mirror(shared.catalog.evictions_total());
+    m.graphs_loaded.set(shared.catalog.loaded_count() as u64);
+    m.graph_resident_bytes_total.set(shared.catalog.resident_bytes());
+    m.graph_memory_budget_bytes.set(shared.catalog.budget_bytes());
+    for (entry, gm) in shared.catalog.entries().iter().zip(&shared.graph_metrics) {
+        gm.generation.set(entry.generation());
+        gm.resident_bytes.set(entry.resident_bytes());
+        gm.loaded.set(u64::from(entry.is_loaded()));
+    }
     m.admission_capacity.set(shared.admission.capacity());
     m.admission_inflight_cost.set(shared.admission.inflight());
     m.uptime_seconds.set(shared.started.elapsed().as_secs());
@@ -841,6 +1052,7 @@ fn metrics(shared: &Shared) -> Response {
         headers: Vec::new(),
         body: m.registry.render().into_bytes().into(),
         close: false,
+        generation: None,
     }
 }
 
@@ -920,9 +1132,17 @@ fn record_slow(
     });
 }
 
-fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Response {
+fn explore(
+    shared: &Shared,
+    index: usize,
+    query: &str,
+    body: &[u8],
+    request_id: u64,
+) -> Response {
     let started = Instant::now();
     shared.metrics.explore_total.inc();
+    shared.graph_metrics[index].explore_total.inc();
+    let entry = &shared.catalog.entries()[index];
     // `?profile=1` attaches the span tree to the response; `?timings=1`
     // appends the (nondeterministic) step timings. Either one makes the
     // body request-specific, so both bypass the byte-exact result cache.
@@ -940,8 +1160,19 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
         _ => shared.request_threads,
     });
 
-    let state = current(shared);
-    let key = format!("g{}:{}", state.generation, request.canonical_key());
+    // Pin this graph's state, (re)opening the snapshot if the slot is cold
+    // (lazy first touch, or a budget eviction). A failed open is 503 — the
+    // graph is registered but its snapshot is currently unreadable — and
+    // leaves every other graph serving.
+    let Acquired { state, evicted, .. } = match shared.catalog.acquire(entry) {
+        Ok(acquired) => acquired,
+        Err(e) => return Response::error(503, &format!("graph {:?}: {e}", entry.name())),
+    };
+    retire_cache_partitions(shared, &evicted);
+    // Keys are partitioned by graph and generation: `{graph}@g{gen}:{…}`,
+    // so a reload or eviction strands (and `retire_prefix` reclaims) stale
+    // bodies instead of ever serving them.
+    let key = format!("{}@g{}:{}", entry.name(), state.generation, request.canonical_key());
     if !bypass_cache {
         if let Some(hit) =
             shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
@@ -954,6 +1185,7 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
                 headers: vec![("X-Cache", "hit".to_owned())],
                 body: hit,
                 close: false,
+                generation: Some(state.generation),
             };
         }
     }
@@ -995,7 +1227,6 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
                     // How far past the deadline the cooperative unwind
                     // surfaced — the observable cancellation latency.
                     let over = Instant::now().saturating_duration_since(deadline);
-                    shared.metrics.cancel_latency_ms_total.add(over.as_millis() as u64);
                     shared.metrics.cancel_latency_seconds.observe_duration(over);
                 }
                 record_slow(
@@ -1010,7 +1241,8 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
                     504,
                     &format!("request deadline exceeded ({cancelled})"),
                 )
-                .closing();
+                .closing()
+                .with_generation(state.generation);
             }
         };
     shared.metrics.observe_stages(&trace);
@@ -1026,10 +1258,11 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
     }
     let body: Arc<[u8]> = text.into_bytes().into();
     // Skip the insert when the body is request-specific (profile/timings)
-    // or when a reload swapped generations mid-evaluation: the
-    // old-generation key could never be looked up again, so storing it
-    // would only waste cache budget (and could evict live entries).
-    if !bypass_cache && current(shared).generation == state.generation {
+    // or when a reload or eviction bumped this graph's generation
+    // mid-evaluation: the old-generation key could never be looked up
+    // again, so storing it would only waste cache budget (and could evict
+    // live entries).
+    if !bypass_cache && entry.generation() == state.generation {
         shared
             .cache
             .lock()
@@ -1045,16 +1278,18 @@ fn explore(shared: &Shared, query: &str, body: &[u8], request_id: u64) -> Respon
         headers: vec![("X-Cache", "miss".to_owned())],
         body,
         close: false,
+        generation: Some(state.generation),
     }
 }
 
-fn reload(shared: &Shared, body: &[u8]) -> Response {
+fn reload(shared: &Shared, index: usize, body: &[u8]) -> Response {
     let started = Instant::now();
-    // One reload at a time; `/explore` traffic never takes this lock.
-    let _guard = shared.reload.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    let previous = current(shared);
+    let entry = &shared.catalog.entries()[index];
+    // `None` reloads the graph's current path; the per-slot mutex inside
+    // the catalog serializes reloads of the same graph while `/explore`
+    // traffic (and reloads of *other* graphs) proceed untouched.
     let path = if body.is_empty() {
-        previous.source.clone()
+        None
     } else {
         let text = match std::str::from_utf8(body) {
             Ok(text) => text,
@@ -1063,10 +1298,10 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
         match json::parse(text) {
             Ok(doc) => match doc.get("path") {
                 Some(p) => match p.as_str() {
-                    Some(p) => PathBuf::from(p),
+                    Some(p) => Some(PathBuf::from(p)),
                     None => return Response::error(400, "path must be a string"),
                 },
-                None => previous.source.clone(),
+                None => None,
             },
             Err(e) => return Response::error(400, &e.to_string()),
         }
@@ -1077,29 +1312,30 @@ fn reload(shared: &Shared, body: &[u8]) -> Response {
     if let Some(e) = spade_parallel::fault::io_error("serve.reload") {
         return Response::error(409, &format!("reload failed, keeping generation: {e}"));
     }
-    match OfflineState::open(&path, shared.eval_threads) {
-        Ok(offline) => {
-            let next = Arc::new(ServingState {
-                offline,
-                generation: previous.generation + 1,
-                source: path,
-            });
-            let load_ms = next.offline.load_time.as_secs_f64() * 1e3;
-            let generation = next.generation;
-            *shared.serving.write().unwrap_or_else(std::sync::PoisonError::into_inner) = next;
-            // Old-generation cache entries can never be requested again
-            // (keys embed the generation); drop them now instead of letting
-            // them age out of the byte budget.
-            shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    match shared.catalog.reload(entry, path) {
+        Ok(Acquired { state, evicted, .. }) => {
+            // Old-generation entries of this graph can never be requested
+            // again (keys embed the generation); retire its whole cache
+            // partition now instead of letting it age out of the byte
+            // budget — plus the partitions of anything the budget evicted.
+            {
+                let mut cache =
+                    shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                cache.retire_prefix(&format!("{}@", entry.name()));
+                for name in &evicted {
+                    cache.retire_prefix(&format!("{name}@"));
+                }
+            }
             shared.metrics.reload_total.inc();
             shared.metrics.request_seconds_reload.observe_duration(started.elapsed());
             let mut w = JsonWriter::compact();
             w.begin_object();
             w.key("status").string("reloaded");
-            w.key("generation").uint(generation);
-            w.key("load_ms").f64(load_ms);
+            w.key("graph").string(entry.name());
+            w.key("generation").uint(state.generation);
+            w.key("load_ms").f64(state.offline.load_time.as_secs_f64() * 1e3);
             w.end_object();
-            Response::json(200, w.finish())
+            Response::json(200, w.finish()).with_generation(state.generation)
         }
         // The old state keeps serving untouched; 409 tells the operator the
         // swap did not happen.

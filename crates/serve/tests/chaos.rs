@@ -133,7 +133,7 @@ fn deadline_exceeded_returns_504_within_twice_the_timeout() {
     let m = spade_serve::client::get(addr, "/metrics").expect("metrics answered").text();
     assert_eq!(metric_value(&m, "spade_serve_timeouts_total"), Some(1), "metrics:\n{m}");
     assert!(
-        metric_value(&m, "spade_serve_cancel_latency_ms_total").is_some(),
+        metric_value(&m, "spade_serve_cancel_latency_seconds_count").is_some(),
         "cancellation latency must be exported:\n{m}"
     );
 

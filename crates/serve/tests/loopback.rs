@@ -323,8 +323,9 @@ fn metrics_exposition_is_prometheus_conformant() {
     assert!(text.contains("spade_serve_request_seconds_bucket{route=\"explore_warm\""));
     assert!(text.contains("spade_serve_request_seconds_bucket{route=\"reload\""));
     assert!(text.contains("spade_serve_stage_seconds_bucket{stage=\"evaluation\""));
-    // The deprecated counter still emits next to its replacement histogram.
-    assert!(text.contains("spade_serve_cancel_latency_ms_total 0"));
+    // The deprecated `cancel_latency_ms_total` counter is gone; its
+    // replacement histogram's `_sum`/`_count` carry the same information.
+    assert!(!text.contains("spade_serve_cancel_latency_ms_total"));
     assert!(text.contains("# TYPE spade_serve_cancel_latency_seconds histogram"));
 
     assert!(server.shutdown(Duration::from_secs(10)));

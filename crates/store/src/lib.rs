@@ -57,12 +57,47 @@
 //! | 14 | `STATS`       | u64 × 11 per property-statistics record |
 //!
 //! The alignment guarantee is what makes the load zero-copy: the whole file
-//! is read into **one 8-byte-aligned owned buffer**, and every fixed-width
+//! is backed by **one 8-byte-aligned image** — either an owned heap buffer
+//! or a read-only memory mapping (see below) — and every fixed-width
 //! column is reinterpreted in place (`&[u8]` → `&[u32]`/`&[u64]`, alignment
 //! and length checked, no decode pass), while variable-width term text is
 //! borrowed by offset out of `DICT_BLOB`. Reconstituting the in-memory
 //! [`Graph`] then costs one linear pass per column — no N-Triples parsing,
 //! no hashing per occurrence, no sorting.
+//!
+//! # Memory-mapped opens
+//!
+//! [`Snapshot::open`] maps the file read-only (`mmap(2)`, `PROT_READ` +
+//! `MAP_PRIVATE`) instead of copying it into an owned buffer, so opening
+//! costs no allocation proportional to the file and N daemons (or N graphs
+//! in one daemon) serving the same snapshot share a single page-cache copy.
+//! The borrowed column views are identical in both representations — the
+//! mapping starts page-aligned, which satisfies every 8-byte section
+//! alignment the in-place `&[u32]`/`&[u64]` views require — and both paths
+//! are selectable via [`Snapshot::open_with`] / [`OpenMode`]
+//! ([`Snapshot::from_bytes`] always copies, so tests and in-memory tooling
+//! keep the heap path).
+//!
+//! **Lifetime.** The mapping lives exactly as long as the [`Snapshot`]
+//! value: views borrow from `&Snapshot`, so the borrow checker pins the
+//! mapping for as long as any view exists, and `Drop` unmaps. A consumer
+//! that materializes its state (e.g. `OfflineState`) may additionally call
+//! [`Snapshot::release_resident_pages`] (`madvise(MADV_DONTNEED)`) after
+//! loading: the pages leave the process RSS immediately and fault back in
+//! from the page cache (or disk) on the next access — valid because the
+//! mapping is read-only and file-backed, so no dirty state can be lost.
+//!
+//! **Safety argument.** Mapped memory is only sound to expose as `&[u8]`
+//! if nobody mutates the file under the mapping. Snapshots are published
+//! with [`write_snapshot`]'s write-then-rename protocol and never modified
+//! in place: a refresh writes a *new* inode and renames it over the path,
+//! which leaves the old inode — the one this mapping pins — untouched
+//! until the last reader closes it. External truncation of a mapped file
+//! is outside the contract (as with any mmap consumer, a `SIGBUS` on a
+//! page past EOF cannot be caught in safe Rust); the reader bounds every
+//! access to the validated header length, verifies the checksum over the
+//! whole declared range at open (with `MADV_SEQUENTIAL` readahead, so the
+//! pass streams at disk bandwidth), and never reads past it.
 //!
 //! # Integrity
 //!
@@ -70,7 +105,8 @@
 //! before trusting a single payload byte, and every structural invariant
 //! (section bounds and alignment, offset monotonicity, id ranges, CSR entry
 //! counts) afterwards. All failures are typed [`SnapshotError`]s — a
-//! corrupted or truncated file can never panic the loader.
+//! corrupted or truncated file can never panic the loader, in either open
+//! mode.
 
 use spade_rdf::dict::{FxHashMap, FxHashSet};
 use spade_rdf::{Dictionary, Graph, TermId, Triple};
@@ -323,6 +359,142 @@ impl AlignedBuf {
             std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len)
         }
     }
+}
+
+// ——————————————————————— memory-mapped image ———————————————————————
+
+/// A minimal `mmap(2)` wrapper over the C library std already links —
+/// the same dependency-free idiom as the daemon's signal handling — gated
+/// to 64-bit unix, where `off_t` is `i64` and `usize` holds any file size
+/// we accept. Everything else falls back to the heap read path.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mmap {
+    use std::ffi::c_void;
+    use std::os::unix::io::AsRawFd;
+
+    // Prot/flag/advice values shared by Linux and the BSD family (macOS).
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const MADV_SEQUENTIAL: i32 = 2;
+    const MADV_DONTNEED: i32 = 4;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    /// A read-only, private, file-backed mapping. The mapped inode stays
+    /// alive for the lifetime of this value even if the path is renamed
+    /// over or unlinked (the snapshot publication protocol guarantees the
+    /// bytes under it never change — see the crate docs' safety argument).
+    pub(crate) struct Mmap {
+        ptr: std::ptr::NonNull<c_void>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable shared memory owned by this value;
+    // no thread affinity is involved in reading or unmapping it.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only. `len` must be non-zero
+        /// (zero-length mappings are an `EINVAL`; callers route empty
+        /// files through the heap path).
+        pub(crate) fn map(file: &std::fs::File, len: usize) -> std::io::Result<Mmap> {
+            debug_assert!(len > 0, "zero-length mappings are rejected by mmap");
+            // SAFETY: a fresh PROT_READ | MAP_PRIVATE mapping of a file we
+            // own a handle to; the kernel checks fd validity and rejects
+            // impossible lengths. A MAP_FAILED return is handled below.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            match std::ptr::NonNull::new(ptr) {
+                Some(ptr) => Ok(Mmap { ptr, len }),
+                None => Err(std::io::Error::other("mmap returned NULL")),
+            }
+        }
+
+        pub(crate) fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping covers `len` readable bytes for as long
+            // as this value lives, and the backing inode is immutable.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().cast::<u8>(), self.len) }
+        }
+
+        fn advise(&self, advice: i32) {
+            // SAFETY: advising our own mapping; madvise is a hint — any
+            // failure is deliberately ignored (the mapping stays valid).
+            unsafe {
+                madvise(self.ptr.as_ptr(), self.len, advice);
+            }
+        }
+
+        /// Hints sequential access — turns the checksum pass into a
+        /// readahead-friendly linear stream.
+        pub(crate) fn advise_sequential(&self) {
+            self.advise(MADV_SEQUENTIAL);
+        }
+
+        /// Drops the resident pages of the mapping (they fault back in
+        /// from the page cache or disk on next access — safe for a
+        /// read-only file-backed mapping, which holds no dirty state).
+        pub(crate) fn release_resident(&self) {
+            self.advise(MADV_DONTNEED);
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact region this value owns, once.
+            unsafe {
+                munmap(self.ptr.as_ptr(), self.len);
+            }
+        }
+    }
+}
+
+/// The storage backing a validated snapshot: an owned aligned heap buffer
+/// (in-memory images, platforms without mmap) or a read-only file mapping.
+/// Both hand out the same `&[u8]`, so every accessor above it is
+/// representation-blind.
+enum SnapshotImage {
+    Heap(AlignedBuf),
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(mmap::Mmap),
+}
+
+impl SnapshotImage {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            SnapshotImage::Heap(buf) => buf.bytes(),
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            SnapshotImage::Mapped(map) => map.bytes(),
+        }
+    }
+}
+
+/// How [`Snapshot::open_with`] backs the image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Memory-map the file read-only (the [`Snapshot::open`] default).
+    /// Falls back to [`OpenMode::Read`] on platforms without the mapping
+    /// wrapper, for empty files, and when the `mmap` call itself fails.
+    #[default]
+    Mmap,
+    /// Read the whole file into one owned aligned buffer (the pre-mmap
+    /// behavior; costs an O(file) copy and a resident heap buffer).
+    Read,
 }
 
 /// Reinterprets `bytes` as a `&[u32]` in place (little-endian files on a
@@ -626,11 +798,13 @@ pub struct SnapshotMeta {
     pub n_stats: u64,
 }
 
-/// A validated snapshot: one owned, aligned buffer plus the section table.
-/// All accessors are **zero-copy views** into that buffer; call
-/// [`Snapshot::load`] to reconstitute the in-memory offline state.
+/// A validated snapshot: one aligned image (owned buffer or read-only
+/// mapping — see [`SnapshotImage`]'s two faces behind [`OpenMode`]) plus
+/// the section table. All accessors are **zero-copy views** into that
+/// image; call [`Snapshot::load`] to reconstitute the in-memory offline
+/// state.
 pub struct Snapshot {
-    buf: AlignedBuf,
+    image: SnapshotImage,
     sections: Vec<(u32, usize, usize)>, // kind, offset, len
     /// One-time UTF-8 validation of `DICT_BLOB`, so [`Snapshot::term_text`]
     /// stays O(slice) per call instead of revalidating the whole blob.
@@ -654,26 +828,77 @@ fn read_u64(b: &[u8], off: usize) -> u64 {
 }
 
 impl Snapshot {
-    /// Reads and validates the snapshot at `path`. The file is read into
-    /// one aligned buffer; header, length, and checksum (verified over
-    /// `threads` workers, `0` = auto) are checked before any payload byte
-    /// is interpreted.
+    /// Opens and validates the snapshot at `path` in the default
+    /// [`OpenMode`] (memory-mapped where supported). Header, length, and
+    /// checksum (verified over `threads` workers, `0` = auto) are checked
+    /// before any payload byte is interpreted — in the mapped case the
+    /// checksum pass runs behind `MADV_SEQUENTIAL` readahead.
     pub fn open(path: impl AsRef<Path>, threads: usize) -> Result<Snapshot, SnapshotError> {
+        Self::open_with(path, threads, OpenMode::default())
+    }
+
+    /// [`Snapshot::open`] with an explicit backing choice; benchmarks and
+    /// tests use this to compare the two paths on the same file.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        threads: usize,
+        mode: OpenMode,
+    ) -> Result<Snapshot, SnapshotError> {
         let mut file = std::fs::File::open(path)?;
         let len = usize::try_from(file.metadata()?.len())
             .map_err(|_| malformed("file too large for this platform"))?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if mode == OpenMode::Mmap && len > 0 {
+            if let Ok(map) = mmap::Mmap::map(&file, len) {
+                map.advise_sequential();
+                return Self::parse(SnapshotImage::Mapped(map), threads);
+            }
+            // An mmap failure (exotic filesystem, exhausted mappings) is
+            // not fatal: the heap read below serves the same bytes.
+        }
+        let _ = mode;
         let mut buf = AlignedBuf::zeroed(len);
         file.read_exact(buf.bytes_mut())?;
-        Self::parse(buf, threads)
+        Self::parse(SnapshotImage::Heap(buf), threads)
     }
 
-    /// Validates an in-memory snapshot image (copied into aligned storage).
+    /// Validates an in-memory snapshot image (copied into aligned storage
+    /// — always the heap representation).
     pub fn from_bytes(bytes: &[u8], threads: usize) -> Result<Snapshot, SnapshotError> {
-        Self::parse(AlignedBuf::copy_from(bytes), threads)
+        Self::parse(SnapshotImage::Heap(AlignedBuf::copy_from(bytes)), threads)
     }
 
-    fn parse(buf: AlignedBuf, threads: usize) -> Result<Snapshot, SnapshotError> {
-        let b = buf.bytes();
+    /// Whether the image is a file mapping (as opposed to an owned buffer).
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.image, SnapshotImage::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    /// Bytes backing the image (the file size for opened snapshots).
+    pub fn image_len(&self) -> usize {
+        self.image.bytes().len()
+    }
+
+    /// Drops the resident pages of a mapped image (`madvise(MADV_DONTNEED)`)
+    /// so they stop counting against this process's RSS; they fault back in
+    /// transparently on the next access. No-op for heap images. Callers that
+    /// fully materialize the state (e.g. after [`Snapshot::load`]) use this
+    /// so holding the snapshot open costs address space, not memory.
+    pub fn release_resident_pages(&self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let SnapshotImage::Mapped(map) = &self.image {
+            map.release_resident();
+        }
+    }
+
+    fn parse(image: SnapshotImage, threads: usize) -> Result<Snapshot, SnapshotError> {
+        let b = image.bytes();
         if b.len() < HEADER_LEN {
             return Err(SnapshotError::Truncated {
                 expected: HEADER_LEN as u64,
@@ -743,14 +968,14 @@ impl Snapshot {
             }
             sections.push((kind, offset as usize, len as usize));
         }
-        Ok(Snapshot { buf, sections, blob_utf8: std::sync::OnceLock::new() })
+        Ok(Snapshot { image, sections, blob_utf8: std::sync::OnceLock::new() })
     }
 
     fn section(&self, kind: u32, name: &str) -> Result<&[u8], SnapshotError> {
         self.sections
             .iter()
             .find(|&&(k, _, _)| k == kind)
-            .map(|&(_, off, len)| &self.buf.bytes()[off..off + len])
+            .map(|&(_, off, len)| &self.image.bytes()[off..off + len])
             .ok_or_else(|| malformed(format!("missing section {name} (kind {kind})")))
     }
 
@@ -1088,6 +1313,39 @@ mod tests {
             "canonical encoding of rdf:type"
         );
         assert!(snap.term_text(g.dict.len()).is_err());
+    }
+
+    #[test]
+    fn open_modes_serve_identical_views() {
+        let g = sample_graph();
+        let stats = sample_stats(&g);
+        let dir = std::env::temp_dir().join(format!(
+            "spade-store-openmode-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.spade");
+        write_snapshot(&path, &g, &stats).unwrap();
+
+        let mapped = Snapshot::open_with(&path, 1, OpenMode::Mmap).expect("mmap open");
+        let read = Snapshot::open_with(&path, 1, OpenMode::Read).expect("read open");
+        assert!(!read.is_mapped());
+        assert_eq!(mapped.image_len(), read.image_len());
+        if mapped.is_mapped() {
+            // Releasing resident pages must be transparent: views still work.
+            mapped.release_resident_pages();
+        }
+        assert_eq!(mapped.meta().unwrap(), read.meta().unwrap());
+        assert_eq!(mapped.triples_raw().unwrap(), read.triples_raw().unwrap());
+        for i in 0..g.dict.len() {
+            assert_eq!(mapped.term_text(i).unwrap(), read.term_text(i).unwrap());
+        }
+        let a = mapped.load(1).expect("mapped load");
+        let b = read.load(1).expect("read load");
+        assert_eq!(a.graph.triples(), b.graph.triples());
+        assert_eq!(a.stats, b.stats);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,9 +2,18 @@
 //! [`SnapshotError`] — truncation, bad magic, wrong version, foreign
 //! endianness, checksum mismatch, or a structural `Malformed` — and must
 //! never panic, whatever bytes it contains.
+//!
+//! Every suite runs twice: once over the copied in-memory path
+//! ([`Snapshot::from_bytes`]) and once over the memory-mapped on-disk path
+//! ([`Snapshot::open_with`] + [`OpenMode::Mmap`], the serving default) by
+//! writing the tampered bytes to a real file first. The mapped reader must
+//! report the same typed errors — and since validation bounds every access
+//! to the declared prefix, no flip can turn into a panic or a `SIGBUS`.
+
+use spade_store::{snapshot_bytes, update_checksum, OpenMode, Snapshot, SnapshotError};
 
 use spade_rdf::{vocab, Graph, Term};
-use spade_store::{snapshot_bytes, update_checksum, Snapshot, SnapshotError};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn sample_bytes() -> Vec<u8> {
     let mut g = Graph::new();
@@ -16,47 +25,74 @@ fn sample_bytes() -> Vec<u8> {
     snapshot_bytes(&g, &[])
 }
 
-/// Opening + loading, as a serving process would do it.
-fn open_and_load(bytes: &[u8]) -> Result<(), SnapshotError> {
+/// Opening + loading the copied in-memory image.
+fn load_copied(bytes: &[u8]) -> Result<(), SnapshotError> {
     Snapshot::from_bytes(bytes, 1)?.load(1).map(|_| ())
 }
+
+/// Opening + loading through a real file and the mmap path, as the daemon
+/// does it: write the (tampered) image to disk, map it, load, unmap.
+fn load_mapped(bytes: &[u8]) -> Result<(), SnapshotError> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "spade-store-corruption-{}-{}.spade",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).expect("write tampered image");
+    let result =
+        Snapshot::open_with(&path, 1, OpenMode::Mmap).and_then(|s| s.load(1).map(|_| ()));
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+/// Both serving-shaped loaders, so each suite asserts identical typed
+/// behavior for the heap and mapped representations.
+type Loader = fn(&[u8]) -> Result<(), SnapshotError>;
+const LOADERS: [(&str, Loader); 2] = [("copied", load_copied), ("mapped", load_mapped)];
 
 #[test]
 fn truncation_at_every_prefix_is_a_typed_error() {
     let bytes = sample_bytes();
-    assert!(open_and_load(&bytes).is_ok(), "baseline image must load");
-    // Every proper prefix reports `Truncated` — too short for a header, or
-    // shorter than the length the (intact) header declares.
-    for len in 0..bytes.len() {
-        let err = open_and_load(&bytes[..len]).expect_err("truncated image must fail");
-        assert!(matches!(err, SnapshotError::Truncated { .. }), "prefix {len}: got {err:?}");
+    for (mode, load) in LOADERS {
+        assert!(load(&bytes).is_ok(), "{mode}: baseline image must load");
+        // Every proper prefix reports `Truncated` — too short for a header,
+        // or shorter than the length the (intact) header declares.
+        for len in 0..bytes.len() {
+            let err = load(&bytes[..len]).expect_err("truncated image must fail");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "{mode}: prefix {len}: got {err:?}"
+            );
+        }
+        // Trailing garbage beyond the declared file length is ignored.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"trailing junk");
+        assert!(load(&padded).is_ok(), "{mode}: trailing junk must be ignored");
     }
-    // Trailing garbage beyond the declared file length is ignored.
-    let mut padded = bytes.clone();
-    padded.extend_from_slice(b"trailing junk");
-    assert!(open_and_load(&padded).is_ok());
 }
 
 #[test]
 fn bad_magic_wrong_version_bad_endianness() {
     let bytes = sample_bytes();
+    for (mode, load) in LOADERS {
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(load(&bad_magic), Err(SnapshotError::BadMagic)), "{mode}");
 
-    let mut bad_magic = bytes.clone();
-    bad_magic[0] ^= 0xFF;
-    assert!(matches!(open_and_load(&bad_magic), Err(SnapshotError::BadMagic)));
+        let mut foreign = bytes.clone();
+        // The endianness marker, byte-swapped: a big-endian writer's file.
+        foreign[8..12].copy_from_slice(&0x0A0B_0C0Du32.to_be_bytes());
+        assert!(matches!(load(&foreign), Err(SnapshotError::BadEndianness)), "{mode}");
 
-    let mut foreign = bytes.clone();
-    // The endianness marker, byte-swapped: a big-endian writer's file.
-    foreign[8..12].copy_from_slice(&0x0A0B_0C0Du32.to_be_bytes());
-    assert!(matches!(open_and_load(&foreign), Err(SnapshotError::BadEndianness)));
-
-    let mut future = bytes.clone();
-    future[12..16].copy_from_slice(&99u32.to_le_bytes());
-    match open_and_load(&future) {
-        Err(SnapshotError::UnsupportedVersion { found: 99, supported }) => {
-            assert_eq!(supported, spade_store::VERSION);
+        let mut future = bytes.clone();
+        future[12..16].copy_from_slice(&99u32.to_le_bytes());
+        match load(&future) {
+            Err(SnapshotError::UnsupportedVersion { found: 99, supported }) => {
+                assert_eq!(supported, spade_store::VERSION);
+            }
+            other => panic!("{mode}: expected UnsupportedVersion, got {other:?}"),
         }
-        other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
 }
 
@@ -65,19 +101,29 @@ fn every_single_byte_flip_is_detected() {
     let bytes = sample_bytes();
     // Flipping any one bit anywhere — header, section table, payload —
     // must yield an error (usually ChecksumMismatch), never a panic and
-    // never a successful load of wrong data.
-    for i in 0..bytes.len() {
-        let mut tampered = bytes.clone();
-        tampered[i] ^= 0x01;
-        assert!(open_and_load(&tampered).is_err(), "flip at byte {i} went undetected");
+    // never a successful load of wrong data. The mapped run flips the
+    // byte *on disk*, which is exactly the bit-rot case the checksum
+    // pass at open exists for.
+    for (mode, load) in LOADERS {
+        for i in 0..bytes.len() {
+            let mut tampered = bytes.clone();
+            tampered[i] ^= 0x01;
+            assert!(load(&tampered).is_err(), "{mode}: flip at byte {i} went undetected");
+        }
     }
 }
 
 #[test]
 fn checksum_field_itself_is_checked() {
-    let mut bytes = sample_bytes();
-    bytes[24] ^= 0xFF; // the stored checksum
-    assert!(matches!(open_and_load(&bytes), Err(SnapshotError::ChecksumMismatch { .. })));
+    let bytes = sample_bytes();
+    for (mode, load) in LOADERS {
+        let mut tampered = bytes.clone();
+        tampered[24] ^= 0xFF; // the stored checksum
+        assert!(
+            matches!(load(&tampered), Err(SnapshotError::ChecksumMismatch { .. })),
+            "{mode}"
+        );
+    }
 }
 
 /// Re-sealed tampering: fix the checksum after corrupting the payload, so
@@ -85,42 +131,43 @@ fn checksum_field_itself_is_checked() {
 #[test]
 fn resealed_structural_corruption_is_malformed_not_panic() {
     let baseline = sample_bytes();
+    for (mode, load) in LOADERS {
+        // Point a section table entry at a misaligned offset.
+        let mut bad_align = baseline.clone();
+        bad_align[48 + 8] = bad_align[48 + 8].wrapping_add(1);
+        update_checksum(&mut bad_align);
+        assert!(matches!(load(&bad_align), Err(SnapshotError::Malformed(_))), "{mode}");
 
-    // Point a section table entry at a misaligned offset.
-    let mut bad_align = baseline.clone();
-    bad_align[48 + 8] = bad_align[48 + 8].wrapping_add(1);
-    update_checksum(&mut bad_align);
-    assert!(matches!(open_and_load(&bad_align), Err(SnapshotError::Malformed(_))));
+        // Point a section past the end of the file.
+        let mut bad_bounds = baseline.clone();
+        bad_bounds[48 + 16..48 + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        update_checksum(&mut bad_bounds);
+        assert!(matches!(load(&bad_bounds), Err(SnapshotError::Malformed(_))), "{mode}");
 
-    // Point a section past the end of the file.
-    let mut bad_bounds = baseline.clone();
-    bad_bounds[48 + 16..48 + 24].copy_from_slice(&u64::MAX.to_le_bytes());
-    update_checksum(&mut bad_bounds);
-    assert!(matches!(open_and_load(&bad_bounds), Err(SnapshotError::Malformed(_))));
+        // An absurd section count.
+        let mut bad_count = baseline.clone();
+        bad_count[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        update_checksum(&mut bad_count);
+        assert!(matches!(load(&bad_count), Err(SnapshotError::Malformed(_))), "{mode}");
 
-    // An absurd section count.
-    let mut bad_count = baseline.clone();
-    bad_count[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
-    update_checksum(&mut bad_count);
-    assert!(matches!(open_and_load(&bad_count), Err(SnapshotError::Malformed(_))));
-
-    // Corrupt every payload byte in turn, re-sealing each time: whatever
-    // structure it hits (term encodings, CSR offsets, triple ids, stats
-    // flags), the loader must return an error or a *consistent* success —
-    // never panic. Successes are possible (e.g. a flipped object id still
-    // in range), so only absence of panics and of Checksum errors is
-    // asserted.
-    let payload_start = 48 + 14 * 24; // header + the 14-section table
-    for i in payload_start..baseline.len() {
-        let mut tampered = baseline.clone();
-        tampered[i] ^= 0x10;
-        update_checksum(&mut tampered);
-        match open_and_load(&tampered) {
-            Ok(()) => {}
-            Err(SnapshotError::ChecksumMismatch { .. }) => {
-                panic!("byte {i}: reseal failed, checksum still mismatching")
+        // Corrupt every payload byte in turn, re-sealing each time: whatever
+        // structure it hits (term encodings, CSR offsets, triple ids, stats
+        // flags), the loader must return an error or a *consistent* success —
+        // never panic. Successes are possible (e.g. a flipped object id still
+        // in range), so only absence of panics and of Checksum errors is
+        // asserted.
+        let payload_start = 48 + 14 * 24; // header + the 14-section table
+        for i in payload_start..baseline.len() {
+            let mut tampered = baseline.clone();
+            tampered[i] ^= 0x10;
+            update_checksum(&mut tampered);
+            match load(&tampered) {
+                Ok(()) => {}
+                Err(SnapshotError::ChecksumMismatch { .. }) => {
+                    panic!("{mode}: byte {i}: reseal failed, checksum still mismatching")
+                }
+                Err(_) => {}
             }
-            Err(_) => {}
         }
     }
 }
@@ -128,15 +175,19 @@ fn resealed_structural_corruption_is_malformed_not_panic() {
 #[test]
 fn missing_file_is_io() {
     let missing = std::env::temp_dir().join("spade-store-definitely-missing.spade");
-    assert!(matches!(Snapshot::open(&missing, 1), Err(SnapshotError::Io(_))));
+    for mode in [OpenMode::Mmap, OpenMode::Read] {
+        assert!(matches!(Snapshot::open_with(&missing, 1, mode), Err(SnapshotError::Io(_))));
+    }
 }
 
 #[test]
 fn empty_and_tiny_files() {
-    assert!(matches!(
-        open_and_load(&[]),
-        Err(SnapshotError::Truncated { expected: 48, actual: 0 })
-    ));
-    assert!(open_and_load(&[0u8; 47]).is_err());
-    assert!(open_and_load(b"SPADESNP").is_err());
+    for (mode, load) in LOADERS {
+        assert!(
+            matches!(load(&[]), Err(SnapshotError::Truncated { expected: 48, actual: 0 })),
+            "{mode}"
+        );
+        assert!(load(&[0u8; 47]).is_err(), "{mode}");
+        assert!(load(b"SPADESNP").is_err(), "{mode}");
+    }
 }
