@@ -13,13 +13,19 @@
 //!
 //! Every run also measures the telemetry substrate's warm-path cost: the
 //! exact per-request record sequence (counters, gauges, two histogram
-//! observations) is timed in isolation against live registry handles and
-//! related to the measured warm request latency. With the `noop` feature
-//! those operations compile to nothing, so the sequence cost *is* the
+//! observations, one analytics-ledger ring write) is timed in isolation
+//! against live registry handles and related to the measured warm request
+//! latency. With the `noop` feature those operations compile to nothing
+//! (and the ledger ring has zero slots), so the sequence cost *is* the
 //! telemetry-on vs noop delta; the run asserts it stays under a 2%
 //! throughput regression and pins the numbers under `profile_overhead` in
 //! `BENCH_serve.json`. `--profile-overhead` runs only the warm mode and
 //! this check (a quick gate, skipping the cold cells).
+//!
+//! A short mixed cheap/expensive cold sequence additionally scrapes
+//! `/debug/queries` and pins the estimate-vs-actual **cost scorecard**
+//! (q-error geo-mean and quantiles of `admission::estimate_cost` against
+//! measured work) under `cost_scorecard` in `BENCH_serve.json`.
 //!
 //! Usage: `cargo run --release -p spade-bench --bin bench_serve
 //! [--scale <facts>] [--seed <n>] [--threads <n>] [--out <path>]
@@ -142,8 +148,12 @@ fn run_mode(
 /// The warm-path telemetry record sequence, timed in isolation: what a
 /// cache-hit `/explore` drives through the registry (connection + request
 /// counters, in-flight/queue gauges, queue-wait and route-latency
-/// histograms). Returns the mean cost per request in nanoseconds.
+/// histograms) plus one analytics-ledger record (ring write; hits never
+/// touch the profile locks). Returns the mean cost per request in
+/// nanoseconds.
 fn telemetry_ns_per_request() -> f64 {
+    use spade_telemetry::ledger::key_hash;
+    use spade_telemetry::{CacheOutcome, Ledger, LedgerRecord, ResponseClass};
     let registry = spade_telemetry::Registry::new();
     let requests = registry.counter("bench_requests_total", "requests");
     let explore = registry.counter("bench_explore_total", "explores");
@@ -153,7 +163,7 @@ fn telemetry_ns_per_request() -> f64 {
     let queue_wait = registry.histogram(
         "bench_queue_wait_seconds",
         "queue wait",
-        &spade_telemetry::DURATION_BOUNDS_SECONDS,
+        &spade_telemetry::FINE_DURATION_BOUNDS_SECONDS,
     );
     let warm = registry.histogram_with(
         "bench_request_seconds",
@@ -161,6 +171,8 @@ fn telemetry_ns_per_request() -> f64 {
         &[("route", "explore_warm")],
         &spade_telemetry::DURATION_BOUNDS_SECONDS,
     );
+    let ledger = Ledger::new(256, &["bench".to_owned()]);
+    let hash = key_hash("{}");
     const ITERS: u32 = 1_000_000;
     let start = Instant::now();
     for i in 0..ITERS {
@@ -172,11 +184,89 @@ fn telemetry_ns_per_request() -> f64 {
         explore.inc();
         cached.inc();
         warm.observe(2e-5 + f64::from(i & 1023) * 1e-6);
+        ledger.record(LedgerRecord {
+            id: u64::from(i),
+            graph: "bench".to_owned(),
+            generation: 1,
+            route: "explore",
+            key_hash: hash,
+            estimated_cost: 1000,
+            actual_cost: 0,
+            cells: 0,
+            facts: 0,
+            cache: CacheOutcome::Hit,
+            class: ResponseClass::Ok,
+            total_us: 20,
+            stages: Vec::new(),
+            slo_breach: false,
+            unix_ms: 0,
+        });
         in_flight.sub(1);
     }
     let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
     assert_eq!(requests.get(), u64::from(ITERS), "sequence not optimized away");
+    // Under `spade-telemetry/noop` the ring has zero slots and `record`
+    // returns immediately; otherwise every write must have landed.
+    if ledger.capacity() > 0 {
+        assert_eq!(
+            ledger.recorded_total(),
+            u64::from(ITERS),
+            "ledger writes not optimized away"
+        );
+    }
     ns
+}
+
+/// Drives a short mixed cheap/expensive request sequence against a cold
+/// server and returns the ledger's estimate-vs-actual scorecard: how well
+/// the admission estimator tracked measured work on this corpus.
+fn measure_scorecard(
+    snapshot: &std::path::Path,
+    base: &SpadeConfig,
+) -> (usize, f64, f64, f64, f64, f64) {
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            cache_bytes: 0,
+            ..Default::default()
+        },
+        base.clone(),
+        snapshot,
+    )
+    .expect("scorecard server starts");
+    let mut client = Client::new(server.local_addr());
+    // Expensive: the unfiltered default (every CFS, low support floor).
+    // Cheap: a narrow CFS filter and a tightened support threshold.
+    let bodies: [&[u8]; 4] = [
+        b"",
+        br#"{"cfs_filter": ["type:CEO"]}"#,
+        br#"{"min_support": 0.6}"#,
+        br#"{"k": 2, "cfs_filter": ["type:Company"]}"#,
+    ];
+    for body in bodies {
+        assert_eq!(client.post("/explore", body).expect("scorecard explore").status, 200);
+    }
+    let queries = client.get("/debug/queries").expect("debug/queries");
+    let doc = spade_core::json::parse(&queries.text()).expect("ledger JSON");
+    let sc = doc.get("scorecard").expect("scorecard");
+    let f = |k: &str| sc.get(k).and_then(|v| v.as_f64()).unwrap_or_else(|| panic!("{k}"));
+    let out = (
+        sc.get("count").and_then(|v| v.as_usize()).expect("count"),
+        f("q_error_geo_mean"),
+        f("q_error_p50"),
+        f("q_error_p95"),
+        f("q_error_p99"),
+        f("q_error_max"),
+    );
+    assert_eq!(out.0, bodies.len(), "every cold completion grades the estimator");
+    assert!(
+        out.1.is_finite() && out.1 >= 1.0,
+        "q-error geo-mean must be finite and ≥ 1: {}",
+        out.1
+    );
+    assert!(server.shutdown(Duration::from_secs(30)), "scorecard server drains");
+    out
 }
 
 fn main() {
@@ -208,6 +298,12 @@ fn main() {
         run_mode("cold", 0, &snapshot, &base, &expected, 8, &mut cells);
     }
     run_mode("warm", 64 << 20, &snapshot, &base, &expected, 64, &mut cells);
+    let (sc_count, sc_geo, sc_p50, sc_p95, sc_p99, sc_max) =
+        measure_scorecard(&snapshot, &base);
+    eprintln!(
+        "cost scorecard: {sc_count} graded | q-error geo-mean {sc_geo:.2} | \
+         p50 {sc_p50:.2} | p95 {sc_p95:.2} | p99 {sc_p99:.2} | max {sc_max:.2}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 
     let throughput = |cache: &str, concurrency: usize| {
@@ -254,6 +350,14 @@ fn main() {
     w.key("warm_req_per_sec").f64_fixed(warm_rps, 2);
     w.key("projected_noop_req_per_sec").f64_fixed(projected_noop_rps, 2);
     w.key("budget_pct").f64_fixed(2.0, 1);
+    w.end_object();
+    w.key("cost_scorecard").begin_object();
+    w.key("requests_graded").usize(sc_count);
+    w.key("q_error_geo_mean").f64_fixed(sc_geo, 4);
+    w.key("q_error_p50").f64_fixed(sc_p50, 4);
+    w.key("q_error_p95").f64_fixed(sc_p95, 4);
+    w.key("q_error_p99").f64_fixed(sc_p99, 4);
+    w.key("q_error_max").f64_fixed(sc_max, 4);
     w.end_object();
     w.key("cells").begin_array();
     for c in &cells {

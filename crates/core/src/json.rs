@@ -210,6 +210,15 @@ impl JsonWriter {
         self
     }
 
+    /// Splices a pre-serialized JSON value verbatim (no validation): the
+    /// escape hatch for embedding documents rendered elsewhere (e.g. the
+    /// telemetry ledger's snapshot `to_json` outputs) without re-parsing.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(json);
+        self
+    }
+
     /// Writes `null`.
     pub fn null(&mut self) -> &mut Self {
         self.before_value();

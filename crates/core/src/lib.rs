@@ -42,8 +42,8 @@ pub use config::{RequestConfig, SpadeConfig};
 pub use enumeration::LatticeSpec;
 pub use offline::{OfflineStats, PropertyStats};
 pub use pipeline::{
-    DatasetProfile, OfflineState, SnapshotPipelineError, Spade, SpadeReport, StepTimings,
-    TopAggregate,
+    work_counters, DatasetProfile, OfflineState, SnapshotPipelineError, Spade, SpadeReport,
+    StepTimings, TopAggregate,
 };
 
 /// Request budgets (deadline + cancellation) threaded through

@@ -105,6 +105,23 @@ impl TopAggregate {
     }
 }
 
+/// Ground-truth work counters from a traced run: total `(cells, facts)`
+/// touched by the engine shards, summed from the `cells`/`facts` attrs the
+/// engine annotates on its `shard` spans during
+/// [`Spade::run_on_traced`]. Each cube cell belongs to exactly one chunk
+/// of exactly one shard, so the totals are plan- and thread-invariant —
+/// the same request measures the same work at any thread count. The sum
+/// filters by span name because other spans (`emit`, `translate`) reuse
+/// the `cells` key with different meanings. Returns `(0, 0)` for an
+/// untraced or not-yet-evaluated run.
+///
+/// This is the cost signal the serve-layer request ledger records per
+/// request, and the measurement any cardinality estimator is scored
+/// against.
+pub fn work_counters(trace: &Trace) -> (u64, u64) {
+    (trace.sum_attr("shard", "cells"), trace.sum_attr("shard", "facts"))
+}
+
 /// Everything a Spade run produces.
 #[derive(Clone, Debug, Default)]
 pub struct SpadeReport {

@@ -49,21 +49,32 @@ pub fn estimate_cost(state: &OfflineState, base: &SpadeConfig, request: &Request
 ///
 /// `capacity == 0` disables shedding (every request admitted, nothing
 /// tracked against the limit — the gauge still counts in-flight cost).
+///
+/// Capacity is an atomic so the `--admission-capacity auto` closed loop can
+/// retarget it from the observed cost profile while requests are in flight;
+/// a resize never disturbs already-admitted work (permits release exactly
+/// what they took).
 #[derive(Debug)]
 pub struct AdmissionController {
-    capacity: u64,
+    capacity: AtomicU64,
     inflight: AtomicU64,
 }
 
 impl AdmissionController {
     /// A controller shedding above `capacity` work units (0 = never shed).
     pub fn new(capacity: u64) -> AdmissionController {
-        AdmissionController { capacity, inflight: AtomicU64::new(0) }
+        AdmissionController { capacity: AtomicU64::new(capacity), inflight: AtomicU64::new(0) }
     }
 
-    /// The configured capacity (0 = unlimited).
+    /// The current capacity (0 = unlimited).
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the capacity (the `auto` adaptation loop). Takes effect
+    /// for the next admission decision; in-flight permits are untouched.
+    pub fn set_capacity(&self, capacity: u64) {
+        self.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Cost currently admitted and not yet released.
@@ -75,7 +86,8 @@ impl AdmissionController {
     /// releases the units when dropped, so every exit path (success, panic
     /// caught at the route boundary, cancellation) gives the capacity back.
     pub fn try_admit(&self, cost: u64) -> Option<AdmissionPermit<'_>> {
-        if self.capacity == 0 {
+        let capacity = self.capacity();
+        if capacity == 0 {
             self.inflight.fetch_add(cost, Ordering::Relaxed);
             return Some(AdmissionPermit { controller: self, cost });
         }
@@ -83,7 +95,7 @@ impl AdmissionController {
             .inflight
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
                 let total = current.saturating_add(cost);
-                (total <= self.capacity).then_some(total)
+                (total <= capacity).then_some(total)
             })
             .is_ok();
         // `then`, not `then_some`: the permit must only exist (and its
@@ -139,6 +151,24 @@ mod tests {
         assert_eq!(c.inflight(), u64::MAX / 2 * 2);
         drop((a, b));
         assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn set_capacity_retargets_without_touching_inflight() {
+        let c = AdmissionController::new(50);
+        let permit = c.try_admit(40).expect("fits");
+        assert!(c.try_admit(40).is_none(), "40 + 40 > 50");
+        c.set_capacity(100);
+        assert_eq!(c.capacity(), 100);
+        let second = c.try_admit(40).expect("fits after the resize");
+        assert_eq!(c.inflight(), 80);
+        // Shrinking below the in-flight sum sheds new work but never
+        // invalidates held permits.
+        c.set_capacity(10);
+        assert!(c.try_admit(1).is_none());
+        drop((permit, second));
+        assert_eq!(c.inflight(), 0);
+        assert!(c.try_admit(10).is_some());
     }
 
     #[test]

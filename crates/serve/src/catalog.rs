@@ -155,6 +155,12 @@ impl GraphCatalog {
         self.entries.binary_search_by(|e| e.name.as_str().cmp(name)).ok()
     }
 
+    /// The registered graph names in entry (sorted) order — the fixed name
+    /// set consumers like the request ledger key their per-graph state by.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
     /// The configured byte budget (0 = unlimited).
     pub fn budget_bytes(&self) -> u64 {
         self.budget

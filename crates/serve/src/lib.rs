@@ -177,7 +177,10 @@
 //! (one `{name, loaded, generation, resident_bytes}` per registered
 //! graph), `cache` (hits, misses, evictions, entries, bytes), `server`
 //! (workers, request_threads, uptime_secs, request counters, and a
-//! `slow_log` sub-object with its threshold and capacity).
+//! `slow_log` sub-object with its threshold and capacity),
+//! `cost_profiles` (one observed per-graph cost/latency profile per
+//! registered graph — see `GET /debug/queries`), and `scorecard` (the
+//! estimate-vs-actual q-error summary).
 //!
 //! ## `GET /metrics`
 //!
@@ -191,7 +194,10 @@
 //! `spade_serve_timeouts_total`, `spade_serve_panics_total`,
 //! `spade_serve_graph_loads_total`, `spade_serve_graph_evictions_total`,
 //! `spade_serve_cache_{hits,misses,evictions}_total`, and the per-graph
-//! `spade_serve_graph_explore_total{graph="…"}`. (The
+//! `spade_serve_graph_explore_total{graph="…"}` and
+//! `spade_serve_slo_breach_total{graph="…"}` (requests that actually ran —
+//! not cache hits or sheds — and finished over `--latency-slo-ms`; a
+//! burn-rate numerator). (The
 //! `spade_serve_cancel_latency_ms_total` counter was **removed** — the
 //! `cancel_latency_seconds` histogram's `_sum`/`_count` carry strictly
 //! more information; dashboards should divide those instead.)
@@ -204,22 +210,86 @@
 //! `spade_serve_uptime_seconds`, and per graph
 //! `spade_serve_graph_generation{graph="…"}`,
 //! `spade_serve_graph_resident_bytes{graph="…"}`,
-//! `spade_serve_graph_loaded{graph="…"}`.
+//! `spade_serve_graph_loaded{graph="…"}`, plus the ledger-fed cost
+//! profile series `spade_serve_graph_cost_ewma{graph="…"}`,
+//! `spade_serve_graph_latency_ewma_us{graph="…"}`,
+//! `spade_serve_graph_cost_units{graph="…",quantile="0.5"|"0.95"|"0.99"}`,
+//! and
+//! `spade_serve_graph_latency_us{graph="…",quantile="0.5"|"0.95"|"0.99"}`
+//! (observed actual cost in work units and wall latency in microseconds,
+//! from the streaming per-graph quantile sketches — label sets are
+//! registered in sorted graph order with ascending quantiles, so the
+//! exposition is deterministic).
 //! Histograms (cumulative `_bucket{le=…}` / `_sum` / `_count` series):
 //! `spade_serve_request_seconds{route="explore_cold"|"explore_warm"|"reload"}`,
 //! `spade_serve_stage_seconds{stage=…}` (one series per online pipeline
 //! stage), `spade_serve_queue_wait_seconds`, and
-//! `spade_serve_cancel_latency_seconds`.
+//! `spade_serve_cancel_latency_seconds` (the latter two on the
+//! sub-millisecond [`spade_telemetry::FINE_DURATION_BOUNDS_SECONDS`]
+//! bounds, 10 µs – 1 s: queue waits and cancellation latencies on a
+//! healthy server sit far below the request-latency bucket floor).
 //!
 //! ## `GET /debug/slow`
 //!
 //! The in-memory slow-request log: the worst-`capacity` requests at or
-//! above `--slow-ms`, each with its route, status, generation, duration,
-//! and full span tree. `{"threshold_ms": …, "capacity": …, "entries":
-//! [{"id": …, "route": "explore", "status": 200, "generation": 1,
-//! "duration_ms": …, "unix_ms": …, "trace": {…}}]}`. With `--slow-ms 0`
-//! (default) every traced request qualifies and the log keeps the
-//! worst 32.
+//! above `--slow-ms`, each with its route, graph, status, generation,
+//! duration, and full span tree. `{"threshold_ms": …, "capacity": …,
+//! "entries": [{"id": …, "route": "explore", "graph": "…", "status": 200,
+//! "generation": 1, "duration_ms": …, "unix_ms": …, "trace": {…}}]}`.
+//! With `--slow-ms 0` (default) every traced request qualifies and the
+//! log keeps the worst 32.
+//!
+//! ## `GET /debug/queries`
+//!
+//! The request analytics ledger ([`spade_telemetry::Ledger`]): one compact
+//! record per completed `/explore` (hits, sheds, timeouts, and cold
+//! completions alike) in a bounded ring, plus the aggregates derived from
+//! it. The response shape:
+//!
+//! ```json
+//! {
+//!   "capacity": 256,
+//!   "recorded_total": 1234,
+//!   "admission_capacity": 40000,
+//!   "scorecard": {"count": 87, "q_error_geo_mean": 1.9,
+//!                  "q_error_p50": 1.6, "q_error_p95": 4.2,
+//!                  "q_error_p99": 7.9, "q_error_max": 11.0},
+//!   "overall": {"graph": "_overall", "requests": 87, "...": "..."},
+//!   "cost_profiles": [
+//!     {"graph": "dblp", "requests": 87,
+//!      "cost_ewma": 5321.0, "est_cost_ewma": 9800.0,
+//!      "cost_p50": 5100.0, "cost_p95": 9400.0, "cost_p99": 12000.0,
+//!      "latency_ewma_us": 1800.0, "latency_p50_us": 1700.0,
+//!      "latency_p95_us": 3900.0, "latency_p99_us": 5200.0,
+//!      "slo_breaches": 2}
+//!   ],
+//!   "entries": [
+//!     {"id": 41, "graph": "dblp", "generation": 1, "route": "explore",
+//!      "key_hash": "9c1185a5c5e9fc54", "estimated_cost": 9800,
+//!      "actual_cost": 5321, "cells": 4900, "facts": 421,
+//!      "cache": "miss", "class": "ok", "total_us": 1765,
+//!      "stages": {"cfs_selection": 12, "evaluation": 1430},
+//!      "slo_breach": false, "unix_ms": 0}
+//!   ]
+//! }
+//! ```
+//!
+//! `entries` is the ring tail, newest first, at most `--ledger-capacity`
+//! (default 256) records. `key_hash` is the FNV-1a hash of the request's
+//! canonical key — requests with equal hashes asked for the same
+//! exploration. `cache` is `hit` / `miss` / `bypass` (profile or timings
+//! bypassed the cache); `class` is `ok` / `timeout` / `shed` / `error`.
+//! `actual_cost = cells + facts`, summed from the cube-engine shard spans
+//! of the request's trace — a deterministic work measure (plan- and
+//! thread-invariant), which is what makes the **scorecard** meaningful:
+//! each cold completion grades [`admission::estimate_cost`] with the
+//! q-error `max(est/act, act/est)` (both clamped ≥ 1), and the scorecard
+//! reports the geometric mean, streaming p50/p95/p99, and max. A geo-mean
+//! near 1 means the admission estimates track real work; a drifting one
+//! means the estimator needs recalibrating. Cost profiles and the
+//! scorecard fold in **cold successful** requests only (hits answer from
+//! memory, sheds never run, timeouts measure the deadline — none of them
+//! observe the true cost); every request still lands in the ring.
 //!
 //! ## Status codes
 //!
@@ -280,6 +350,46 @@
 //! of `cancel_latency_seconds` approaching the request timeout itself
 //! (checks too coarse for the configured deadline).
 //!
+//! # Adaptive admission & SLOs
+//!
+//! A fixed `--admission-capacity N` forces the operator to guess, in
+//! abstract work units, how much concurrent work the machine sustains —
+//! and the right answer changes with the snapshot, the request mix, and
+//! the hardware. The analytics ledger closes the loop:
+//!
+//! * **`--latency-slo-ms N`** declares the latency objective. Every
+//!   request that actually ran (not a cache hit, not a shed) and finished
+//!   — or timed out — above the SLO increments
+//!   `spade_serve_slo_breach_total{graph="…"}` and is flagged
+//!   `"slo_breach": true` in its ledger record; the counter is the
+//!   numerator for burn-rate alerts (denominator:
+//!   `spade_serve_explore_total`). When no `--request-timeout` is given,
+//!   the SLO also derives the evaluation's early-stop budget at startup:
+//!   pruning gets more aggressive (single-batch confirmation) below a 2 s
+//!   SLO, standard two-batch confirmation above. The derivation is
+//!   **static** — per-request adaptation would break the byte-identical
+//!   response guarantee.
+//! * **`--admission-capacity auto`** sizes capacity from observation
+//!   instead of a guess. The capacity is seeded at startup with the
+//!   static estimate of one default request, then after each profiled
+//!   cold completion (once ≥ 4 are recorded) retargeted to
+//!
+//!   ```text
+//!   capacity = workers × EWMA(estimated_cost) × headroom
+//!   headroom = clamp(SLO / EWMA(latency), 1, 128)
+//!   ```
+//!
+//!   in **estimate units** — the same units `try_admit` compares — so
+//!   roughly `workers × headroom` average-estimate requests fit in
+//!   flight. When observed latency sits well under the SLO the headroom
+//!   factor admits deeper queues; as latency approaches the SLO the
+//!   headroom collapses toward `workers` requests' worth of estimated
+//!   work, shedding the excess instead of queueing it past the
+//!   objective. The loop uses EWMAs (α = 0.1), so it converges within a
+//!   few tens of requests and tracks drift; `set_capacity` is atomic and
+//!   never disturbs in-flight permits. Without `--latency-slo-ms` the
+//!   loop assumes a 1 s objective.
+//!
 //! # Observability
 //!
 //! Every layer of the daemon reports through one dependency-free
@@ -308,8 +418,16 @@
 //!   retains the worst-N span trees at or above `--slow-ms`.
 //! * **Logs** — `--log-json` writes one structured JSON line per request
 //!   to stderr: `{"unix_ms": …, "id": …, "method": …, "route": …,
-//!   "status": …, "generation": …, "duration_ms": …}` plus a `"cause"`
-//!   key (`panic`, `timeout`, `shed`) on 500/503/504 responses.
+//!   "graph": …, "status": …, "generation": …, "duration_ms": …}` plus a
+//!   `"cause"` key (`panic`, `timeout`, `shed`) on 500/503/504 responses.
+//!   The `"graph"` key appears on graph-scoped requests (`/graphs/{name}/…`
+//!   and the legacy `/explore` + `/reload`, which resolve to the default
+//!   graph); catalog-wide routes omit it.
+//! * **Ledger** — every completed `/explore` appends one compact record
+//!   (estimate, measured cost, cache outcome, per-stage micros) to the
+//!   [`spade_telemetry::Ledger`] ring; `GET /debug/queries` serves the
+//!   tail, per-graph cost profiles, and the estimate-vs-actual scorecard
+//!   (see above).
 //!
 //! Tracing is observation-only: response bodies stay bit-identical with
 //! and without it, and the substrate's overhead on the warm path is

@@ -4,7 +4,8 @@
 //! ```text
 //! spade-serve --snapshot data.spade [--addr 127.0.0.1:7878] [--workers N]
 //!             [--threads N] [--cache-bytes N] [--max-body-bytes N]
-//!             [--drain-secs N] [--request-timeout F] [--admission-capacity N]
+//!             [--drain-secs N] [--request-timeout F] [--admission-capacity N|auto]
+//!             [--latency-slo-ms N] [--ledger-capacity N]
 //!             [--k N] [--min-support F] [--slow-ms N] [--log-json]
 //! spade-serve --snapshot-dir /dir/of/spade/files [--default-graph NAME]
 //!             [--graph-memory-budget BYTES] [...]
@@ -28,7 +29,8 @@ fn usage() -> ! {
         "usage: spade-serve (--snapshot <path> | --snapshot-dir <dir>) [--addr <host:port>] \
          [--default-graph <name>] [--graph-memory-budget <bytes>] [--workers <n>] \
          [--threads <n>] [--cache-bytes <n>] [--max-body-bytes <n>] [--drain-secs <n>] \
-         [--request-timeout <secs>] [--admission-capacity <n>] \
+         [--request-timeout <secs>] [--admission-capacity <n|auto>] \
+         [--latency-slo-ms <n>] [--ledger-capacity <n>] \
          [--k <n>] [--min-support <f>] [--slow-ms <n>] [--log-json]"
     );
     std::process::exit(2);
@@ -79,8 +81,26 @@ fn main() {
                 config.request_timeout = Some(Duration::from_secs_f64(secs));
             }
             "--admission-capacity" => {
-                config.admission_capacity =
-                    parse(&value("--admission-capacity"), "--admission-capacity")
+                // `auto` turns on the closed loop: capacity is seeded from
+                // the static estimate and retargeted from the observed
+                // per-graph cost profile as requests complete.
+                let v = value("--admission-capacity");
+                if v == "auto" {
+                    config.admission_auto = true;
+                } else {
+                    config.admission_capacity = parse(&v, "--admission-capacity");
+                }
+            }
+            "--latency-slo-ms" => {
+                let ms: u64 = parse(&value("--latency-slo-ms"), "--latency-slo-ms");
+                if ms == 0 {
+                    eprintln!("--latency-slo-ms: must be positive");
+                    usage();
+                }
+                config.latency_slo = Some(Duration::from_millis(ms));
+            }
+            "--ledger-capacity" => {
+                config.ledger_capacity = parse(&value("--ledger-capacity"), "--ledger-capacity")
             }
             "--slow-ms" => config.slow_ms = parse(&value("--slow-ms"), "--slow-ms"),
             "--log-json" => config.log_json = true,

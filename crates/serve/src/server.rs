@@ -7,8 +7,10 @@ use crate::catalog::{Acquired, GraphCatalog, GraphEntry};
 use crate::http::{self, Conn, HttpError, Limits, Request};
 use spade_core::json::{self, Json, JsonWriter};
 use spade_core::{Budget, OfflineState, RequestConfig, Spade, SpadeConfig, Trace};
+use spade_telemetry::ledger::{key_hash, CacheOutcome, Ledger, LedgerRecord, ResponseClass};
 use spade_telemetry::{
     Counter, Gauge, Histogram, Registry, SlowEntry, SlowLog, DURATION_BOUNDS_SECONDS,
+    FINE_DURATION_BOUNDS_SECONDS,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,7 +55,25 @@ pub struct ServeConfig {
     /// [`crate::admission::estimate_cost`]). An `/explore` whose estimate
     /// would push the in-flight sum past this is shed with 503 +
     /// `Retry-After` before any evaluation starts. `0` = always admit.
+    /// Ignored when `admission_auto` is set.
     pub admission_capacity: u64,
+    /// `--admission-capacity auto`: size the capacity from the observed
+    /// cost profile instead of a static flag. Seeded from the default
+    /// graph's default-request cost estimate at startup, then retargeted
+    /// after each profiled cold explore to
+    /// `workers × EWMA(estimated cost) × clamp(SLO / EWMA(latency), 1, 128)`
+    /// — see the crate docs ("Adaptive admission & SLOs").
+    pub admission_auto: bool,
+    /// Latency SLO driving the `auto` capacity loop, the
+    /// `spade_serve_slo_breach_total{graph=…}` burn-rate counters, and the
+    /// early-stop budget (an SLO under 2 s tightens early-stop to a single
+    /// batch). `None` = no SLO: `auto` assumes 1 s, nothing counts as a
+    /// breach, early-stop stays as configured.
+    pub latency_slo: Option<Duration>,
+    /// How many completed-request records the analytics ledger ring
+    /// retains for `GET /debug/queries` (profiles and the scorecard are
+    /// streaming and unaffected by this bound).
+    pub ledger_capacity: usize,
     /// Slow-request log threshold in milliseconds: an `/explore` must run
     /// at least this long to enter the bounded worst-N log served at
     /// `GET /debug/slow`. `0` (the default) logs the worst N regardless of
@@ -85,6 +105,9 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             request_timeout: None,
             admission_capacity: 0,
+            admission_auto: false,
+            latency_slo: None,
+            ledger_capacity: 256,
             slow_ms: 0,
             slow_capacity: 32,
             log_json: false,
@@ -308,15 +331,18 @@ impl Metrics {
                     )
                 })
                 .collect(),
+            // Queue wait and cancel latency are sub-millisecond phenomena
+            // on a healthy server; the fine bounds (10µs first bucket)
+            // resolve them where the shared bounds' 500µs bucket cannot.
             queue_wait_seconds: r.histogram(
                 "spade_serve_queue_wait_seconds",
                 "Time connections waited between accept and worker pickup",
-                b,
+                &FINE_DURATION_BOUNDS_SECONDS,
             ),
             cancel_latency_seconds: r.histogram(
                 "spade_serve_cancel_latency_seconds",
                 "Time past the deadline before cooperative cancellation unwound",
-                b,
+                &FINE_DURATION_BOUNDS_SECONDS,
             ),
             registry: r,
         }
@@ -333,13 +359,28 @@ impl Metrics {
 
     /// Registers the per-graph metric series for one catalog entry. Called
     /// exactly once per graph at startup (the registry treats a duplicate
-    /// (name, labels) registration as a bug).
+    /// (name, labels) registration as a bug). Catalog entries are sorted by
+    /// name and the quantile labels ascend, so every per-graph family's
+    /// series render label-sorted (the `promcheck --require` invariant).
     fn for_graph(&self, name: &str) -> GraphMetrics {
         let labels: &[(&'static str, &str)] = &[("graph", name)];
+        let quantile_gauges = |family: &'static str, help: &'static str| -> Vec<Gauge> {
+            PROFILE_QUANTILES
+                .iter()
+                .map(|&q| {
+                    self.registry.gauge_with(family, help, &[("graph", name), ("quantile", q)])
+                })
+                .collect()
+        };
         GraphMetrics {
             explore_total: self.registry.counter_with(
                 "spade_serve_graph_explore_total",
                 "Explore requests routed to this graph",
+                labels,
+            ),
+            slo_breach_total: self.registry.counter_with(
+                "spade_serve_slo_breach_total",
+                "Cold explores that exceeded the latency SLO",
                 labels,
             ),
             generation: self.registry.gauge_with(
@@ -357,17 +398,47 @@ impl Metrics {
                 "Whether this graph currently holds a loaded state",
                 labels,
             ),
+            cost_quantiles: quantile_gauges(
+                "spade_serve_graph_cost_units",
+                "Measured per-request cost (cells + facts) quantile sketch",
+            ),
+            latency_quantiles: quantile_gauges(
+                "spade_serve_graph_latency_us",
+                "Cold-explore latency quantile sketch in microseconds",
+            ),
+            cost_ewma: self.registry.gauge_with(
+                "spade_serve_graph_cost_ewma",
+                "EWMA of measured per-request cost (cells + facts)",
+                labels,
+            ),
+            latency_ewma_us: self.registry.gauge_with(
+                "spade_serve_graph_latency_ewma_us",
+                "EWMA of cold-explore latency in microseconds",
+                labels,
+            ),
         }
     }
 }
 
+/// Quantile labels of the per-graph profile gauges, in ascending (and
+/// lexicographically sorted) order, parallel to the ledger's sketch order.
+const PROFILE_QUANTILES: [&str; 3] = ["0.5", "0.95", "0.99"];
+
 /// Per-graph metric series (`{graph="…"}` labels), parallel to the
-/// catalog's entry order.
+/// catalog's entry order. The cost-profile gauges mirror the request
+/// ledger's streaming sketches at scrape time.
 struct GraphMetrics {
     explore_total: Counter,
+    slo_breach_total: Counter,
     generation: Gauge,
     resident_bytes: Gauge,
     loaded: Gauge,
+    /// p50/p95/p99 of measured cost, parallel to [`PROFILE_QUANTILES`].
+    cost_quantiles: Vec<Gauge>,
+    /// p50/p95/p99 of cold-explore latency (µs).
+    latency_quantiles: Vec<Gauge>,
+    cost_ewma: Gauge,
+    latency_ewma_us: Gauge,
 }
 
 struct Shared {
@@ -383,6 +454,9 @@ struct Shared {
     graph_metrics: Vec<GraphMetrics>,
     cache: Mutex<ResultCache>,
     metrics: Metrics,
+    /// Request analytics ledger: record ring + per-graph cost profiles +
+    /// estimate-vs-actual scorecard (`GET /debug/queries`).
+    ledger: Ledger,
     /// Bounded worst-N log of slow `/explore` traces (`GET /debug/slow`).
     slow: SlowLog,
     /// One structured JSON log line per request on stderr when set.
@@ -394,10 +468,44 @@ struct Shared {
     idle_timeout: Duration,
     request_timeout: Option<Duration>,
     admission: AdmissionController,
+    /// Whether the `auto` loop retargets admission capacity from the
+    /// ledger's overall cost profile after each profiled cold explore.
+    admission_auto: bool,
+    /// Latency SLO: breach counting, and the `auto` capacity target.
+    latency_slo: Option<Duration>,
     /// Per-request evaluation-thread share (`threads / workers`, ≥ 1).
     request_threads: usize,
     workers: usize,
     started: Instant,
+}
+
+/// Profiled cold completions required before the `auto` loop trusts the
+/// observed profile enough to retarget capacity; until then the seed
+/// estimate (one default exploration of the default graph) holds.
+const AUTO_MIN_SAMPLES: u64 = 4;
+
+/// Retargets admission capacity from the ledger's overall cost profile:
+/// `workers × EWMA(estimated cost) × headroom`, where `headroom =
+/// clamp(SLO / EWMA(latency), 1, 128)`. Capacity is denominated in
+/// *estimate* units — the same units [`crate::admission::estimate_cost`]
+/// charges at admission time — so the estimate EWMA (not the measured
+/// cells+facts EWMA) is the per-request unit. The latency ratio scales how
+/// many such requests may run concurrently while each stays within the
+/// SLO; the clamp keeps one fast profile from opening the gate to
+/// effectively unlimited work.
+fn retarget_capacity(shared: &Shared) {
+    if !shared.admission_auto {
+        return;
+    }
+    let profile = shared.ledger.overall_snapshot();
+    if profile.requests < AUTO_MIN_SAMPLES {
+        return;
+    }
+    let slo_us =
+        shared.latency_slo.unwrap_or_else(|| Duration::from_secs(1)).as_micros() as f64;
+    let headroom = (slo_us / profile.latency_ewma_us.max(1.0)).clamp(1.0, 128.0);
+    let capacity = shared.workers as f64 * profile.est_cost_ewma.max(1.0) * headroom;
+    shared.admission.set_capacity((capacity as u64).max(1));
 }
 
 /// A running server. Dropping the handle does **not** stop the daemon; call
@@ -431,10 +539,24 @@ impl Server {
     /// while every other graph opens lazily on first touch.
     pub fn start_catalog(
         config: ServeConfig,
-        base: SpadeConfig,
+        mut base: SpadeConfig,
         graphs: Vec<(String, PathBuf)>,
         default_graph: &str,
     ) -> Result<Server, ServeError> {
+        // A latency SLO derives the early-stop budget: pruning is the one
+        // knob that trades answer-set completeness for bounded evaluation
+        // time, and a tight SLO (< 2 s) consumes the pruning sample in a
+        // single batch so the decision lands as early as possible. Applied
+        // once at startup — per-request toggling would fork the byte-exact
+        // determinism contract that the result cache relies on.
+        if config.latency_slo.is_some() && base.early_stop.is_none() {
+            base = base.with_early_stop();
+            if config.latency_slo < Some(Duration::from_secs(2)) {
+                if let Some(es) = base.early_stop.as_mut() {
+                    es.batches = 1;
+                }
+            }
+        }
         let engine = Spade::new(base.clone());
         let threads = spade_parallel::resolve_threads(config.threads);
         let catalog = GraphCatalog::new(graphs, config.graph_memory_budget, threads)
@@ -444,7 +566,21 @@ impl Server {
                 "default graph {default_graph:?} is not in the catalog"
             ))
         })?;
-        catalog.acquire(&catalog.entries()[default_index]).map_err(ServeError::Snapshot)?;
+        let eager =
+            catalog.acquire(&catalog.entries()[default_index]).map_err(ServeError::Snapshot)?;
+        // `auto` seeds capacity with one default exploration of the default
+        // graph — enough to admit real work immediately — and retargets
+        // from the observed profile once AUTO_MIN_SAMPLES completions land.
+        let admission_capacity = if config.admission_auto {
+            crate::admission::estimate_cost(
+                &eager.state.offline,
+                &base,
+                &RequestConfig::default(),
+            )
+        } else {
+            config.admission_capacity
+        };
+        drop(eager);
         let metrics = Metrics::new();
         let graph_metrics: Vec<GraphMetrics> =
             catalog.entries().iter().map(|e| metrics.for_graph(e.name())).collect();
@@ -456,6 +592,7 @@ impl Server {
         // Split the evaluation budget across the pool: `workers` requests in
         // flight, each with `threads / workers` (≥ 1) evaluation workers.
         let (_, request_threads) = spade_parallel::split_budget(threads, workers);
+        let catalog_names = catalog.names();
         let shared = Arc::new(Shared {
             engine,
             base,
@@ -464,6 +601,7 @@ impl Server {
             graph_metrics,
             cache: Mutex::new(ResultCache::new(config.cache_bytes)),
             metrics,
+            ledger: Ledger::new(config.ledger_capacity, &catalog_names),
             slow: SlowLog::new(config.slow_ms, config.slow_capacity),
             log_json: config.log_json,
             request_ids: AtomicU64::new(0),
@@ -471,7 +609,9 @@ impl Server {
             limits: config.limits,
             idle_timeout: config.idle_timeout,
             request_timeout: config.request_timeout,
-            admission: AdmissionController::new(config.admission_capacity),
+            admission: AdmissionController::new(admission_capacity),
+            admission_auto: config.admission_auto,
+            latency_slo: config.latency_slo,
             request_threads,
             workers,
             started: Instant::now(),
@@ -788,6 +928,16 @@ fn log_request(
     elapsed: Duration,
 ) {
     let route = request.path.split('?').next().unwrap_or(&request.path);
+    // Graph-scoped routes name their graph; the legacy unprefixed explore
+    // and reload routes resolve to the default graph. Catalog-wide routes
+    // (`/stats`, `/metrics`, …) carry no graph field.
+    let graph = if let Some(rest) = route.strip_prefix("/graphs/") {
+        rest.split('/').next().filter(|name| !name.is_empty())
+    } else if matches!(route, "/explore" | "/reload") {
+        Some(default_entry(shared).name())
+    } else {
+        None
+    };
     let cause = if panicked {
         Some("panic")
     } else {
@@ -803,6 +953,9 @@ fn log_request(
     w.key("id").uint(id);
     w.key("method").string(&request.method);
     w.key("route").string(route);
+    if let Some(graph) = graph {
+        w.key("graph").string(graph);
+    }
     w.key("status").uint(u64::from(response.status));
     w.key("generation")
         .uint(response.generation.unwrap_or_else(|| default_entry(shared).generation()));
@@ -851,13 +1004,15 @@ fn route(shared: &Shared, request: &Request, request_id: u64) -> Response {
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/graphs") => graphs_index(shared),
         ("GET", "/debug/slow") => Response::json(200, shared.slow.to_json()),
+        ("GET", "/debug/queries") => debug_queries(shared),
         ("POST", "/explore") => {
             explore(shared, shared.default_index, query, &request.body, request_id)
         }
         ("POST", "/reload") => reload(shared, shared.default_index, &request.body),
-        (_, "/healthz" | "/stats" | "/metrics" | "/graphs" | "/debug/slow") => {
-            Response::error(405, "use GET for this route")
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/graphs" | "/debug/slow" | "/debug/queries",
+        ) => Response::error(405, "use GET for this route"),
         (_, "/explore" | "/reload") => Response::error(405, "use POST for this route"),
         _ => Response::error(404, "no such route"),
     }
@@ -927,6 +1082,31 @@ fn graphs_index(shared: &Shared) -> Response {
         w.key("resident_bytes").uint(entry.resident_bytes());
         w.key("path").string(&entry.path().display().to_string());
         w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+/// `GET /debug/queries`: the analytics ledger — newest-first record tail,
+/// per-graph cost profiles, and the estimate-vs-actual scorecard grading
+/// [`crate::admission::estimate_cost`] against measured work.
+fn debug_queries(shared: &Shared) -> Response {
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("capacity").usize(shared.ledger.capacity());
+    w.key("recorded_total").uint(shared.ledger.recorded_total());
+    w.key("admission_capacity").uint(shared.admission.capacity());
+    w.key("scorecard").raw(&shared.ledger.scorecard_snapshot().to_json());
+    w.key("overall").raw(&shared.ledger.overall_snapshot().to_json());
+    w.key("cost_profiles").begin_array();
+    for profile in shared.ledger.profile_snapshots() {
+        w.raw(&profile.to_json());
+    }
+    w.end_array();
+    w.key("entries").begin_array();
+    for record in shared.ledger.tail(shared.ledger.capacity()) {
+        w.raw(&record.to_json());
     }
     w.end_array();
     w.end_object();
@@ -1012,6 +1192,14 @@ fn stats(shared: &Shared) -> Response {
     w.key("capacity").usize(shared.slow.capacity());
     w.end_object();
     w.end_object();
+    // Analytics ledger: per-graph observed cost/latency profiles and the
+    // estimate-vs-actual scorecard (see `GET /debug/queries` for the tail).
+    w.key("cost_profiles").begin_array();
+    for profile in shared.ledger.profile_snapshots() {
+        w.raw(&profile.to_json());
+    }
+    w.end_array();
+    w.key("scorecard").raw(&shared.ledger.scorecard_snapshot().to_json());
     w.end_object();
     Response::json(200, w.finish())
 }
@@ -1045,6 +1233,21 @@ fn metrics(shared: &Shared) -> Response {
     }
     m.admission_capacity.set(shared.admission.capacity());
     m.admission_inflight_cost.set(shared.admission.inflight());
+    // Ledger cost profiles → per-graph gauge series. `profile_snapshots()`
+    // and `graph_metrics` are both ordered by sorted graph name, so the zip
+    // pairs each profile with its gauges.
+    for (profile, gm) in shared.ledger.profile_snapshots().iter().zip(&shared.graph_metrics) {
+        gm.cost_ewma.set(profile.cost_ewma.round() as u64);
+        gm.latency_ewma_us.set(profile.latency_ewma_us.round() as u64);
+        let cost = [profile.cost_p50, profile.cost_p95, profile.cost_p99];
+        let latency = [profile.latency_p50_us, profile.latency_p95_us, profile.latency_p99_us];
+        for (gauge, value) in gm.cost_quantiles.iter().zip(cost) {
+            gauge.set(value.round() as u64);
+        }
+        for (gauge, value) in gm.latency_quantiles.iter().zip(latency) {
+            gauge.set(value.round() as u64);
+        }
+    }
     m.uptime_seconds.set(shared.started.elapsed().as_secs());
     Response {
         status: 200,
@@ -1109,9 +1312,11 @@ fn parse_explore(body: &[u8]) -> Result<RequestConfig, String> {
 
 /// Records an `/explore` outcome into the slow-request log, attaching the
 /// request's rendered span tree.
+#[allow(clippy::too_many_arguments)]
 fn record_slow(
     shared: &Shared,
     request_id: u64,
+    graph: &str,
     status: u16,
     generation: u64,
     elapsed: Duration,
@@ -1120,6 +1325,7 @@ fn record_slow(
     shared.slow.record(SlowEntry {
         id: request_id,
         route: "explore",
+        graph: graph.to_owned(),
         status,
         generation,
         duration_ms: elapsed.as_millis() as u64,
@@ -1130,6 +1336,61 @@ fn record_slow(
             trace.spans_json()
         ),
     });
+}
+
+/// Writes one completed `/explore` into the analytics ledger, counts an SLO
+/// breach when one is configured and exceeded, and (for profiled cold
+/// completions under `--admission-capacity auto`) retargets the admission
+/// capacity from the refreshed cost profile.
+#[allow(clippy::too_many_arguments)]
+fn record_request(
+    shared: &Shared,
+    index: usize,
+    request_id: u64,
+    generation: u64,
+    canonical_key: &str,
+    estimated_cost: u64,
+    trace: Option<&Trace>,
+    cache: CacheOutcome,
+    class: ResponseClass,
+    elapsed: Duration,
+) {
+    let (cells, facts) = trace.map(spade_core::work_counters).unwrap_or((0, 0));
+    // A breach is a request that actually ran (hits answer from memory,
+    // sheds never start) and finished — or was cancelled — over the SLO.
+    let slo_breach = cache != CacheOutcome::Hit
+        && matches!(class, ResponseClass::Ok | ResponseClass::Timeout)
+        && shared.latency_slo.is_some_and(|slo| elapsed > slo);
+    if slo_breach {
+        shared.graph_metrics[index].slo_breach_total.inc();
+    }
+    shared.ledger.record(LedgerRecord {
+        id: request_id,
+        graph: shared.catalog.entries()[index].name().to_owned(),
+        generation,
+        route: "explore",
+        key_hash: key_hash(canonical_key),
+        estimated_cost,
+        actual_cost: cells + facts,
+        cells,
+        facts,
+        cache,
+        class,
+        total_us: elapsed.as_micros() as u64,
+        stages: trace
+            .map(|t| {
+                t.stage_durations()
+                    .into_iter()
+                    .map(|(name, d)| (name, d.as_micros() as u64))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        slo_breach,
+        unix_ms: unix_ms(),
+    });
+    if class == ResponseClass::Ok && cache != CacheOutcome::Hit {
+        retarget_capacity(shared);
+    }
 }
 
 fn explore(
@@ -1169,16 +1430,35 @@ fn explore(
         Err(e) => return Response::error(503, &format!("graph {:?}: {e}", entry.name())),
     };
     retire_cache_partitions(shared, &evicted);
+    // The admission estimate is computed up front (pure arithmetic on the
+    // offline stats) so every ledger record — hits and sheds included —
+    // carries the estimate the scorecard grades.
+    let cost = crate::admission::estimate_cost(&state.offline, &shared.base, &request);
+    let canonical = request.canonical_key();
     // Keys are partitioned by graph and generation: `{graph}@g{gen}:{…}`,
     // so a reload or eviction strands (and `retire_prefix` reclaims) stale
     // bodies instead of ever serving them.
-    let key = format!("{}@g{}:{}", entry.name(), state.generation, request.canonical_key());
+    let key = format!("{}@g{}:{}", entry.name(), state.generation, canonical);
+    let cache_outcome = if bypass_cache { CacheOutcome::Bypass } else { CacheOutcome::Miss };
     if !bypass_cache {
         if let Some(hit) =
             shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
         {
             shared.metrics.explore_cached_total.inc();
-            shared.metrics.request_seconds_explore_warm.observe_duration(started.elapsed());
+            let elapsed = started.elapsed();
+            shared.metrics.request_seconds_explore_warm.observe_duration(elapsed);
+            record_request(
+                shared,
+                index,
+                request_id,
+                state.generation,
+                &canonical,
+                cost,
+                None,
+                CacheOutcome::Hit,
+                ResponseClass::Ok,
+                elapsed,
+            );
             return Response {
                 status: 200,
                 content_type: "application/json",
@@ -1195,13 +1475,23 @@ fn explore(
     // real evaluation bug would strike.
     spade_parallel::fault::fire("serve.explore");
 
-    // Admission control: estimate the work from the snapshot's offline
-    // stats and shed instead of queueing when the in-flight sum would
-    // exceed capacity. Cache hits above never reach this point — answering
-    // from memory is always admissible.
-    let cost = crate::admission::estimate_cost(&state.offline, &shared.base, &request);
+    // Admission control: shed instead of queueing when the in-flight
+    // estimate sum would exceed capacity. Cache hits above never reach
+    // this point — answering from memory is always admissible.
     let Some(_permit) = shared.admission.try_admit(cost) else {
         shared.metrics.shed_total.inc();
+        record_request(
+            shared,
+            index,
+            request_id,
+            state.generation,
+            &canonical,
+            cost,
+            None,
+            cache_outcome,
+            ResponseClass::Shed,
+            started.elapsed(),
+        );
         let mut response =
             Response::error(503, "estimated cost exceeds admission capacity, retry later");
         response.headers.push(("Retry-After", "1".to_owned()));
@@ -1229,13 +1519,27 @@ fn explore(
                     let over = Instant::now().saturating_duration_since(deadline);
                     shared.metrics.cancel_latency_seconds.observe_duration(over);
                 }
+                let elapsed = started.elapsed();
                 record_slow(
                     shared,
                     request_id,
+                    entry.name(),
                     504,
                     state.generation,
-                    started.elapsed(),
+                    elapsed,
                     &trace,
+                );
+                record_request(
+                    shared,
+                    index,
+                    request_id,
+                    state.generation,
+                    &canonical,
+                    cost,
+                    Some(&trace),
+                    cache_outcome,
+                    ResponseClass::Timeout,
+                    elapsed,
                 );
                 return Response::error(
                     504,
@@ -1271,7 +1575,19 @@ fn explore(
     }
     let elapsed = started.elapsed();
     shared.metrics.request_seconds_explore_cold.observe_duration(elapsed);
-    record_slow(shared, request_id, 200, state.generation, elapsed, &trace);
+    record_slow(shared, request_id, entry.name(), 200, state.generation, elapsed, &trace);
+    record_request(
+        shared,
+        index,
+        request_id,
+        state.generation,
+        &canonical,
+        cost,
+        Some(&trace),
+        cache_outcome,
+        ResponseClass::Ok,
+        elapsed,
+    );
     Response {
         status: 200,
         content_type: "application/json",

@@ -266,6 +266,109 @@ fn saturation_sheds_with_503_and_zero_connection_resets() {
 }
 
 #[test]
+fn auto_capacity_converges_and_shed_rate_drops() {
+    // Every evaluation stalls 150 ms so concurrent volleys overlap. With
+    // `--admission-capacity auto` the capacity is seeded at one request's
+    // static estimate — so the first phase sheds like the fixed-capacity
+    // test above — and then retargets from the observed profile; the
+    // latency (~150 ms) sits far under the 5 s SLO, so the headroom factor
+    // opens the valve and later phases shed less.
+    let _fault = arm(Some("cfs=stall:150"));
+    let dir = temp_dir("auto");
+    let path = write_snapshot(&dir, 60, 8);
+    let state = OfflineState::open(&path, 2).expect("snapshot opens");
+    let seed_capacity = spade_serve::admission::estimate_cost(
+        &state,
+        &base_config(),
+        &RequestConfig::default(),
+    );
+    drop(state);
+
+    let config = ServeConfig {
+        admission_auto: true,
+        latency_slo: Some(Duration::from_secs(5)),
+        ..serve_config()
+    };
+    let server = Server::start(config, base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+
+    // The seeded capacity is the one-request estimate (not the fixed
+    // default), before any observation.
+    let m = spade_serve::client::get(addr, "/metrics").expect("metrics").text();
+    assert_eq!(
+        metric_value(&m, "spade_serve_admission_capacity"),
+        Some(seed_capacity),
+        "auto seeds capacity from the static estimate:\n{m}"
+    );
+
+    let shed_count = || {
+        let m = spade_serve::client::get(addr, "/metrics").expect("metrics").text();
+        metric_value(&m, "spade_serve_shed_total").expect("shed_total exported")
+    };
+    let volley = || {
+        let statuses: Vec<u16> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = Client::new(addr).no_retry();
+                        // Sheds are responses, never connection resets.
+                        let r = client.post("/explore", b"").expect("no reset under auto");
+                        r.status
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        assert!(statuses.iter().all(|s| *s == 200 || *s == 503), "only 200/503: {statuses:?}");
+        assert!(statuses.contains(&200), "every volley admits work: {statuses:?}");
+    };
+
+    // Phase 1: five volleys against the one-request seed — enough cold
+    // completions (≥ 5 > the 4-sample floor) to arm the retarget loop.
+    let mut sheds = Vec::new();
+    let mut before = shed_count();
+    for _ in 0..5 {
+        volley();
+    }
+    let after = shed_count();
+    sheds.push(after - before);
+    before = after;
+    // Phases 2 and 3: the retargeted capacity admits whole volleys.
+    for _ in 0..2 {
+        for _ in 0..5 {
+            volley();
+        }
+        let after = shed_count();
+        sheds.push(after - before);
+        before = after;
+    }
+
+    assert!(sheds[0] >= 1, "the seeded capacity must shed overlapping volleys: {sheds:?}");
+    assert!(
+        sheds[2] < sheds[0],
+        "the shed rate must drop once the profile retargets capacity: {sheds:?}"
+    );
+
+    // The loop observably opened the valve: capacity grew past the seed.
+    let m = spade_serve::client::get(addr, "/metrics").expect("metrics").text();
+    let converged = metric_value(&m, "spade_serve_admission_capacity").expect("capacity");
+    assert!(
+        converged > seed_capacity,
+        "capacity must grow under a generous SLO: {converged} vs seed {seed_capacity}"
+    );
+
+    // The ledger's SLO accounting agrees: 150 ms runs never breach a 5 s
+    // objective.
+    assert_eq!(
+        metric_value(&m, "spade_serve_slo_breach_total{graph=\"corpus\"}"),
+        Some(0),
+        "no breaches under a 5 s SLO:\n{m}"
+    );
+
+    assert!(server.shutdown(Duration::from_secs(10)), "clean drain after convergence");
+}
+
+#[test]
 fn cancellation_preserves_plan_invariance() {
     // Holds the fault lock unarmed so no concurrent test's faults can
     // perturb the oracle runs.

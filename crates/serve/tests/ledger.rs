@@ -1,0 +1,133 @@
+//! Ledger determinism: the analytics ledger is derived from deterministic
+//! quantities only (canonical key hashes, admission estimates, shard work
+//! counters, cache outcomes), so the same request sequence produces the
+//! same per-graph record set and the same cost quantiles at **any**
+//! evaluation thread budget. Timing fields (latency, stage micros,
+//! wall-clock stamps) are the only nondeterministic parts and are excluded
+//! from the comparison.
+
+use spade_core::{Spade, SpadeConfig};
+use spade_serve::client::Client;
+use spade_serve::server::{ServeConfig, Server};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn base_config() -> SpadeConfig {
+    SpadeConfig { k: 5, min_support: 0.3, min_cfs_size: 20, max_cfs: 6, ..Default::default() }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("spade_ledger_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_snapshot(dir: &Path, file: &str, scale: usize, seed: u64) -> PathBuf {
+    let g = spade_datagen::realistic::ceos(&spade_datagen::RealisticConfig { scale, seed });
+    let nt = spade_rdf::write_ntriples(&g);
+    let path = dir.join(file);
+    Spade::new(base_config()).snapshot_ntriples(&nt, &path).expect("snapshot written");
+    path
+}
+
+/// The deterministic projection of one ledger record: everything except
+/// the timing fields.
+fn projection(entry: &spade_core::json::Json) -> String {
+    let get_str = |k: &str| entry.get(k).and_then(|v| v.as_str()).expect(k).to_owned();
+    let get_num = |k: &str| entry.get(k).and_then(|v| v.as_usize()).expect(k);
+    format!(
+        "{}|g{}|{}|{}|{}|{}|est{}|act{}|c{}|f{}",
+        get_str("graph"),
+        get_num("generation"),
+        get_str("route"),
+        get_str("key_hash"),
+        get_str("cache"),
+        get_str("class"),
+        get_num("estimated_cost"),
+        get_num("actual_cost"),
+        get_num("cells"),
+        get_num("facts"),
+    )
+}
+
+#[test]
+fn record_sets_and_cost_quantiles_are_thread_invariant() {
+    let dir = temp_dir("threads");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+
+    // The fixed sequence: four distinct cold evaluations with two exact
+    // repeats interleaved (cache hits), issued serially so the profile
+    // fold order is identical across runs.
+    let sequence: [&[u8]; 6] =
+        [b"", br#"{"k": 2}"#, b"", br#"{"k": 1}"#, br#"{"k": 2}"#, br#"{"min_support": 0.5}"#];
+
+    let mut outcomes: Vec<(usize, Vec<String>, String)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        // One worker: the per-request evaluation budget is exactly
+        // `threads`, the knob under test.
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            threads,
+            cache_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let server = Server::start(config, base_config(), &path).expect("server starts");
+        let addr = server.local_addr();
+        let mut client = Client::new(addr);
+        for body in sequence {
+            assert_eq!(client.post("/explore", body).expect("explore").status, 200);
+        }
+        let queries = client.get("/debug/queries").expect("debug/queries");
+        assert_eq!(queries.status, 200);
+        let doc = spade_core::json::parse(&queries.text()).expect("ledger JSON");
+        assert_eq!(doc.get("recorded_total").and_then(|v| v.as_usize()), Some(sequence.len()));
+
+        let entries = doc.get("entries").and_then(|e| e.as_array()).expect("entries");
+        assert_eq!(entries.len(), sequence.len());
+        // Order-insensitive comparison: sort the deterministic projections.
+        let mut projections: Vec<String> = entries.iter().map(projection).collect();
+        projections.sort();
+
+        // Cost quantiles and EWMAs fold deterministic work counters in a
+        // fixed order, so they must match *exactly* across thread budgets
+        // (latency fields are wall-clock and excluded).
+        let profiles = doc.get("cost_profiles").and_then(|p| p.as_array()).expect("profiles");
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        let cost_summary = format!(
+            "req={} ewma={} est_ewma={} p50={} p95={} p99={}",
+            p.get("requests").and_then(|v| v.as_usize()).expect("requests"),
+            p.get("cost_ewma").and_then(|v| v.as_f64()).expect("cost_ewma"),
+            p.get("est_cost_ewma").and_then(|v| v.as_f64()).expect("est_cost_ewma"),
+            p.get("cost_p50").and_then(|v| v.as_f64()).expect("cost_p50"),
+            p.get("cost_p95").and_then(|v| v.as_f64()).expect("cost_p95"),
+            p.get("cost_p99").and_then(|v| v.as_f64()).expect("cost_p99"),
+        );
+        outcomes.push((threads, projections, cost_summary));
+
+        assert!(server.shutdown(Duration::from_secs(10)), "drained in time");
+    }
+
+    for pair in outcomes.windows(2) {
+        let (t_a, proj_a, cost_a) = &pair[0];
+        let (t_b, proj_b, cost_b) = &pair[1];
+        assert_eq!(
+            proj_a, proj_b,
+            "per-graph record sets differ between threads={t_a} and threads={t_b}"
+        );
+        assert_eq!(
+            cost_a, cost_b,
+            "cost quantile summaries differ between threads={t_a} and threads={t_b}"
+        );
+    }
+    // The comparison is not vacuous: the set holds hits and misses, and
+    // measured work is non-zero.
+    let (_, projections, cost) = &outcomes[0];
+    assert!(projections.iter().any(|p| p.contains("|hit|")), "{projections:?}");
+    assert!(projections.iter().any(|p| p.contains("|miss|")), "{projections:?}");
+    assert!(!cost.contains("p50=0 "), "cold requests measured real work: {cost}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -327,6 +327,106 @@ fn metrics_exposition_is_prometheus_conformant() {
     // replacement histogram's `_sum`/`_count` carry the same information.
     assert!(!text.contains("spade_serve_cancel_latency_ms_total"));
     assert!(text.contains("# TYPE spade_serve_cancel_latency_seconds histogram"));
+    // Queue waits sit far below a millisecond, so the fine bounds must
+    // expose sub-ms buckets (the coarse floor of 0.5 ms would flatline).
+    assert!(text.contains("spade_serve_queue_wait_seconds_bucket{le=\"0.00001\""));
+    assert!(text.contains("spade_serve_cancel_latency_seconds_bucket{le=\"0.00001\""));
+    // The ledger-fed per-graph cost-profile series: present, labeled by
+    // graph and quantile, and label-sorted within each family.
+    let (_, details) = spade_telemetry::conformance::check_detailed(&text)
+        .unwrap_or_else(|e| panic!("non-conformant exposition: {e}\n{text}"));
+    for family in [
+        "spade_serve_graph_cost_units",
+        "spade_serve_graph_latency_us",
+        "spade_serve_graph_cost_ewma",
+        "spade_serve_graph_latency_ewma_us",
+        "spade_serve_slo_breach_total",
+    ] {
+        let detail = details
+            .iter()
+            .find(|d| d.name == family)
+            .unwrap_or_else(|| panic!("family {family} missing from exposition"));
+        assert!(!detail.series.is_empty(), "{family} has no series");
+        assert!(
+            detail.series.windows(2).all(|w| w[0] < w[1]),
+            "{family} series not label-sorted: {:?}",
+            detail.series
+        );
+    }
+    assert!(text.contains("spade_serve_graph_cost_units{graph=\"corpus\",quantile=\"0.5\"}"));
+    assert!(text.contains("spade_serve_graph_latency_us{graph=\"corpus\",quantile=\"0.99\"}"));
+
+    assert!(server.shutdown(Duration::from_secs(10)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn debug_queries_serves_ledger_and_scorecard() {
+    let dir = temp_dir("ledger_route");
+    let path = write_snapshot(&dir, "corpus.spade", 100, 11);
+    let server =
+        Server::start(serve_config(1 << 20), base_config(), &path).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    // One cold evaluation (profiled into the scorecard) and one cache hit
+    // (ring-only): both must land in the ledger tail.
+    assert_eq!(client.post("/explore", b"").expect("cold").status, 200);
+    assert_eq!(client.post("/explore", b"").expect("warm").status, 200);
+
+    let queries = client.get("/debug/queries").expect("debug/queries");
+    assert_eq!(queries.status, 200);
+    let doc = spade_core::json::parse(&queries.text()).expect("ledger JSON");
+    assert_eq!(doc.get("recorded_total").and_then(|v| v.as_usize()), Some(2));
+    assert!(doc.get("capacity").and_then(|v| v.as_usize()).is_some_and(|c| c >= 2));
+
+    // Tail is newest first: the warm hit, then the cold miss. Both carry
+    // the same key hash (identical canonical request).
+    let entries = doc.get("entries").and_then(|e| e.as_array()).expect("entries");
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].get("cache").and_then(|v| v.as_str()), Some("hit"));
+    assert_eq!(entries[1].get("cache").and_then(|v| v.as_str()), Some("miss"));
+    assert_eq!(
+        entries[0].get("key_hash").and_then(|v| v.as_str()),
+        entries[1].get("key_hash").and_then(|v| v.as_str()),
+        "identical requests share a canonical key hash"
+    );
+    for entry in entries {
+        assert_eq!(entry.get("graph").and_then(|v| v.as_str()), Some("corpus"));
+        assert_eq!(entry.get("class").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(entry.get("route").and_then(|v| v.as_str()), Some("explore"));
+        assert!(entry.get("estimated_cost").and_then(|v| v.as_usize()).is_some_and(|c| c > 0));
+    }
+    // The cold run measured real work; the hit answered from memory.
+    assert!(entries[1].get("actual_cost").and_then(|v| v.as_usize()).is_some_and(|c| c > 0));
+    assert_eq!(entries[0].get("actual_cost").and_then(|v| v.as_usize()), Some(0));
+
+    // Exactly the cold completion graded the estimator.
+    let scorecard = doc.get("scorecard").expect("scorecard");
+    assert_eq!(scorecard.get("count").and_then(|v| v.as_usize()), Some(1));
+    let geo = scorecard.get("q_error_geo_mean").and_then(|v| v.as_f64()).expect("geo mean");
+    assert!(geo.is_finite() && geo >= 1.0, "q-error geo-mean is finite and ≥1: {geo}");
+
+    // The per-graph profile folded the same single cold request.
+    let profiles = doc.get("cost_profiles").and_then(|p| p.as_array()).expect("profiles");
+    assert_eq!(profiles.len(), 1);
+    assert_eq!(profiles[0].get("graph").and_then(|v| v.as_str()), Some("corpus"));
+    assert_eq!(profiles[0].get("requests").and_then(|v| v.as_usize()), Some(1));
+    assert!(profiles[0]
+        .get("cost_p50")
+        .and_then(|v| v.as_f64())
+        .is_some_and(|c| c.is_finite() && c > 0.0));
+
+    // `/stats` mirrors the same profile and scorecard sections.
+    let stats = client.get("/stats").expect("stats");
+    let stats_doc = spade_core::json::parse(&stats.text()).expect("stats JSON");
+    let stats_profiles =
+        stats_doc.get("cost_profiles").and_then(|p| p.as_array()).expect("stats profiles");
+    assert_eq!(stats_profiles.len(), 1);
+    assert_eq!(
+        stats_doc.get("scorecard").and_then(|s| s.get("count")).and_then(|v| v.as_usize()),
+        Some(1)
+    );
 
     assert!(server.shutdown(Duration::from_secs(10)));
     std::fs::remove_dir_all(&dir).ok();
@@ -414,6 +514,9 @@ fn slow_log_retains_traced_requests() {
     assert_eq!(entries.len(), 3);
     for entry in entries {
         assert_eq!(entry.get("route").and_then(|v| v.as_str()), Some("explore"));
+        // Entries are tagged with the graph they ran against (the legacy
+        // route resolves to the default graph, named after the file stem).
+        assert_eq!(entry.get("graph").and_then(|v| v.as_str()), Some("corpus"));
         assert_eq!(entry.get("status").and_then(|v| v.as_usize()), Some(200));
         assert_eq!(entry.get("generation").and_then(|v| v.as_usize()), Some(1));
         let trace = entry.get("trace").expect("trace");

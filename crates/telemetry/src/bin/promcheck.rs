@@ -1,16 +1,19 @@
 //! Reads a Prometheus text exposition from stdin and validates it with
-//! [`spade_telemetry::conformance::check`]. Exits non-zero on any
+//! [`spade_telemetry::conformance::check_detailed`]. Exits non-zero on any
 //! violation. `--min-histograms N` additionally requires at least N
-//! histogram families.
+//! histogram families; `--require <family>` (repeatable) requires the
+//! named family to be present with its series label signatures sorted.
 //!
 //! CI pipes a live `/metrics` scrape through this:
-//! `curl -s localhost:7878/metrics | promcheck --min-histograms 3`
+//! `curl -s localhost:7878/metrics | promcheck --min-histograms 3 \
+//!      --require spade_serve_graph_cost_units`
 
 use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut min_histograms = 0usize;
+    let mut required: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -19,6 +22,9 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--min-histograms needs an integer");
+            }
+            "--require" => {
+                required.push(args.next().expect("--require needs a family name"));
             }
             other => {
                 eprintln!("promcheck: unknown argument {other:?}");
@@ -32,8 +38,8 @@ fn main() -> ExitCode {
         eprintln!("promcheck: failed to read stdin: {e}");
         return ExitCode::FAILURE;
     }
-    match spade_telemetry::conformance::check(&text) {
-        Ok(summary) => {
+    match spade_telemetry::conformance::check_detailed(&text) {
+        Ok((summary, details)) => {
             if summary.histograms < min_histograms {
                 eprintln!(
                     "promcheck: expected >= {min_histograms} histograms, found {}",
@@ -41,9 +47,29 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            for family in &required {
+                let Some(detail) = details.iter().find(|d| &d.name == family) else {
+                    eprintln!("promcheck: required family {family} not present");
+                    return ExitCode::FAILURE;
+                };
+                if let Some(w) = detail.series.windows(2).find(|w| w[0] > w[1]) {
+                    eprintln!(
+                        "promcheck: family {family} series not label-sorted: {:?} after {:?}",
+                        w[1], w[0]
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
             println!(
-                "promcheck: ok ({} families, {} histograms, {} series)",
-                summary.families, summary.histograms, summary.series
+                "promcheck: ok ({} families, {} histograms, {} series{})",
+                summary.families,
+                summary.histograms,
+                summary.series,
+                if required.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} required present", required.len())
+                }
             );
             ExitCode::SUCCESS
         }

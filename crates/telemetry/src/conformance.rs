@@ -12,6 +12,10 @@
 //! - for every histogram series: `le` bounds strictly increasing, bucket
 //!   counts monotone non-decreasing, a `+Inf` bucket present and equal to
 //!   the series' `_count`, and a finite `_sum` present.
+//!
+//! [`check_detailed`] additionally returns per-family series label
+//! signatures in exposition order, so callers (`promcheck --require`) can
+//! assert required families exist and their series are label-sorted.
 
 use std::collections::HashMap;
 
@@ -24,6 +28,18 @@ pub struct ExpositionSummary {
     pub histograms: usize,
     /// Number of series (scalar samples + histogram series).
     pub series: usize,
+}
+
+/// Per-family series detail from a valid exposition, for assertions beyond
+/// the [`ExpositionSummary`] counts (presence of required families,
+/// label-signature ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyDetail {
+    pub name: String,
+    /// Series label signatures (`key=value` pairs joined with `,`; empty
+    /// string for an unlabeled series; histogram signatures exclude `le`)
+    /// in exposition order.
+    pub series: Vec<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -45,13 +61,22 @@ struct HistSeries {
 struct FamilyState {
     kind: Option<Kind>,
     has_help: bool,
-    scalar_series: usize,
+    /// Scalar series label signatures in exposition order.
+    scalar_labels: Vec<String>,
     hist: HashMap<String, HistSeries>,
+    /// Histogram series keys in first-appearance order.
+    hist_order: Vec<String>,
 }
 
 /// Validates a Prometheus text exposition; returns a summary or the first
 /// violation found (with its line number).
 pub fn check(text: &str) -> Result<ExpositionSummary, String> {
+    check_detailed(text).map(|(summary, _)| summary)
+}
+
+/// Like [`check`], additionally returning per-family series detail in
+/// exposition order.
+pub fn check_detailed(text: &str) -> Result<(ExpositionSummary, Vec<FamilyDetail>), String> {
     let mut families: HashMap<String, FamilyState> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
 
@@ -144,6 +169,9 @@ pub fn check(text: &str) -> Result<ExpositionSummary, String> {
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect::<Vec<_>>()
                     .join(",");
+                if !fam.hist.contains_key(&key) {
+                    fam.hist_order.push(key.clone());
+                }
                 let series = fam.hist.entry(key).or_default();
                 match component {
                     "_bucket" => {
@@ -181,14 +209,15 @@ pub fn check(text: &str) -> Result<ExpositionSummary, String> {
                 if value_f < 0.0 {
                     return Err(format!("line {lineno}: negative counter {name}"));
                 }
-                fam.scalar_series += 1;
+                fam.scalar_labels.push(label_signature(&labels));
             }
-            (Kind::Gauge, _) => fam.scalar_series += 1,
+            (Kind::Gauge, _) => fam.scalar_labels.push(label_signature(&labels)),
         }
     }
 
     let mut histograms = 0usize;
     let mut series = 0usize;
+    let mut details: Vec<FamilyDetail> = Vec::with_capacity(order.len());
     for name in &order {
         let fam = &families[name];
         let Some(kind) = fam.kind else {
@@ -237,14 +266,21 @@ pub fn check(text: &str) -> Result<ExpositionSummary, String> {
                 }
             }
             series += fam.hist.len();
+            details.push(FamilyDetail { name: name.clone(), series: fam.hist_order.clone() });
         } else {
-            if fam.scalar_series == 0 {
+            if fam.scalar_labels.is_empty() {
                 return Err(format!("family {name}: declared but no samples"));
             }
-            series += fam.scalar_series;
+            series += fam.scalar_labels.len();
+            details
+                .push(FamilyDetail { name: name.clone(), series: fam.scalar_labels.clone() });
         }
     }
-    Ok(ExpositionSummary { families: order.len(), histograms, series })
+    Ok((ExpositionSummary { families: order.len(), histograms, series }, details))
+}
+
+fn label_signature(labels: &[(String, String)]) -> String {
+    labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",")
 }
 
 fn family_entry<'a>(
@@ -255,7 +291,13 @@ fn family_entry<'a>(
     if !families.contains_key(name) {
         families.insert(
             name.to_owned(),
-            FamilyState { kind: None, has_help: false, scalar_series: 0, hist: HashMap::new() },
+            FamilyState {
+                kind: None,
+                has_help: false,
+                scalar_labels: Vec::new(),
+                hist: HashMap::new(),
+                hist_order: Vec::new(),
+            },
         );
         order.push(name.to_owned());
     }
@@ -356,6 +398,25 @@ mod tests {
         h.observe(0.2);
         let summary = check(&r.render()).expect("conformant");
         assert_eq!(summary, ExpositionSummary { families: 3, histograms: 1, series: 3 });
+    }
+
+    #[test]
+    fn detailed_exposes_series_signatures_in_order() {
+        let r = Registry::new();
+        r.gauge_with("cost", "cost", &[("graph", "a"), ("quantile", "0.5")]).set(1);
+        r.gauge_with("cost", "cost", &[("graph", "a"), ("quantile", "0.95")]).set(2);
+        r.gauge_with("cost", "cost", &[("graph", "b"), ("quantile", "0.5")]).set(3);
+        r.counter("reqs_total", "requests").inc();
+        let (summary, details) = check_detailed(&r.render()).expect("conformant");
+        assert_eq!(summary.series, 4);
+        let cost = details.iter().find(|d| d.name == "cost").expect("cost family");
+        assert_eq!(
+            cost.series,
+            ["graph=a,quantile=0.5", "graph=a,quantile=0.95", "graph=b,quantile=0.5"]
+        );
+        assert!(cost.series.windows(2).all(|w| w[0] <= w[1]), "label-sorted");
+        let reqs = details.iter().find(|d| d.name == "reqs_total").expect("reqs family");
+        assert_eq!(reqs.series, [String::new()]);
     }
 
     #[test]

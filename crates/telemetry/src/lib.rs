@@ -17,6 +17,11 @@
 //!   operation a branch-and-return.
 //! - [`slowlog`] — a bounded in-memory log keeping the N slowest request
 //!   traces over a threshold, for `GET /debug/slow`-style surfacing.
+//! - [`ledger`] — a request analytics ledger: one compact record per
+//!   completed request in a lock-light bounded ring, plus streaming
+//!   per-graph cost profiles (EWMA + P² quantile sketches, no sample
+//!   retention) and an estimate-vs-actual q-error scorecard, for
+//!   `GET /debug/queries`-style surfacing and adaptive admission.
 //!
 //! [`conformance`] parses Prometheus text back and validates it (HELP/TYPE
 //! present, histogram buckets monotone, `+Inf` bucket equals `_count`); it
@@ -28,11 +33,17 @@
 //! baseline build for overhead benchmarks.
 
 pub mod conformance;
+pub mod ledger;
 pub mod metrics;
 pub mod slowlog;
 pub mod span;
 
 pub use conformance::{check, ExpositionSummary};
-pub use metrics::{Counter, Gauge, Histogram, Registry, DURATION_BOUNDS_SECONDS};
+pub use ledger::{
+    CacheOutcome, Ledger, LedgerRecord, ProfileSnapshot, ResponseClass, ScorecardSnapshot,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, Registry, DURATION_BOUNDS_SECONDS, FINE_DURATION_BOUNDS_SECONDS,
+};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use span::{Span, SpanCtx, Trace};

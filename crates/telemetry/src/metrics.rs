@@ -15,6 +15,15 @@ use std::time::Duration;
 pub const DURATION_BOUNDS_SECONDS: [f64; 14] =
     [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
 
+/// Fine-grained latency bucket boundaries in seconds: 10µs .. 1s. For
+/// sub-millisecond phenomena (queue wait on a warm path, cancel latency)
+/// where [`DURATION_BOUNDS_SECONDS`]'s 500µs first bucket swallows the
+/// whole distribution.
+pub const FINE_DURATION_BOUNDS_SECONDS: [f64; 14] = [
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.1,
+    0.5, 1.0,
+];
+
 /// A monotonically increasing counter.
 #[derive(Clone)]
 pub struct Counter(Arc<AtomicU64>);

@@ -10,6 +10,8 @@ pub struct SlowEntry {
     pub id: u64,
     /// Route label, e.g. `explore`.
     pub route: &'static str,
+    /// Name of the graph that served the request.
+    pub graph: String,
     /// HTTP status returned.
     pub status: u16,
     /// Snapshot generation that served the request.
@@ -25,9 +27,9 @@ pub struct SlowEntry {
 impl SlowEntry {
     fn to_json(&self) -> String {
         format!(
-            "{{\"id\":{},\"route\":\"{}\",\"status\":{},\"generation\":{},\"duration_ms\":{},\"unix_ms\":{},\"trace\":{}}}",
-            self.id, self.route, self.status, self.generation, self.duration_ms, self.unix_ms,
-            self.trace_json,
+            "{{\"id\":{},\"route\":\"{}\",\"graph\":\"{}\",\"status\":{},\"generation\":{},\"duration_ms\":{},\"unix_ms\":{},\"trace\":{}}}",
+            self.id, self.route, self.graph, self.status, self.generation, self.duration_ms,
+            self.unix_ms, self.trace_json,
         )
     }
 }
@@ -107,6 +109,7 @@ mod tests {
         SlowEntry {
             id,
             route: "explore",
+            graph: "default".to_owned(),
             status: 200,
             generation: 1,
             duration_ms,
@@ -141,6 +144,7 @@ mod tests {
         let json = log.to_json();
         assert!(json.starts_with("{\"threshold_ms\":5,\"capacity\":3,\"entries\":["), "{json}");
         assert!(json.contains("\"id\":7"), "{json}");
+        assert!(json.contains("\"graph\":\"default\""), "{json}");
         assert!(json.contains("\"trace\":{\"total_us\":0"), "{json}");
     }
 }

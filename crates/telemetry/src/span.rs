@@ -135,6 +135,25 @@ impl Trace {
     pub fn elapsed_us(&self) -> u64 {
         self.inner.start.elapsed().as_micros() as u64
     }
+
+    /// Sums the numeric attribute `key` over every span named exactly
+    /// `span_name`. Used to aggregate per-shard work counters (cells, facts)
+    /// into request totals; filtering by span name matters because other
+    /// spans (`emit`, `translate`) reuse attr keys with different meanings.
+    pub fn sum_attr(&self, span_name: &str, key: &str) -> u64 {
+        let state = self.inner.state.lock().unwrap();
+        let mut total = 0u64;
+        for rec in state.records.iter().filter(|r| r.name == span_name) {
+            for (k, v) in &rec.attrs {
+                if *k == key {
+                    if let AttrValue::U64(n) = v {
+                        total += *n;
+                    }
+                }
+            }
+        }
+        total
+    }
 }
 
 /// Maps parent id -> child record indexes in sibling order.
@@ -419,6 +438,26 @@ mod tests {
         span.attr("k", 1);
         let d = span.finish();
         assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn sum_attr_filters_by_span_name() {
+        let trace = Trace::new();
+        let ctx = trace.root();
+        for (i, cells) in [(0u64, 10u64), (1, 20), (2, 12)] {
+            let s = ctx.span_at("shard", i);
+            s.attr("cells", cells);
+            s.attr("facts", cells * 2);
+            s.finish();
+        }
+        // An `emit` span reusing the `cells` key must not leak into the sum.
+        let e = ctx.span("emit");
+        e.attr("cells", 999);
+        e.finish();
+        assert_eq!(trace.sum_attr("shard", "cells"), 42);
+        assert_eq!(trace.sum_attr("shard", "facts"), 84);
+        assert_eq!(trace.sum_attr("shard", "missing"), 0);
+        assert_eq!(trace.sum_attr("nope", "cells"), 0);
     }
 
     #[test]
